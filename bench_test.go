@@ -1,0 +1,90 @@
+// Package bench regenerates every table and figure of the paper as Go
+// benchmarks: each BenchmarkTableN/BenchmarkFigN runs the corresponding
+// experiment end-to-end on the simulated testbed and logs the report.
+//
+// Run a single figure:
+//
+//	go test -bench=Fig8a -benchtime=1x
+//
+// Run everything (as the EXPERIMENTS.md numbers were produced):
+//
+//	go test -bench=. -benchmem
+//
+// The options below subsample the 265-workload catalog for tractable
+// runtimes; pass -full to sweep the entire catalog (minutes per figure).
+package bench
+
+import (
+	"flag"
+	"testing"
+
+	"github.com/moatlab/melody/internal/melody"
+)
+
+var full = flag.Bool("full", false, "run figures over the full 265-workload catalog")
+
+// benchOptions returns the experiment scaling used for benchmarks.
+func benchOptions() melody.Options {
+	o := melody.Options{
+		MaxWorkloads: 16,
+		Instructions: 400_000,
+		Warmup:       100_000,
+		DurationNs:   100_000,
+		Seed:         1,
+	}
+	if *full {
+		o.MaxWorkloads = 0
+		o.Instructions = 1_200_000
+		o.Warmup = 250_000
+		o.DurationNs = 300_000
+	}
+	return o
+}
+
+// runExperiment executes one registered experiment per benchmark
+// iteration and logs its report on the last iteration.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	melody.RegisterWorkloads()
+	e, ok := melody.ExperimentByID(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	var rep *melody.Report
+	for i := 0; i < b.N; i++ {
+		rep = e.Run(benchOptions())
+	}
+	if rep == nil || len(rep.Lines) == 0 {
+		b.Fatalf("experiment %q produced no output", id)
+	}
+	b.Log("\n" + rep.String())
+}
+
+func BenchmarkTable1(b *testing.B)    { runExperiment(b, "table1") }
+func BenchmarkTable2(b *testing.B)    { runExperiment(b, "table2") }
+func BenchmarkFig1(b *testing.B)      { runExperiment(b, "fig1") }
+func BenchmarkFig3a(b *testing.B)     { runExperiment(b, "fig3a") }
+func BenchmarkFig3b(b *testing.B)     { runExperiment(b, "fig3b") }
+func BenchmarkFig3c(b *testing.B)     { runExperiment(b, "fig3c") }
+func BenchmarkFig4(b *testing.B)      { runExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)      { runExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)      { runExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)      { runExperiment(b, "fig7") }
+func BenchmarkFig8a(b *testing.B)     { runExperiment(b, "fig8a") }
+func BenchmarkFig8c(b *testing.B)     { runExperiment(b, "fig8c") }
+func BenchmarkFig8d(b *testing.B)     { runExperiment(b, "fig8d") }
+func BenchmarkFig8e(b *testing.B)     { runExperiment(b, "fig8e") }
+func BenchmarkFig8f(b *testing.B)     { runExperiment(b, "fig8f") }
+func BenchmarkFig9a(b *testing.B)     { runExperiment(b, "fig9a") }
+func BenchmarkFig9b(b *testing.B)     { runExperiment(b, "fig9b") }
+func BenchmarkFig11(b *testing.B)     { runExperiment(b, "fig11") }
+func BenchmarkFig12a(b *testing.B)    { runExperiment(b, "fig12a") }
+func BenchmarkFig12b(b *testing.B)    { runExperiment(b, "fig12b") }
+func BenchmarkFig14(b *testing.B)     { runExperiment(b, "fig14") }
+func BenchmarkFig15(b *testing.B)     { runExperiment(b, "fig15") }
+func BenchmarkFig16(b *testing.B)     { runExperiment(b, "fig16") }
+func BenchmarkTuning(b *testing.B)    { runExperiment(b, "tuning") }
+func BenchmarkAblations(b *testing.B) { runExperiment(b, "ablations") }
+func BenchmarkPredict(b *testing.B)   { runExperiment(b, "predict") }
+func BenchmarkCPMU(b *testing.B)      { runExperiment(b, "cpmu") }
+func BenchmarkTiering(b *testing.B)   { runExperiment(b, "tiering") }

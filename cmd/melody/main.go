@@ -1,0 +1,111 @@
+// Command melody regenerates the paper's tables and figures on the
+// simulated testbed.
+//
+// Usage:
+//
+//	melody list
+//	melody run <experiment-id>... [flags]
+//	melody run all [flags]
+//
+// Flags:
+//
+//	-workloads N      catalog subset size (0 = all 265; default 48)
+//	-instructions N   measurement window per run (default 1200000)
+//	-warmup N         warmup instructions per run (default 250000)
+//	-duration NS      device-measurement duration in ns (default 200000)
+//	-seed N           simulation seed (default 1)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/moatlab/melody/internal/melody"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "list":
+		for _, e := range melody.Experiments() {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
+		}
+	case "run":
+		runCmd(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: melody list | melody run <id>...|all [flags]")
+}
+
+func runCmd(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	workloads := fs.Int("workloads", 48, "catalog subset size (0 = all 265)")
+	instructions := fs.Uint64("instructions", 0, "measurement window per run")
+	warmup := fs.Uint64("warmup", 0, "warmup instructions per run")
+	duration := fs.Float64("duration", 0, "device measurement duration (ns)")
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	outDir := fs.String("out", "", "also write each report to <dir>/<id>.txt")
+
+	// Allow flags after experiment ids.
+	var ids []string
+	rest := args
+	for len(rest) > 0 && rest[0] != "" && rest[0][0] != '-' {
+		ids = append(ids, rest[0])
+		rest = rest[1:]
+	}
+	if err := fs.Parse(rest); err != nil {
+		os.Exit(2)
+	}
+	if len(ids) == 0 {
+		fmt.Fprintln(os.Stderr, "melody run: no experiments given (try `melody list`)")
+		os.Exit(2)
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = nil
+		for _, e := range melody.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	}
+
+	opts := melody.Options{
+		MaxWorkloads: *workloads,
+		Instructions: *instructions,
+		Warmup:       *warmup,
+		DurationNs:   *duration,
+		Seed:         *seed,
+	}
+	melody.RegisterWorkloads()
+	for _, id := range ids {
+		e, ok := melody.ExperimentByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "melody: unknown experiment %q (try `melody list`)\n", id)
+			os.Exit(1)
+		}
+		start := time.Now()
+		rep := e.Run(opts)
+		fmt.Println(rep.String())
+		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "melody:", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*outDir, e.ID+".txt")
+			if err := os.WriteFile(path, []byte(rep.String()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "melody:", err)
+				os.Exit(1)
+			}
+		}
+	}
+}

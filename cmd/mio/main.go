@@ -1,0 +1,86 @@
+// Command mio measures cacheline-level latency distributions on the
+// simulated devices — the paper's custom microbenchmark for CXL tail
+// latencies.
+//
+// Usage:
+//
+//	mio [-device NAME] [-threads N] [-noise read|rw] [-noisethreads N]
+//	    [-prefetch] [-duration NS]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/moatlab/melody/internal/cxl"
+	"github.com/moatlab/melody/internal/mem"
+	"github.com/moatlab/melody/internal/mio"
+	"github.com/moatlab/melody/internal/platform"
+)
+
+func buildDevice(name string, seed uint64) (mem.Device, bool) {
+	spr := platform.SPR2S()
+	emrP := platform.EMR2SPrime()
+	switch name {
+	case "Local":
+		return spr.LocalDevice(), true
+	case "NUMA":
+		return spr.NUMADevice(seed), true
+	case "CXL-D":
+		return emrP.CXLDevice(cxl.ProfileD(), seed), true
+	default:
+		if prof, ok := cxl.ProfileByName(name); ok {
+			return spr.CXLDevice(prof, seed), true
+		}
+	}
+	return nil, false
+}
+
+func main() {
+	device := flag.String("device", "CXL-B", "device: Local, NUMA, CXL-A..CXL-D")
+	threads := flag.Int("threads", 1, "co-located pointer-chase threads")
+	noise := flag.String("noise", "", "background noise: read or rw")
+	noiseThreads := flag.Int("noisethreads", 4, "noise threads")
+	prefetch := flag.Bool("prefetch", false, "strided chase with prefetching (Figure 6 mode)")
+	duration := flag.Float64("duration", 400_000, "measurement duration (simulated ns)")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	dev, ok := buildDevice(*device, *seed)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "mio: unknown device %q\n", *device)
+		os.Exit(1)
+	}
+
+	if *prefetch {
+		cfg := mio.DefaultPrefetchedConfig()
+		cfg.Chasers = *threads
+		cfg.Seed = *seed
+		res := mio.RunPrefetched(dev, cfg)
+		fmt.Printf("%s (prefetched, %d chasers): %s\n", *device, *threads, res.Summary)
+		return
+	}
+
+	cfg := mio.DefaultConfig()
+	cfg.DurationNs = *duration
+	cfg.ChaseThreads = *threads
+	cfg.Seed = *seed
+	switch *noise {
+	case "read":
+		cfg.Noise = mio.NoiseRead
+		cfg.NoiseThreads = *noiseThreads
+		cfg.NoiseDelayNs = 120
+	case "rw":
+		cfg.Noise = mio.NoiseReadWrite
+		cfg.NoiseThreads = *noiseThreads
+		cfg.NoiseDelayNs = 200
+	case "":
+	default:
+		fmt.Fprintf(os.Stderr, "mio: unknown noise %q\n", *noise)
+		os.Exit(2)
+	}
+	res := mio.Run(dev, cfg)
+	fmt.Printf("%s (%d chasers, noise=%q): %s\n", *device, *threads, *noise, res.Summary)
+	fmt.Printf("p99.9-p50 gap: %.0f ns, bandwidth %.1f GB/s\n", res.TailGap(), res.BandwidthGBs)
+}

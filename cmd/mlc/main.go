@@ -1,0 +1,82 @@
+// Command mlc is an Intel-MLC-style measurement tool for the simulated
+// devices: idle latency, bandwidth, and loaded-latency sweeps.
+//
+// Usage:
+//
+//	mlc [-device NAME] [-duration NS] [idle|bandwidth|loaded|matrix]
+//
+// Devices: Local, NUMA, CXL-A, CXL-B, CXL-C, CXL-D (hosted per Table 1).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/moatlab/melody/internal/cxl"
+	"github.com/moatlab/melody/internal/mem"
+	"github.com/moatlab/melody/internal/mlc"
+	"github.com/moatlab/melody/internal/platform"
+)
+
+func buildDevice(name string, seed uint64) (mem.Device, float64, bool) {
+	spr := platform.SPR2S()
+	emrP := platform.EMR2SPrime()
+	switch name {
+	case "Local":
+		return spr.LocalDevice(), spr.CPU.MissOverheadNs, true
+	case "NUMA":
+		return spr.NUMADevice(seed), spr.CPU.MissOverheadNs, true
+	case "CXL-D":
+		return emrP.CXLDevice(cxl.ProfileD(), seed), emrP.CPU.MissOverheadNs, true
+	default:
+		if prof, ok := cxl.ProfileByName(name); ok {
+			return spr.CXLDevice(prof, seed), spr.CPU.MissOverheadNs, true
+		}
+	}
+	return nil, 0, false
+}
+
+func main() {
+	device := flag.String("device", "Local", "device: Local, NUMA, CXL-A..CXL-D")
+	duration := flag.Float64("duration", 200_000, "measurement duration (simulated ns)")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	mode := "matrix"
+	if flag.NArg() > 0 {
+		mode = flag.Arg(0)
+	}
+
+	cfg := mlc.DefaultConfig()
+	cfg.DurationNs = *duration
+	cfg.Seed = *seed
+
+	dev, overhead, ok := buildDevice(*device, *seed)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "mlc: unknown device %q\n", *device)
+		os.Exit(1)
+	}
+
+	switch mode {
+	case "idle":
+		fmt.Printf("%s idle latency: %.0f ns\n", *device, overhead+mlc.IdleLatency(dev, cfg))
+	case "bandwidth":
+		fmt.Printf("%s read bandwidth: %.1f GB/s\n", *device, mlc.Bandwidth(dev, 1.0, cfg))
+	case "loaded":
+		fmt.Printf("%s loaded latency (read-only):\n", *device)
+		for _, p := range mlc.LoadedLatency(dev, 1.0, mlc.StandardDelays(), cfg) {
+			fmt.Printf("  delay %6.0f ns: %7.1f GB/s  avg %7.0f ns\n",
+				p.InjectDelayNs, p.BandwidthGBs, p.AvgLatencyNs+overhead)
+		}
+	case "matrix":
+		fmt.Printf("%s:\n", *device)
+		fmt.Printf("  idle latency  %8.0f ns\n", overhead+mlc.IdleLatency(dev, cfg))
+		for _, ratio := range mlc.RWRatios() {
+			fmt.Printf("  bandwidth R:W %-4s %7.1f GB/s\n", ratio.Name, mlc.Bandwidth(dev, ratio.ReadFrac, cfg))
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "mlc: unknown mode %q (idle|bandwidth|loaded|matrix)\n", mode)
+		os.Exit(2)
+	}
+}

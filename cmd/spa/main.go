@@ -1,0 +1,93 @@
+// Command spa runs the Stall-based CXL performance analysis on one
+// catalog workload: overall slowdown breakdown plus the period-based
+// time series (paper §5).
+//
+// Usage:
+//
+//	spa -workload 605.mcf_s [-config CXL-A] [-platform EMR2S]
+//	    [-instructions N] [-periods N]
+//	spa -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/moatlab/melody/internal/cxl"
+	"github.com/moatlab/melody/internal/melody"
+	"github.com/moatlab/melody/internal/platform"
+	"github.com/moatlab/melody/internal/spa"
+	"github.com/moatlab/melody/internal/workload"
+)
+
+func main() {
+	name := flag.String("workload", "", "catalog workload name")
+	config := flag.String("config", "CXL-A", "target config: NUMA, CXL-A..CXL-D, CXL-A+NUMA")
+	plat := flag.String("platform", "EMR2S", "host platform")
+	instructions := flag.Uint64("instructions", 1_200_000, "measurement window")
+	periods := flag.Int("periods", 10, "instruction periods for the time series")
+	list := flag.Bool("list", false, "list catalog workloads")
+	flag.Parse()
+
+	melody.RegisterWorkloads()
+	if *list {
+		for _, s := range workload.Catalog() {
+			fmt.Printf("  %-28s %-14s %s\n", s.Name, s.Suite, s.Class)
+		}
+		return
+	}
+	spec, ok := workload.ByName(*name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "spa: unknown workload %q (use -list)\n", *name)
+		os.Exit(1)
+	}
+	p, ok := platform.PlatformByName(*plat)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "spa: unknown platform %q\n", *plat)
+		os.Exit(1)
+	}
+
+	var target melody.MemConfig
+	switch *config {
+	case "NUMA":
+		target = melody.NUMA(p)
+	default:
+		if prof, okc := cxl.ProfileByName(*config); okc {
+			target = melody.CXL(p, prof)
+		} else if len(*config) > 5 && (*config)[len(*config)-5:] == "+NUMA" {
+			if prof, okc := cxl.ProfileByName((*config)[:len(*config)-5]); okc {
+				target = melody.CXLNUMA(p, prof)
+			}
+		}
+	}
+	if target.Build == nil {
+		fmt.Fprintf(os.Stderr, "spa: unknown config %q\n", *config)
+		os.Exit(1)
+	}
+
+	run := melody.NewRunner(p)
+	run.Instructions = *instructions
+	run.SampleIntervalNs = 2_000
+
+	base := run.Run(spec, melody.Local(p))
+	tgt := run.Run(spec, target)
+	b := spa.Analyze(base.Delta, tgt.Delta)
+
+	fmt.Printf("%s on %s vs local DRAM (%s):\n", spec.Name, target.Name, p.CPU.Name)
+	fmt.Printf("  actual slowdown     %7.1f%%\n", b.Actual*100)
+	fmt.Printf("  ds estimate         %7.1f%%   backend %7.1f%%   memory %7.1f%%\n",
+		b.EstTotal*100, b.EstBackend*100, b.EstMemory*100)
+	fmt.Printf("  breakdown: DRAM %6.1f%%  L3 %5.1f%%  L2 %5.1f%%  L1 %5.1f%%  store %5.1f%%  core %5.1f%%  other %5.1f%%\n",
+		b.DRAM*100, b.L3*100, b.L2*100, b.L1*100, b.Store*100, b.Core*100, b.Other*100)
+
+	if *periods > 0 {
+		per := *instructions / uint64(*periods)
+		series := spa.AnalyzePeriods(base.Samples, tgt.Samples, per)
+		fmt.Printf("period-based breakdown (%d instructions per period):\n", per)
+		for _, pb := range series {
+			fmt.Printf("  @%10d  total %6.1f%%  DRAM %6.1f%%  cache %6.1f%%  store %6.1f%%\n",
+				pb.StartInstr, pb.Actual*100, pb.DRAM*100, (pb.L1+pb.L2+pb.L3)*100, pb.Store*100)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+// Quickstart: characterize one simulated CXL memory expander the way
+// the paper does — idle latency, bandwidth across read/write mixes, and
+// tail-latency stability — in a few lines against the public packages.
+package main
+
+import (
+	"fmt"
+
+	"github.com/moatlab/melody/internal/cxl"
+	"github.com/moatlab/melody/internal/mio"
+	"github.com/moatlab/melody/internal/mlc"
+	"github.com/moatlab/melody/internal/platform"
+)
+
+func main() {
+	// Host a CXL-B-class expander on the Sapphire Rapids platform.
+	host := platform.SPR2S()
+	dev := host.CXLDevice(cxl.ProfileB(), 1)
+
+	// Idle latency, as Intel MLC would measure it (the published number
+	// includes the CPU-side cache-miss overhead).
+	cfg := mlc.DefaultConfig()
+	cfg.DurationNs = 200_000
+	idle := host.CPU.MissOverheadNs + mlc.IdleLatency(dev, cfg)
+	fmt.Printf("idle latency:  %.0f ns\n", idle)
+
+	// Bandwidth across read:write mixes (Figure 5).
+	for _, ratio := range mlc.RWRatios() {
+		fmt.Printf("bandwidth %-4s %6.1f GB/s\n", ratio.Name, mlc.Bandwidth(dev, ratio.ReadFrac, cfg))
+	}
+
+	// Tail latency under a light pointer chase (Figure 3b): the paper's
+	// key finding is that average latency hides instability.
+	res := mio.Run(dev, mio.DefaultConfig())
+	fmt.Printf("pointer chase: p50 %.0f ns, p99.9 %.0f ns (gap %.0f ns)\n",
+		res.Percentile(50), res.Percentile(99.9), res.TailGap())
+}

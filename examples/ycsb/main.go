@@ -1,0 +1,55 @@
+// YCSB: run the Redis-like store under YCSB workloads A-F on local
+// DRAM, NUMA, and CXL memory, reporting throughput slowdowns and
+// request-latency tails — the paper's Figures 7c and 9b in miniature.
+package main
+
+import (
+	"fmt"
+
+	"github.com/moatlab/melody/internal/apps/kvstore"
+	"github.com/moatlab/melody/internal/core"
+	"github.com/moatlab/melody/internal/counters"
+	"github.com/moatlab/melody/internal/cxl"
+	"github.com/moatlab/melody/internal/mem"
+	"github.com/moatlab/melody/internal/platform"
+	"github.com/moatlab/melody/internal/stats"
+)
+
+func run(dev mem.Device, cpu platform.CPU, mix string) (cycles float64, lats []float64) {
+	y := kvstore.NewYCSB("redis-ycsb-"+mix, kvstore.RedisConfig(), kvstore.YCSBMixes()[mix], 1)
+	y.RecordOpLatency = true
+	m := core.New(core.Config{CPU: cpu, Device: dev, MaxInstructions: 800_000})
+	for _, obj := range y.PreloadObjects() {
+		m.Preload(obj.Base, obj.Size)
+	}
+	y.Run(m)
+	return m.Counters()[counters.Cycles], y.OpLatenciesNs
+}
+
+func main() {
+	emr := platform.EMR2S()
+	configs := []struct {
+		name string
+		dev  func() mem.Device
+	}{
+		{"Local", func() mem.Device { return emr.LocalDevice() }},
+		{"NUMA", func() mem.Device { return emr.NUMADevice(1) }},
+		{"CXL-A", func() mem.Device { return emr.CXLDevice(cxl.ProfileA(), 1) }},
+		{"CXL-B", func() mem.Device { return emr.CXLDevice(cxl.ProfileB(), 1) }},
+	}
+
+	for _, mix := range []string{"A", "B", "C"} {
+		fmt.Printf("YCSB-%s:\n", mix)
+		var baseline float64
+		for _, c := range configs {
+			cycles, lats := run(c.dev(), emr.CPU, mix)
+			if c.name == "Local" {
+				baseline = cycles
+			}
+			slow := (cycles - baseline) / baseline * 100
+			ps := stats.Percentiles(lats, 50, 99)
+			fmt.Printf("  %-6s slowdown %6.1f%%   op latency p50 %6.2f us  p99 %6.2f us\n",
+				c.name, slow, ps[0]/1000, ps[1]/1000)
+		}
+	}
+}

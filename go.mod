@@ -1,0 +1,3 @@
+module github.com/moatlab/melody
+
+go 1.22

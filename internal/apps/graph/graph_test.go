@@ -1,0 +1,219 @@
+package graph
+
+import (
+	"testing"
+
+	"github.com/moatlab/melody/internal/core"
+	"github.com/moatlab/melody/internal/counters"
+	"github.com/moatlab/melody/internal/mem"
+	"github.com/moatlab/melody/internal/platform"
+)
+
+type fixedDev struct{ lat float64 }
+
+func (d *fixedDev) Access(now float64, addr uint64, kind mem.Kind) float64 {
+	if kind == mem.Write {
+		return now + d.lat/4
+	}
+	return now + d.lat
+}
+func (d *fixedDev) Name() string           { return "fixed" }
+func (d *fixedDev) Reset()                 {}
+func (d *fixedDev) Stats() mem.DeviceStats { return mem.DeviceStats{} }
+
+// small graphs keep unit tests quick.
+const testN = 1 << 14
+
+func TestBuildShapes(t *testing.T) {
+	for _, name := range GraphNames {
+		g := Build(name, testN, 8, 1)
+		if g.N != testN {
+			t.Fatalf("%s: N = %d", name, g.N)
+		}
+		if g.M() == 0 {
+			t.Fatalf("%s: no edges", name)
+		}
+		if int(g.Offsets[g.N]) != g.M() {
+			t.Fatalf("%s: CSR offsets inconsistent", name)
+		}
+		// Offsets monotone, edges in range.
+		for u := uint32(0); u < g.N; u++ {
+			if g.Offsets[u] > g.Offsets[u+1] {
+				t.Fatalf("%s: offsets not monotone at %d", name, u)
+			}
+		}
+		for _, v := range g.Edges {
+			if v >= g.N {
+				t.Fatalf("%s: edge target %d out of range", name, v)
+			}
+		}
+	}
+}
+
+func TestDegreeSkew(t *testing.T) {
+	// twitter must be much more skewed than urand.
+	maxDeg := func(name string) int {
+		g := Build(name, testN, 8, 1)
+		max := 0
+		for u := uint32(0); u < g.N; u++ {
+			if d := int(g.Offsets[u+1] - g.Offsets[u]); d > max {
+				max = d
+			}
+		}
+		return max
+	}
+	if maxDeg("twitter") < 4*maxDeg("urand") {
+		t.Fatalf("twitter max degree %d not skewed vs urand %d", maxDeg("twitter"), maxDeg("urand"))
+	}
+}
+
+func TestRoadLowDegree(t *testing.T) {
+	g := Build("road", testN, 8, 1)
+	for u := uint32(0); u < g.N; u++ {
+		if d := g.Offsets[u+1] - g.Offsets[u]; d > 4 {
+			t.Fatalf("road node %d has degree %d", u, d)
+		}
+	}
+}
+
+func TestKernelsExecute(t *testing.T) {
+	g := Build("urand", testN, 8, 1)
+	for _, k := range Kernels {
+		w := NewWithGraph(k, g, 1)
+		m := core.New(core.Config{CPU: platform.SKX2S().CPU, Device: &fixedDev{lat: 120}, MaxInstructions: 50_000})
+		w.Run(m)
+		c := m.Counters()
+		if c[counters.Instructions] < 50_000 {
+			t.Fatalf("%s: ran %v instructions", k, c[counters.Instructions])
+		}
+		if c[counters.DemandLoads] == 0 {
+			t.Fatalf("%s: no loads issued", k)
+		}
+	}
+}
+
+func TestBFSCorrectness(t *testing.T) {
+	// On a grid (road) graph every node is reachable, so an unbounded
+	// BFS must label the whole graph with finite distances and the
+	// source's neighbour with distance 1.
+	g := Build("road", 1<<10, 4, 1)
+	w := NewWithGraph("bfs", g, 7)
+	m := core.New(core.Config{CPU: platform.SKX2S().CPU, Device: &fixedDev{lat: 50}, MaxInstructions: 50_000_000})
+	w.bfs(m)
+	src := uint32(0)
+	for v, d := range w.vals {
+		if d == 0 {
+			src = uint32(v)
+			break
+		}
+	}
+	if w.vals[src] != 0 {
+		t.Fatalf("no BFS source found")
+	}
+	reached := 0
+	for _, d := range w.vals {
+		if d != inf {
+			reached++
+		}
+	}
+	if reached != int(g.N) {
+		t.Fatalf("BFS reached only %d/%d nodes of a connected grid", reached, g.N)
+	}
+}
+
+func TestSpecsCount(t *testing.T) {
+	specs := Specs()
+	if len(specs) != 30 {
+		t.Fatalf("got %d GAPBS specs, want 30", len(specs))
+	}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if seen[s.Name] {
+			t.Fatalf("duplicate spec %s", s.Name)
+		}
+		seen[s.Name] = true
+		if s.New == nil {
+			t.Fatalf("%s has no constructor", s.Name)
+		}
+	}
+}
+
+// TestCCLabelsConnectedGrid: on a connected grid every node must end up
+// with the same component label.
+func TestCCLabelsConnectedGrid(t *testing.T) {
+	g := Build("road", 1<<8, 4, 1)
+	w := NewWithGraph("cc", g, 3)
+	m := core.New(core.Config{CPU: platform.SKX2S().CPU, Device: &fixedDev{lat: 40}, MaxInstructions: 100_000_000})
+	w.components(m)
+	label := w.vals[0]
+	for v, l := range w.vals {
+		if l != label {
+			t.Fatalf("node %d has label %d, node 0 has %d (grid is connected)", v, l, label)
+		}
+	}
+}
+
+// TestTriangleCountMatchesBruteForce verifies TC on a small graph.
+func TestTriangleCountMatchesBruteForce(t *testing.T) {
+	g := Build("urand", 1<<7, 6, 5)
+	// Brute-force re-implementation of the kernel's ordered merge
+	// intersection, computed independently of the Machine plumbing.
+	brute := uint64(0)
+	for u := uint32(0); u < g.N; u++ {
+		for i := g.Offsets[u]; i < g.Offsets[u+1]; i++ {
+			v := g.Edges[i]
+			if v <= u {
+				continue
+			}
+			// Intersect adjacency of u and v (the kernel's merge).
+			a, b := g.Offsets[u], g.Offsets[v]
+			for a < g.Offsets[u+1] && b < g.Offsets[v+1] {
+				x, y := g.Edges[a], g.Edges[b]
+				switch {
+				case x == y:
+					brute++
+					a++
+					b++
+				case x < y:
+					a++
+				default:
+					b++
+				}
+			}
+		}
+	}
+	w := NewWithGraph("tc", g, 7)
+	m := core.New(core.Config{CPU: platform.SKX2S().CPU, Device: &fixedDev{lat: 40}, MaxInstructions: 1 << 40})
+	count := w.trianglesCount(m)
+	if count != brute {
+		t.Fatalf("kernel counted %d, brute force %d", count, brute)
+	}
+}
+
+// TestSSSPDistancesSane: distances must be 0 at the source and respect
+// edge relaxation (no distance larger than a neighbour's + max weight).
+func TestSSSPDistancesSane(t *testing.T) {
+	g := Build("road", 1<<8, 4, 1)
+	w := NewWithGraph("sssp", g, 11)
+	m := core.New(core.Config{CPU: platform.SKX2S().CPU, Device: &fixedDev{lat: 40}, MaxInstructions: 100_000_000})
+	w.sssp(m)
+	reached := 0
+	for u := uint32(0); u < g.N; u++ {
+		du := w.vals[u]
+		if du == inf {
+			continue
+		}
+		reached++
+		for i := g.Offsets[u]; i < g.Offsets[u+1]; i++ {
+			v := g.Edges[i]
+			wgt := (u^v)%7 + 1
+			if w.vals[v] != inf && w.vals[v] > du+wgt {
+				t.Fatalf("triangle inequality violated: d[%d]=%d > d[%d]=%d + %d",
+					v, w.vals[v], u, du, wgt)
+			}
+		}
+	}
+	if reached < 2 {
+		t.Fatalf("SSSP reached only %d nodes", reached)
+	}
+}

@@ -1,0 +1,160 @@
+// Package kvstore implements a Redis-like in-memory key-value store
+// that executes against the simulated machine: an open-addressing hash
+// table and a value log live in simulated memory, and every probe and
+// value transfer is a machine load/store. A YCSB driver (workloads A-F)
+// generates the operation mix the paper uses for Redis, VoltDB and
+// memcached (Figures 7c and 9b).
+package kvstore
+
+import (
+	"github.com/moatlab/melody/internal/core"
+	"github.com/moatlab/melody/internal/mem"
+	"github.com/moatlab/melody/internal/vm"
+)
+
+// Config sizes a store.
+type Config struct {
+	Keys      uint64 // populated records
+	ValueSize uint64 // bytes per value
+	// OpCompute is the per-operation command processing cost in
+	// instructions (parsing, dispatch, response).
+	OpCompute uint64
+	// OpILP is the ILP of that processing.
+	OpILP float64
+}
+
+// RedisConfig mirrors a Redis-style deployment under YCSB defaults
+// (1 KB values).
+func RedisConfig() Config {
+	return Config{Keys: 1 << 20, ValueSize: 1024, OpCompute: 1800, OpILP: 2.2}
+}
+
+// MemcachedConfig mirrors a memcached-style deployment (small values,
+// lighter protocol).
+func MemcachedConfig() Config {
+	return Config{Keys: 1 << 21, ValueSize: 128, OpCompute: 900, OpILP: 2.4}
+}
+
+type slot struct {
+	key     uint64 // 0 = empty
+	valAddr uint64
+}
+
+// Store is the functional KV store bound to simulated memory.
+type Store struct {
+	cfg     Config
+	arena   *vm.Arena
+	table   vm.Object
+	values  vm.Object
+	slots   []slot
+	nSlots  uint64
+	logHead uint64
+}
+
+// NewStore builds and populates a store (population is instantaneous —
+// it happens before the measured run, like YCSB's load phase).
+func NewStore(cfg Config) *Store {
+	nSlots := uint64(1)
+	for nSlots < cfg.Keys*2 {
+		nSlots <<= 1
+	}
+	s := &Store{cfg: cfg, nSlots: nSlots}
+	s.arena = vm.New(4 << 30)
+	s.table = s.arena.Alloc("hashtable", nSlots*16)
+	s.values = s.arena.Alloc("valuelog", (cfg.Keys+cfg.Keys/4)*cfg.ValueSize)
+	s.slots = make([]slot, nSlots)
+	for k := uint64(1); k <= cfg.Keys; k++ {
+		s.insert(k, s.allocValue())
+	}
+	return s
+}
+
+// Arena exposes the store's objects for placement experiments.
+func (s *Store) Arena() *vm.Arena { return s.arena }
+
+func (s *Store) allocValue() uint64 {
+	addr := s.values.Base + s.logHead
+	s.logHead = (s.logHead + s.cfg.ValueSize) % s.values.Size
+	return addr
+}
+
+func hashKey(k uint64) uint64 {
+	k ^= k >> 33
+	k *= 0xff51afd7ed558ccd
+	k ^= k >> 33
+	return k
+}
+
+// insert adds a key without simulation (load phase only).
+func (s *Store) insert(key, valAddr uint64) {
+	h := hashKey(key) & (s.nSlots - 1)
+	for s.slots[h].key != 0 && s.slots[h].key != key {
+		h = (h + 1) & (s.nSlots - 1)
+	}
+	s.slots[h] = slot{key: key, valAddr: valAddr}
+}
+
+func (s *Store) slotAddr(h uint64) uint64 { return s.table.Base + h*16 }
+
+// lookup probes the table through the machine and returns the slot
+// index; found is false for absent keys.
+func (s *Store) lookup(m *core.Machine, key uint64) (idx uint64, found bool) {
+	h := hashKey(key) & (s.nSlots - 1)
+	for probes := 0; probes < 64; probes++ {
+		// The probe address depends on the hash computation and, for
+		// collisions, on having read the previous slot: dependent.
+		m.Load(s.slotAddr(h), true)
+		m.Compute(6)
+		sl := s.slots[h]
+		if sl.key == key {
+			return h, true
+		}
+		if sl.key == 0 {
+			return h, false
+		}
+		h = (h + 1) & (s.nSlots - 1)
+	}
+	return h, false
+}
+
+// Get reads a value through the machine.
+func (s *Store) Get(m *core.Machine, key uint64) bool {
+	idx, ok := s.lookup(m, key)
+	if !ok {
+		return false
+	}
+	addr := s.slots[idx].valAddr
+	lines := (s.cfg.ValueSize + mem.LineSize - 1) / mem.LineSize
+	for i := uint64(0); i < lines; i++ {
+		// First line is pointer-dependent on the slot; the rest stream.
+		m.Load(addr+i*mem.LineSize, i == 0)
+	}
+	m.Compute(lines * 4) // copy into the response buffer
+	return true
+}
+
+// Set writes (or overwrites) a value through the machine. Overwrites
+// allocate fresh log space like Redis' SDS reallocation under YCSB's
+// full-value updates.
+func (s *Store) Set(m *core.Machine, key uint64) {
+	idx, _ := s.lookup(m, key)
+	addr := s.allocValue()
+	lines := (s.cfg.ValueSize + mem.LineSize - 1) / mem.LineSize
+	for i := uint64(0); i < lines; i++ {
+		m.Store(addr + i*mem.LineSize)
+	}
+	s.slots[idx] = slot{key: key, valAddr: addr}
+	m.Store(s.slotAddr(idx))
+	m.Compute(lines * 3)
+}
+
+// Scan reads n consecutive values starting at key (YCSB-E).
+func (s *Store) Scan(m *core.Machine, key uint64, n int) {
+	for i := 0; i < n; i++ {
+		k := key + uint64(i)
+		if k > s.cfg.Keys {
+			break
+		}
+		s.Get(m, k)
+	}
+}

@@ -1,0 +1,131 @@
+package kvstore
+
+import (
+	"testing"
+
+	"github.com/moatlab/melody/internal/core"
+	"github.com/moatlab/melody/internal/counters"
+	"github.com/moatlab/melody/internal/mem"
+	"github.com/moatlab/melody/internal/platform"
+)
+
+type fixedDev struct{ lat float64 }
+
+func (d *fixedDev) Access(now float64, addr uint64, kind mem.Kind) float64 {
+	if kind == mem.Write {
+		return now + d.lat/4
+	}
+	return now + d.lat
+}
+func (d *fixedDev) Name() string           { return "fixed" }
+func (d *fixedDev) Reset()                 {}
+func (d *fixedDev) Stats() mem.DeviceStats { return mem.DeviceStats{} }
+
+func smallConfig() Config {
+	return Config{Keys: 1 << 12, ValueSize: 256, OpCompute: 400, OpILP: 2}
+}
+
+func newMachine(lat float64) *core.Machine {
+	return core.New(core.Config{CPU: platform.SKX2S().CPU, Device: &fixedDev{lat: lat}, MaxInstructions: 100_000})
+}
+
+func TestGetFindsPopulatedKeys(t *testing.T) {
+	s := NewStore(smallConfig())
+	m := newMachine(100)
+	for k := uint64(1); k <= 100; k++ {
+		if !s.Get(m, k) {
+			t.Fatalf("key %d missing after load phase", k)
+		}
+	}
+	if s.Get(m, 1<<40) {
+		t.Fatal("absent key found")
+	}
+}
+
+func TestSetThenGet(t *testing.T) {
+	s := NewStore(smallConfig())
+	m := newMachine(100)
+	s.Set(m, 7)
+	if !s.Get(m, 7) {
+		t.Fatal("key lost after Set")
+	}
+}
+
+func TestOperationsTouchMemory(t *testing.T) {
+	s := NewStore(smallConfig())
+	m := newMachine(100)
+	before := m.Counters()
+	s.Get(m, 42)
+	d := m.Counters().Delta(before)
+	// At least one probe plus value lines (256B = 4 lines).
+	if d[counters.DemandLoads] < 5 {
+		t.Fatalf("Get issued only %v loads", d[counters.DemandLoads])
+	}
+	before = m.Counters()
+	s.Set(m, 42)
+	d = m.Counters().Delta(before)
+	if d[counters.StoreOps] < 4 {
+		t.Fatalf("Set issued only %v stores", d[counters.StoreOps])
+	}
+}
+
+func TestScanReadsSequentially(t *testing.T) {
+	s := NewStore(smallConfig())
+	m := newMachine(100)
+	before := m.Counters()
+	s.Scan(m, 10, 8)
+	d := m.Counters().Delta(before)
+	if d[counters.DemandLoads] < 8*4 {
+		t.Fatalf("Scan of 8x256B issued only %v loads", d[counters.DemandLoads])
+	}
+}
+
+func TestYCSBRunsAllMixes(t *testing.T) {
+	for name, mix := range YCSBMixes() {
+		y := NewYCSB("t-"+name, smallConfig(), mix, 1)
+		m := newMachine(150)
+		y.Run(m)
+		if m.Instructions() < 100_000 {
+			t.Fatalf("mix %s ran %d instructions", name, m.Instructions())
+		}
+	}
+}
+
+func TestYCSBOpLatencyRecording(t *testing.T) {
+	y := NewYCSB("t", smallConfig(), YCSBMixes()["C"], 1)
+	y.RecordOpLatency = true
+	m := newMachine(200)
+	y.Run(m)
+	if len(y.OpLatenciesNs) < 10 {
+		t.Fatalf("recorded %d op latencies", len(y.OpLatenciesNs))
+	}
+	for _, l := range y.OpLatenciesNs {
+		if l <= 0 {
+			t.Fatal("non-positive op latency")
+		}
+	}
+}
+
+func TestYCSBLatencySensitivity(t *testing.T) {
+	run := func(lat float64) float64 {
+		y := NewYCSB("t", smallConfig(), YCSBMixes()["C"], 1)
+		m := newMachine(lat)
+		y.Run(m)
+		return m.Counters()[counters.Cycles]
+	}
+	if fast, slow := run(100), run(400); slow <= fast*1.05 {
+		t.Fatalf("4x memory latency barely slowed YCSB-C: %v vs %v", fast, slow)
+	}
+}
+
+func TestSpecsShape(t *testing.T) {
+	specs := Specs()
+	if len(specs) != 8 {
+		t.Fatalf("got %d kvstore specs, want 8 (6 redis + 2 memcached)", len(specs))
+	}
+	for _, s := range specs {
+		if s.New == nil || s.Suite != "Redis" {
+			t.Fatalf("bad spec %+v", s)
+		}
+	}
+}

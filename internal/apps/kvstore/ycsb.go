@@ -1,0 +1,146 @@
+package kvstore
+
+import (
+	"github.com/moatlab/melody/internal/core"
+	"github.com/moatlab/melody/internal/sim"
+	"github.com/moatlab/melody/internal/vm"
+	"github.com/moatlab/melody/internal/workload"
+)
+
+// Mix is a YCSB operation mix.
+type Mix struct {
+	Read, Update, Insert, Scan, RMW float64 // fractions; sum to 1
+	ScanLen                         int
+	// Latest biases the key distribution toward recent inserts (YCSB-D).
+	Latest bool
+}
+
+// YCSBMixes returns the standard workloads A-F.
+func YCSBMixes() map[string]Mix {
+	return map[string]Mix{
+		"A": {Read: 0.5, Update: 0.5},
+		"B": {Read: 0.95, Update: 0.05},
+		"C": {Read: 1.0},
+		"D": {Read: 0.95, Insert: 0.05, Latest: true},
+		"E": {Scan: 0.95, Insert: 0.05, ScanLen: 16},
+		"F": {Read: 0.5, RMW: 0.5},
+	}
+}
+
+// YCSB drives a Store with one mix.
+type YCSB struct {
+	name   string
+	store  *Store
+	mix    Mix
+	rng    *sim.Rand
+	zipf   *sim.Zipf
+	maxKey uint64
+
+	// RecordOpLatency enables per-operation latency capture (the
+	// request-level tail measurements of Figure 7c).
+	RecordOpLatency bool
+	OpLatenciesNs   []float64
+}
+
+var _ workload.Workload = (*YCSB)(nil)
+
+// NewYCSB builds a driver over a fresh store.
+func NewYCSB(name string, cfg Config, mix Mix, seed uint64) *YCSB {
+	r := sim.NewRand(seed)
+	return &YCSB{
+		name:   name,
+		store:  NewStore(cfg),
+		mix:    mix,
+		rng:    r,
+		zipf:   sim.NewZipf(r.Fork(), cfg.Keys, 0.99),
+		maxKey: cfg.Keys,
+	}
+}
+
+// Name implements workload.Workload.
+func (y *YCSB) Name() string { return y.name }
+
+// Store exposes the underlying store (for placement experiments).
+func (y *YCSB) Store() *Store { return y.store }
+
+// PreloadObjects implements workload.Preloader: the hash table is hot
+// in steady state; values are too large to stay resident.
+func (y *YCSB) PreloadObjects() []vm.Object {
+	return []vm.Object{y.store.table}
+}
+
+// nextKey draws a key per the mix's distribution.
+func (y *YCSB) nextKey() uint64 {
+	if y.mix.Latest {
+		// Recent keys are hot: reverse the Zipf rank from the top.
+		return y.maxKey - y.zipf.Next()
+	}
+	return y.zipf.Next() + 1
+}
+
+// Run implements workload.Workload.
+func (y *YCSB) Run(m *core.Machine) {
+	s := y.store
+	half := s.cfg.OpCompute / 2
+	for !m.Done() {
+		opStart := m.TimeNs()
+		// Request parse half, operation, response half.
+		m.ComputeILP(half, s.cfg.OpILP)
+		p := y.rng.Float64()
+		mix := y.mix
+		switch {
+		case p < mix.Read:
+			s.Get(m, y.nextKey())
+		case p < mix.Read+mix.Update:
+			s.Set(m, y.nextKey())
+		case p < mix.Read+mix.Update+mix.Insert:
+			y.maxKey++
+			s.insert(y.maxKey, s.allocValue())
+			s.Set(m, y.maxKey)
+		case p < mix.Read+mix.Update+mix.Insert+mix.Scan:
+			s.Scan(m, y.nextKey(), mix.ScanLen)
+		default: // read-modify-write
+			key := y.nextKey()
+			s.Get(m, key)
+			m.ComputeILP(200, s.cfg.OpILP)
+			s.Set(m, key)
+		}
+		m.ComputeILP(half, s.cfg.OpILP)
+		if y.RecordOpLatency {
+			y.OpLatenciesNs = append(y.OpLatenciesNs, m.TimeNs()-opStart)
+		}
+	}
+}
+
+// Specs returns the Redis YCSB A-F and memcached entries.
+func Specs() []workload.Spec {
+	var out []workload.Spec
+	for _, wl := range []string{"A", "B", "C", "D", "E", "F"} {
+		wl := wl
+		out = append(out, workload.Spec{
+			Name:  "redis-ycsb-" + wl,
+			Suite: "Redis",
+			Class: workload.ClassLatency,
+			New: func(seed uint64) workload.Workload {
+				return NewYCSB("redis-ycsb-"+wl, RedisConfig(), YCSBMixes()[wl], seed)
+			},
+			Siblings: workload.Siblings{Threads: 7, ReadFrac: 0.9, MLP: 4, DelayNs: 250, WorkingSetMB: 256},
+		})
+	}
+	for _, wl := range []string{"A", "C"} {
+		wl := wl
+		out = append(out, workload.Spec{
+			Name:  "memcached-ycsb-" + wl,
+			Suite: "Redis",
+			Class: workload.ClassLatency,
+			New: func(seed uint64) workload.Workload {
+				return NewYCSB("memcached-ycsb-"+wl, MemcachedConfig(), YCSBMixes()[wl], seed)
+			},
+			Siblings: workload.Siblings{Threads: 7, ReadFrac: 0.95, MLP: 4, DelayNs: 250, WorkingSetMB: 256},
+		})
+	}
+	return out
+}
+
+// Register adds the KV-store specs to the workload catalog.
+func Register() { workload.RegisterApps(Specs()) }

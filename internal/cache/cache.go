@@ -1,0 +1,182 @@
+// Package cache implements the set-associative cache model used for the
+// simulated L1D/L2/LLC hierarchy. Lines carry a readiness timestamp so
+// in-flight fills (demand misses and prefetches) live in the cache as
+// *pending* lines: a hit on a pending line is the paper's "delayed hit",
+// the mechanism behind CXL-induced cache-level stalls (§5.4).
+package cache
+
+import "github.com/moatlab/melody/internal/mem"
+
+// Cache is one level of the hierarchy. Not safe for concurrent use.
+type Cache struct {
+	sets, ways int
+
+	// Per-entry state, indexed by set*ways+way. A line's entry stores
+	// the full line number (addr / LineSize) + 1, with 0 = invalid, so
+	// evictions can reconstruct victim addresses.
+	lines []uint64
+	ready []float64 // time the line's data is available (ns)
+	dirty []bool
+	tick  []uint64 // LRU clock values
+
+	clock uint64
+
+	hits, misses uint64
+}
+
+// New builds a cache of the given total size and associativity. Size is
+// rounded down to a whole number of sets. It panics if the geometry is
+// degenerate.
+func New(sizeBytes uint64, ways int) *Cache {
+	if ways <= 0 || sizeBytes < uint64(ways)*mem.LineSize {
+		panic("cache: invalid geometry")
+	}
+	sets := int(sizeBytes / mem.LineSize / uint64(ways))
+	if sets < 1 {
+		sets = 1
+	}
+	c := &Cache{sets: sets, ways: ways}
+	c.alloc()
+	return c
+}
+
+func (c *Cache) alloc() {
+	n := c.sets * c.ways
+	c.lines = make([]uint64, n)
+	c.ready = make([]float64, n)
+	c.dirty = make([]bool, n)
+	c.tick = make([]uint64, n)
+	c.clock = 0
+	c.hits, c.misses = 0, 0
+}
+
+// Reset invalidates every line and clears statistics.
+func (c *Cache) Reset() {
+	for i := range c.lines {
+		c.lines[i] = 0
+		c.ready[i] = 0
+		c.dirty[i] = false
+		c.tick[i] = 0
+	}
+	c.clock = 0
+	c.hits, c.misses = 0, 0
+}
+
+// Sets and Ways expose the geometry.
+func (c *Cache) Sets() int { return c.sets }
+func (c *Cache) Ways() int { return c.ways }
+
+// Hits and Misses expose lookup statistics.
+func (c *Cache) Hits() uint64   { return c.hits }
+func (c *Cache) Misses() uint64 { return c.misses }
+
+// set returns the set index for addr. The set bits are taken directly
+// above the line offset; bank-style hashing is unnecessary at cache
+// granularity.
+func (c *Cache) set(addr uint64) int {
+	return int((addr / mem.LineSize) % uint64(c.sets))
+}
+
+// Probe looks addr up and returns the entry index on a hit. It counts
+// hit/miss statistics and refreshes LRU state on hits.
+func (c *Cache) Probe(addr uint64) (entry int, hit bool) {
+	line := addr/mem.LineSize + 1
+	base := c.set(addr) * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.lines[base+w] == line {
+			c.clock++
+			c.tick[base+w] = c.clock
+			c.hits++
+			return base + w, true
+		}
+	}
+	c.misses++
+	return -1, false
+}
+
+// Peek is Probe without statistics or LRU updates (for prefetcher
+// filtering).
+func (c *Cache) Peek(addr uint64) (entry int, hit bool) {
+	line := addr/mem.LineSize + 1
+	base := c.set(addr) * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.lines[base+w] == line {
+			return base + w, true
+		}
+	}
+	return -1, false
+}
+
+// ReadyAt returns when the entry's data is available.
+func (c *Cache) ReadyAt(entry int) float64 { return c.ready[entry] }
+
+// SetReady overrides the entry's availability time.
+func (c *Cache) SetReady(entry int, t float64) { c.ready[entry] = t }
+
+// MarkDirty marks the entry's line dirty.
+func (c *Cache) MarkDirty(entry int) { c.dirty[entry] = true }
+
+// IsDirty reports whether the entry is dirty.
+func (c *Cache) IsDirty(entry int) bool { return c.dirty[entry] }
+
+// Victim holds the line evicted by an Insert.
+type Victim struct {
+	Addr    uint64
+	Dirty   bool
+	Evicted bool
+}
+
+// Insert installs addr with the given readiness time, evicting the LRU
+// way of its set if needed. Inserting an already-present line refreshes
+// it in place (keeping its dirty bit).
+func (c *Cache) Insert(addr uint64, readyAt float64, dirty bool) Victim {
+	line := addr/mem.LineSize + 1
+	base := c.set(addr) * c.ways
+	victimWay := 0
+	oldest := ^uint64(0)
+	for w := 0; w < c.ways; w++ {
+		e := base + w
+		if c.lines[e] == line {
+			c.clock++
+			c.tick[e] = c.clock
+			if readyAt < c.ready[e] {
+				c.ready[e] = readyAt
+			}
+			if dirty {
+				c.dirty[e] = true
+			}
+			return Victim{}
+		}
+		if c.lines[e] == 0 {
+			// Prefer invalid ways outright.
+			victimWay = w
+			oldest = 0
+		} else if c.tick[e] < oldest {
+			victimWay = w
+			oldest = c.tick[e]
+		}
+	}
+	e := base + victimWay
+	var v Victim
+	if c.lines[e] != 0 {
+		v = Victim{Addr: (c.lines[e] - 1) * mem.LineSize, Dirty: c.dirty[e], Evicted: true}
+	}
+	c.clock++
+	c.lines[e] = line
+	c.ready[e] = readyAt
+	c.dirty[e] = dirty
+	c.tick[e] = c.clock
+	return v
+}
+
+// Invalidate drops addr if present, returning its victim record.
+func (c *Cache) Invalidate(addr uint64) Victim {
+	if e, ok := c.Peek(addr); ok {
+		v := Victim{Addr: addr / mem.LineSize * mem.LineSize, Dirty: c.dirty[e], Evicted: true}
+		c.lines[e] = 0
+		c.dirty[e] = false
+		c.ready[e] = 0
+		return v
+	}
+	return Victim{}
+}

@@ -1,0 +1,181 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/moatlab/melody/internal/mem"
+)
+
+func TestProbeMissThenHit(t *testing.T) {
+	c := New(32<<10, 8)
+	if _, hit := c.Probe(0x1000); hit {
+		t.Fatal("cold cache hit")
+	}
+	c.Insert(0x1000, 10, false)
+	e, hit := c.Probe(0x1000)
+	if !hit {
+		t.Fatal("miss after insert")
+	}
+	if c.ReadyAt(e) != 10 {
+		t.Fatalf("ReadyAt = %v, want 10", c.ReadyAt(e))
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Fatalf("hits/misses = %d/%d", c.Hits(), c.Misses())
+	}
+}
+
+func TestSameLineDifferentOffsets(t *testing.T) {
+	c := New(32<<10, 8)
+	c.Insert(0x1000, 0, false)
+	if _, hit := c.Probe(0x103F); !hit {
+		t.Fatal("offset within line missed")
+	}
+	if _, hit := c.Probe(0x1040); hit {
+		t.Fatal("next line hit")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Single-set cache with 2 ways: third distinct line evicts the LRU.
+	c := New(2*mem.LineSize, 2)
+	setStride := uint64(c.Sets()) * mem.LineSize
+	a, b, d := uint64(0), setStride, 2*setStride
+	c.Insert(a, 0, false)
+	c.Insert(b, 0, false)
+	c.Probe(a) // make b the LRU
+	v := c.Insert(d, 0, false)
+	if !v.Evicted || v.Addr != b {
+		t.Fatalf("evicted %+v, want line b (%#x)", v, b)
+	}
+	if _, hit := c.Peek(a); !hit {
+		t.Fatal("recently used line evicted")
+	}
+}
+
+func TestDirtyEviction(t *testing.T) {
+	c := New(2*mem.LineSize, 2)
+	setStride := uint64(c.Sets()) * mem.LineSize
+	c.Insert(0, 0, true)
+	c.Insert(setStride, 0, false)
+	v := c.Insert(2*setStride, 0, false)
+	if !v.Evicted || !v.Dirty {
+		t.Fatalf("dirty victim not reported: %+v", v)
+	}
+}
+
+func TestInsertExistingRefreshes(t *testing.T) {
+	c := New(32<<10, 8)
+	c.Insert(0x2000, 100, false)
+	v := c.Insert(0x2000, 50, true)
+	if v.Evicted {
+		t.Fatal("re-insert evicted something")
+	}
+	e, _ := c.Peek(0x2000)
+	if c.ReadyAt(e) != 50 {
+		t.Fatalf("ReadyAt not lowered: %v", c.ReadyAt(e))
+	}
+	if !c.IsDirty(e) {
+		t.Fatal("dirty bit lost on refresh")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(32<<10, 8)
+	c.Insert(0x3000, 0, true)
+	v := c.Invalidate(0x3000)
+	if !v.Evicted || !v.Dirty {
+		t.Fatalf("Invalidate = %+v", v)
+	}
+	if _, hit := c.Peek(0x3000); hit {
+		t.Fatal("line survives invalidate")
+	}
+	if v := c.Invalidate(0x9999000); v.Evicted {
+		t.Fatal("invalidate of absent line reported eviction")
+	}
+}
+
+func TestResetClears(t *testing.T) {
+	c := New(32<<10, 8)
+	for i := uint64(0); i < 100; i++ {
+		c.Insert(i*mem.LineSize, 0, true)
+	}
+	c.Reset()
+	if c.Hits() != 0 || c.Misses() != 0 {
+		t.Fatal("stats survived Reset")
+	}
+	if _, hit := c.Probe(0); hit {
+		t.Fatal("line survived Reset")
+	}
+}
+
+func TestCapacityProperty(t *testing.T) {
+	// Inserting exactly capacity distinct lines with perfect set balance
+	// must keep them all resident.
+	c := New(16<<10, 4) // 64 sets * 4 ways = 256 lines
+	n := uint64(c.Sets() * c.Ways())
+	for i := uint64(0); i < n; i++ {
+		c.Insert(i*mem.LineSize, 0, false)
+	}
+	for i := uint64(0); i < n; i++ {
+		if _, hit := c.Peek(i * mem.LineSize); !hit {
+			t.Fatalf("line %d evicted below capacity", i)
+		}
+	}
+}
+
+func TestWorkingSetBeyondCapacityMisses(t *testing.T) {
+	c := New(16<<10, 4)
+	lines := uint64(c.Sets()*c.Ways()) * 4 // 4x capacity
+	// Two sweeps: second sweep over 4x capacity should still miss a lot.
+	for sweep := 0; sweep < 2; sweep++ {
+		for i := uint64(0); i < lines; i++ {
+			if _, hit := c.Probe(i * mem.LineSize); !hit {
+				c.Insert(i*mem.LineSize, 0, false)
+			}
+		}
+	}
+	missRate := float64(c.Misses()) / float64(c.Hits()+c.Misses())
+	if missRate < 0.9 {
+		t.Fatalf("streaming over 4x capacity: miss rate %v, want ~1", missRate)
+	}
+}
+
+func TestPanicOnDegenerate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("degenerate geometry accepted")
+		}
+	}()
+	New(64, 2) // 64 bytes with 2 ways: under one line per way
+}
+
+func TestProbeInsertConsistencyProperty(t *testing.T) {
+	f := func(addrsRaw []uint32) bool {
+		c := New(8<<10, 4)
+		present := map[uint64]bool{}
+		order := []uint64{}
+		for _, a := range addrsRaw {
+			addr := uint64(a) &^ (mem.LineSize - 1)
+			v := c.Insert(addr, 0, false)
+			if v.Evicted {
+				delete(present, v.Addr)
+			}
+			if !present[addr] {
+				present[addr] = true
+				order = append(order, addr)
+			}
+		}
+		// Everything the model says is present must Peek-hit.
+		for addr := range present {
+			if _, hit := c.Peek(addr); !hit {
+				return false
+			}
+		}
+		_ = order
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,142 @@
+// Package counters defines the performance-counter vocabulary of the
+// paper's Table 2 — the nine stall-related CPU counters Spa consumes —
+// plus the prefetch-path counters used by the Figure 12 analysis. The
+// core model (package core) accumulates these mechanistically while
+// executing a workload; Spa (package spa) differences two snapshots.
+package counters
+
+import "fmt"
+
+// ID indexes a counter in a Snapshot.
+type ID int
+
+// The Spa counter set (paper Table 2, P1-P9) followed by supporting
+// counters.
+const (
+	// BoundOnLoads (P1) counts cycles stalled while the memory
+	// subsystem has at least one outstanding demand load
+	// (EXE_ACTIVITY.BOUND_ON_LOADS).
+	BoundOnLoads ID = iota
+	// BoundOnStores (P2) counts cycles stalled with a full store buffer
+	// and no outstanding loads (EXE_ACTIVITY.BOUND_ON_STORES).
+	BoundOnStores
+	// StallsL1DMiss (P3) counts cycles while an L1-miss demand load is
+	// outstanding (CYCLE_ACTIVITY.STALLS_L1D_MISS).
+	StallsL1DMiss
+	// StallsL2Miss (P4) counts cycles while an L2-miss demand load is
+	// outstanding (CYCLE_ACTIVITY.STALLS_L2_MISS).
+	StallsL2Miss
+	// StallsL3Miss (P5) counts cycles while an L3-miss demand load is
+	// outstanding (CYCLE_ACTIVITY.STALLS_L3_MISS).
+	StallsL3Miss
+	// RetiredStalls (P6) counts cycles without retired µops
+	// (UOPS_RETIRED.STALLS).
+	RetiredStalls
+	// OnePortsUtil (P7) counts cycles with exactly 1 µop executed
+	// across all ports (EXE_ACTIVITY.1_PORTS_UTIL).
+	OnePortsUtil
+	// TwoPortsUtil (P8) counts cycles with exactly 2 µops executed
+	// (EXE_ACTIVITY.2_PORTS_UTIL).
+	TwoPortsUtil
+	// StallsScoreboard (P9) counts cycles stalled on serializing
+	// operations (RESOURCE_STALLS.SCOREBOARD).
+	StallsScoreboard
+
+	// Cycles is the total core cycle count.
+	Cycles
+	// Instructions is the retired instruction count.
+	Instructions
+
+	// L1PFL3Miss counts L1-prefetcher requests that missed the LLC and
+	// fetched from (CXL) DRAM.
+	L1PFL3Miss
+	// L2PFL3Miss counts L2-prefetcher requests that missed the LLC.
+	L2PFL3Miss
+	// L2PFL3Hit counts L2-prefetcher requests that hit the LLC.
+	L2PFL3Hit
+	// L1PFIssued and L2PFIssued count prefetches issued by each engine.
+	L1PFIssued
+	L2PFIssued
+	// L2PFDropped counts L2 prefetches skipped because the prefetcher's
+	// in-flight budget was exhausted — the coverage-loss mechanism the
+	// paper identifies under CXL latency (§5.4, Figure 12b).
+	L2PFDropped
+	// DemandL3Miss counts demand reads that missed the LLC.
+	DemandL3Miss
+	// DemandLoads and StoreOps count memory operations executed.
+	DemandLoads
+	StoreOps
+	// DelayedHits counts demand loads that hit on an in-flight
+	// (pending) line — the paper's delayed-hit phenomenon.
+	DelayedHits
+
+	NumCounters
+)
+
+// names holds the printable counter names.
+var names = [NumCounters]string{
+	"BOUND_ON_LOADS", "BOUND_ON_STORES",
+	"STALLS_L1D_MISS", "STALLS_L2_MISS", "STALLS_L3_MISS",
+	"RETIRED.STALLS", "1_PORTS_UTIL", "2_PORTS_UTIL", "STALLS.SCOREBD",
+	"CYCLES", "INSTRUCTIONS",
+	"L1PF_L3_MISS", "L2PF_L3_MISS", "L2PF_L3_HIT",
+	"L1PF_ISSUED", "L2PF_ISSUED", "L2PF_DROPPED",
+	"DEMAND_L3_MISS", "DEMAND_LOADS", "STORE_OPS", "DELAYED_HITS",
+}
+
+// String implements fmt.Stringer.
+func (id ID) String() string {
+	if id < 0 || id >= NumCounters {
+		return fmt.Sprintf("counter(%d)", int(id))
+	}
+	return names[id]
+}
+
+// SpaSet returns the nine counters of Table 2 in P1..P9 order.
+func SpaSet() []ID {
+	return []ID{
+		BoundOnLoads, BoundOnStores,
+		StallsL1DMiss, StallsL2Miss, StallsL3Miss,
+		RetiredStalls, OnePortsUtil, TwoPortsUtil, StallsScoreboard,
+	}
+}
+
+// Snapshot is one reading of all counters. Values are in cycles for
+// stall counters and in events for the rest; float64 because the core
+// model accounts fractional cycles.
+type Snapshot [NumCounters]float64
+
+// Delta returns s - base, element-wise.
+func (s Snapshot) Delta(base Snapshot) Snapshot {
+	var d Snapshot
+	for i := range s {
+		d[i] = s[i] - base[i]
+	}
+	return d
+}
+
+// Add returns s + o, element-wise.
+func (s Snapshot) Add(o Snapshot) Snapshot {
+	var d Snapshot
+	for i := range s {
+		d[i] = s[i] + o[i]
+	}
+	return d
+}
+
+// Scale returns s * k, element-wise.
+func (s Snapshot) Scale(k float64) Snapshot {
+	var d Snapshot
+	for i := range s {
+		d[i] = s[i] * k
+	}
+	return d
+}
+
+// IPC returns instructions per cycle (0 if no cycles).
+func (s Snapshot) IPC() float64 {
+	if s[Cycles] == 0 {
+		return 0
+	}
+	return s[Instructions] / s[Cycles]
+}

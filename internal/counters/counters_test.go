@@ -1,0 +1,77 @@
+package counters
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpaSetOrder(t *testing.T) {
+	set := SpaSet()
+	if len(set) != 9 {
+		t.Fatalf("SpaSet has %d counters, want 9", len(set))
+	}
+	want := []ID{BoundOnLoads, BoundOnStores, StallsL1DMiss, StallsL2Miss,
+		StallsL3Miss, RetiredStalls, OnePortsUtil, TwoPortsUtil, StallsScoreboard}
+	for i, id := range set {
+		if id != want[i] {
+			t.Fatalf("SpaSet[%d] = %v, want %v", i, id, want[i])
+		}
+	}
+}
+
+func TestStringNames(t *testing.T) {
+	for id := ID(0); id < NumCounters; id++ {
+		s := id.String()
+		if s == "" || strings.HasPrefix(s, "counter(") {
+			t.Fatalf("counter %d has no name", id)
+		}
+	}
+	if ID(-1).String() != "counter(-1)" {
+		t.Fatal("out-of-range String wrong")
+	}
+}
+
+func TestDeltaAddInverse(t *testing.T) {
+	// Counter values are event counts, so constrain the fuzz range to
+	// exactly-representable integers where (s1+s2)-s2 == s1 holds.
+	f := func(a, b [4]uint32) bool {
+		var s1, s2 Snapshot
+		for i := 0; i < 4; i++ {
+			s1[i] = float64(a[i])
+			s2[i] = float64(b[i])
+		}
+		got := s1.Add(s2).Delta(s2)
+		for i := range got {
+			if got[i] != s1[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScale(t *testing.T) {
+	var s Snapshot
+	s[Cycles] = 10
+	s[Instructions] = 40
+	half := s.Scale(0.5)
+	if half[Cycles] != 5 || half[Instructions] != 20 {
+		t.Fatalf("Scale = %+v", half)
+	}
+}
+
+func TestIPC(t *testing.T) {
+	var s Snapshot
+	if s.IPC() != 0 {
+		t.Fatal("zero-cycle IPC should be 0")
+	}
+	s[Cycles] = 100
+	s[Instructions] = 250
+	if got := s.IPC(); got != 2.5 {
+		t.Fatalf("IPC = %v", got)
+	}
+}

@@ -1,0 +1,114 @@
+package cxl
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CPMU models the CXL Performance Monitoring Unit introduced in CXL 3.0
+// — the white-box visibility the paper asks for when reasoning about
+// tail latencies ("no tools exist to pinpoint tail latencies... this
+// would require the CXL MC to expose detailed performance counters,
+// potentially through the upcoming CPMU", §3.2). The simulated device
+// can attribute every request's latency to pipeline components, so the
+// CPMU exposes exactly the breakdown a future real device could:
+// link transmission, transaction-layer/scheduler wait (including hiccup
+// and thermal stalls), media (DRAM) service, and response return.
+type CPMU struct {
+	enabled bool
+
+	// Per-component accumulated nanoseconds across requests.
+	LinkReqNs   float64 // request flit transmission + propagation
+	SchedWaitNs float64 // transaction layer, hiccup, and thermal waits
+	MediaNs     float64 // DRAM bank/bus service
+	LinkRspNs   float64 // response flit transmission + propagation
+	Requests    uint64
+
+	// HiccupStalls/ThermalStalls count requests delayed by each
+	// governor.
+	HiccupStalls  uint64
+	ThermalStalls uint64
+
+	// hist collects end-to-end request latencies for percentile
+	// queries, capped to bound memory.
+	hist []float64
+}
+
+// cpmuMaxSamples bounds the latency histogram.
+const cpmuMaxSamples = 262144
+
+// Enable turns the monitoring unit on (off by default: a real CPMU is
+// programmed explicitly, and sampling costs memory).
+func (c *CPMU) Enable() { c.enabled = true }
+
+// Enabled reports the monitoring state.
+func (c *CPMU) Enabled() bool { return c.enabled }
+
+// reset clears all counters.
+func (c *CPMU) reset() {
+	on := c.enabled
+	*c = CPMU{enabled: on}
+}
+
+// record attributes one request's component times.
+func (c *CPMU) record(linkReq, schedWait, media, linkRsp float64, hiccup, thermal bool) {
+	if !c.enabled {
+		return
+	}
+	c.LinkReqNs += linkReq
+	c.SchedWaitNs += schedWait
+	c.MediaNs += media
+	c.LinkRspNs += linkRsp
+	c.Requests++
+	if hiccup {
+		c.HiccupStalls++
+	}
+	if thermal {
+		c.ThermalStalls++
+	}
+	if len(c.hist) < cpmuMaxSamples {
+		c.hist = append(c.hist, linkReq+schedWait+media+linkRsp)
+	}
+}
+
+// Breakdown returns the average per-request nanoseconds spent in each
+// component: link request path, scheduler wait, media, link response.
+func (c *CPMU) Breakdown() (linkReq, schedWait, media, linkRsp float64) {
+	if c.Requests == 0 {
+		return 0, 0, 0, 0
+	}
+	n := float64(c.Requests)
+	return c.LinkReqNs / n, c.SchedWaitNs / n, c.MediaNs / n, c.LinkRspNs / n
+}
+
+// Percentile returns the p-th percentile of device-internal request
+// latency (excluding CPU-side overheads).
+func (c *CPMU) Percentile(p float64) float64 {
+	if len(c.hist) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), c.hist...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// String renders the white-box summary.
+func (c *CPMU) String() string {
+	lr, sw, md, lp := c.Breakdown()
+	return fmt.Sprintf("CPMU{n=%d linkReq=%.1f sched=%.1f media=%.1f linkRsp=%.1f ns; hiccup=%d thermal=%d; p50=%.0f p99.9=%.0f}",
+		c.Requests, lr, sw, md, lp, c.HiccupStalls, c.ThermalStalls,
+		c.Percentile(50), c.Percentile(99.9))
+}

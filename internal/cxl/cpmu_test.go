@@ -1,0 +1,98 @@
+package cxl
+
+import (
+	"math"
+	"testing"
+
+	"github.com/moatlab/melody/internal/mem"
+	"github.com/moatlab/melody/internal/sim"
+)
+
+func TestCPMUDisabledByDefault(t *testing.T) {
+	d := New(ProfileB(), 1)
+	d.Access(0, 0, mem.DemandRead)
+	if d.PMU().Requests != 0 {
+		t.Fatal("CPMU recorded while disabled")
+	}
+}
+
+func TestCPMUBreakdownSumsToLatency(t *testing.T) {
+	p := quietProfile()
+	d := New(p, 1)
+	d.PMU().Enable()
+	now := 0.0
+	r := sim.NewRand(3)
+	var totalLat float64
+	const n = 2000
+	for i := 0; i < n; i++ {
+		done := d.Access(now, r.Uint64n(1<<32), mem.DemandRead)
+		totalLat += done - now
+		now = done + 50
+	}
+	pmu := d.PMU()
+	if pmu.Requests != n {
+		t.Fatalf("CPMU recorded %d requests, want %d", pmu.Requests, n)
+	}
+	sum := pmu.LinkReqNs + pmu.SchedWaitNs + pmu.MediaNs + pmu.LinkRspNs
+	if math.Abs(sum-totalLat) > 1 {
+		t.Fatalf("component sum %.1f != total latency %.1f", sum, totalLat)
+	}
+	lr, sw, md, lp := pmu.Breakdown()
+	if lr <= 0 || sw <= 0 || md <= 0 || lp <= 0 {
+		t.Fatalf("breakdown has empty components: %v %v %v %v", lr, sw, md, lp)
+	}
+}
+
+func TestCPMUAttributesHiccups(t *testing.T) {
+	p := ProfileB()
+	p.Link.RetryProb = 0
+	p.MC.ThermalThreshold = 0
+	d := New(p, 3)
+	d.PMU().Enable()
+	now := 0.0
+	r := sim.NewRand(9)
+	for i := 0; i < 50_000; i++ {
+		done := d.Access(now, r.Uint64n(1<<32), mem.DemandRead)
+		now = done
+	}
+	pmu := d.PMU()
+	if pmu.HiccupStalls == 0 {
+		t.Fatal("CPMU saw no hiccup stalls on CXL-B")
+	}
+	// The white-box view: tail latency comes from scheduler wait, not
+	// media (the paper's hypothesized root cause).
+	if gap := pmu.Percentile(99.9) - pmu.Percentile(50); gap < 100 {
+		t.Fatalf("CPMU tail gap %.0f too small for CXL-B", gap)
+	}
+}
+
+func TestCPMUPercentilesOrdered(t *testing.T) {
+	d := New(ProfileC(), 1)
+	d.PMU().Enable()
+	now := 0.0
+	r := sim.NewRand(5)
+	for i := 0; i < 10_000; i++ {
+		done := d.Access(now, r.Uint64n(1<<30), mem.DemandRead)
+		now = done
+	}
+	pmu := d.PMU()
+	if !(pmu.Percentile(50) <= pmu.Percentile(99) && pmu.Percentile(99) <= pmu.Percentile(99.9)) {
+		t.Fatal("CPMU percentiles not ordered")
+	}
+	if pmu.String() == "" {
+		t.Fatal("empty CPMU string")
+	}
+}
+
+func TestCPMUSurvivesResetPolicy(t *testing.T) {
+	d := New(quietProfile(), 1)
+	d.PMU().Enable()
+	d.Access(0, 0, mem.DemandRead)
+	d.Reset()
+	if d.PMU().Requests != 0 {
+		t.Fatal("Reset did not clear CPMU counters")
+	}
+	if !d.PMU().Enabled() {
+		t.Fatal("Reset disabled the CPMU (enable state should persist)")
+	}
+}

@@ -1,0 +1,208 @@
+package cxl
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/moatlab/melody/internal/mem"
+	"github.com/moatlab/melody/internal/sim"
+)
+
+// quietProfile is CXL-A with every stochastic pathology disabled, for
+// deterministic latency checks.
+func quietProfile() Profile {
+	p := ProfileA()
+	p.Link.RetryProb = 0
+	p.Link.Credits = 0
+	p.MC.HiccupPeriodNs = 0
+	p.MC.MajorHiccupPeriodNs = 0
+	p.MC.ThermalThreshold = 0
+	p.DRAM.Timing.TREFI = 0
+	return p
+}
+
+func TestIdleReadLatencyComposition(t *testing.T) {
+	p := quietProfile()
+	d := New(p, 1)
+	done := d.Access(1000, 0, mem.DemandRead)
+	lat := done - 1000
+	// Round trip: 2x propagation + pipeline + DRAM closed-row + flits.
+	tm := p.DRAM.Timing
+	dramLat := tm.TRCD + tm.TCAS + mem.LineSize/p.DRAM.ChannelBW
+	want := 2*p.Link.PropagationNs + p.MC.PipelineNs + dramLat +
+		readReqBytes/p.Link.ReqBW + dataBytes/p.Link.RspBW
+	if diff := lat - want; diff > 1 || diff < -1 {
+		t.Fatalf("idle read latency = %v, want ~%v", lat, want)
+	}
+}
+
+func TestWritePostedCompletesEarly(t *testing.T) {
+	d := New(quietProfile(), 1)
+	read := d.Access(0, 0, mem.DemandRead) - 0
+	d.Reset()
+	write := d.Access(0, mem.LineSize, mem.Write) - 0
+	if write >= read {
+		t.Fatalf("posted write (%v) not faster than read round trip (%v)", write, read)
+	}
+}
+
+func TestVendorLatencyOrdering(t *testing.T) {
+	// Idle latency must order A < D < B < C, matching Table 1
+	// (214, 239, 271, 394 ns including the ~55 ns CPU side).
+	idle := func(p Profile) float64 {
+		p.Link.RetryProb = 0
+		p.MC.HiccupPeriodNs = 0
+		p.MC.MajorHiccupPeriodNs = 0
+		d := New(p, 1)
+		// Random-ish pointer chase: average over accesses to distinct rows.
+		r := sim.NewRand(7)
+		now := 0.0
+		total := 0.0
+		const n = 200
+		for i := 0; i < n; i++ {
+			addr := r.Uint64n(1 << 32)
+			done := d.Access(now, addr, mem.DemandRead)
+			total += done - now
+			now = done + 50
+		}
+		return total / n
+	}
+	a, b, c, dd := idle(ProfileA()), idle(ProfileB()), idle(ProfileC()), idle(ProfileD())
+	if !(a < dd && dd < b && b < c) {
+		t.Fatalf("latency ordering violated: A=%v D=%v B=%v C=%v", a, dd, b, c)
+	}
+}
+
+func TestHiccupCreatesTail(t *testing.T) {
+	p := ProfileB()
+	p.Link.RetryProb = 0
+	p.MC.ThermalThreshold = 0
+	d := New(p, 3)
+	r := sim.NewRand(9)
+	now := 0.0
+	var lats []float64
+	for i := 0; i < 50000; i++ {
+		addr := r.Uint64n(1 << 32)
+		done := d.Access(now, addr, mem.DemandRead)
+		lats = append(lats, done-now)
+		now = done
+	}
+	// p50 should be "normal"; max should show hiccup spikes well above it.
+	var p50, max float64
+	{
+		sorted := append([]float64(nil), lats...)
+		for i := range sorted {
+			if sorted[i] > max {
+				max = sorted[i]
+			}
+		}
+		p50 = median(sorted)
+	}
+	if max < p50+p.MC.HiccupNs*0.8 {
+		t.Fatalf("no hiccup tail: p50=%v max=%v", p50, max)
+	}
+}
+
+func median(xs []float64) float64 {
+	cp := append([]float64(nil), xs...)
+	// insertion-free selection is overkill; simple sort
+	for i := 1; i < len(cp); i++ {
+		for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+			cp[j], cp[j-1] = cp[j-1], cp[j]
+		}
+	}
+	return cp[len(cp)/2]
+}
+
+func TestThermalGovernorEngagesUnderLoad(t *testing.T) {
+	p := ProfileA()
+	p.Link.RetryProb = 0
+	p.MC.HiccupPeriodNs = 0
+	p.MC.MajorHiccupPeriodNs = 0
+	d := New(p, 5)
+	// Open-loop read blast: offered load far above device peak.
+	now := 0.0
+	for i := 0; i < 200000; i++ {
+		d.Access(now, uint64(i)*mem.LineSize, mem.DemandRead)
+		now += 1 // 64 GB/s offered, ~2x the device peak
+	}
+	if d.Stats().Throttled == 0 {
+		t.Fatal("thermal governor never engaged at high utilization")
+	}
+}
+
+func TestThermalGovernorIdleQuiet(t *testing.T) {
+	p := ProfileA()
+	p.Link.RetryProb = 0
+	p.MC.HiccupPeriodNs = 0
+	p.MC.MajorHiccupPeriodNs = 0
+	d := New(p, 5)
+	now := 0.0
+	r := sim.NewRand(11)
+	for i := 0; i < 20000; i++ {
+		done := d.Access(now, r.Uint64n(1<<32), mem.DemandRead)
+		now = done + 400 // low load: big gaps
+	}
+	if d.Stats().Throttled != 0 {
+		t.Fatalf("thermal governor engaged at low load: %d", d.Stats().Throttled)
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	for _, name := range []string{"CXL-A", "CXL-B", "CXL-C", "CXL-D"} {
+		p, ok := ProfileByName(name)
+		if !ok || p.Name != name {
+			t.Fatalf("ProfileByName(%q) = %v, %v", name, p.Name, ok)
+		}
+	}
+	if _, ok := ProfileByName("CXL-Z"); ok {
+		t.Fatal("unknown profile resolved")
+	}
+}
+
+func TestHalfDuplexC(t *testing.T) {
+	if !ProfileC().Link.HalfDuplex {
+		t.Fatal("CXL-C must be half-duplex (FPGA IP)")
+	}
+	for _, p := range []Profile{ProfileA(), ProfileB(), ProfileD()} {
+		if p.Link.HalfDuplex {
+			t.Fatalf("%s must be full-duplex", p.Name)
+		}
+	}
+}
+
+func TestCompletionAfterArrivalProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		d := New(ProfileB(), seed)
+		r := sim.NewRand(seed)
+		now := 0.0
+		for i := 0; i < 300; i++ {
+			kind := mem.DemandRead
+			if r.Bool(0.3) {
+				kind = mem.Write
+			}
+			done := d.Access(now, r.Uint64n(1<<30), kind)
+			if done < now {
+				return false
+			}
+			now += r.Float64() * 100
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResetRestoresIdleLatency(t *testing.T) {
+	d := New(quietProfile(), 1)
+	first := d.Access(0, 0, mem.DemandRead)
+	for i := 0; i < 1000; i++ {
+		d.Access(0, uint64(i)*mem.LineSize, mem.DemandRead)
+	}
+	d.Reset()
+	again := d.Access(0, 0, mem.DemandRead)
+	if again != first {
+		t.Fatalf("post-Reset latency %v != initial %v", again, first)
+	}
+}

@@ -1,0 +1,66 @@
+package cxl
+
+import (
+	"testing"
+
+	"github.com/moatlab/melody/internal/mlc"
+)
+
+// peakRatio measures each profile's bandwidth across the paper's R:W
+// mixes and returns (read-only BW, best mixed BW).
+func peakRatio(t *testing.T, p Profile) (readOnly, bestMixed float64) {
+	t.Helper()
+	cfg := mlc.DefaultConfig()
+	cfg.DurationNs = 80_000
+	d := New(p, 1)
+	for _, ratio := range mlc.RWRatios() {
+		bw := mlc.Bandwidth(d, ratio.ReadFrac, cfg)
+		if ratio.ReadFrac == 1.0 {
+			readOnly = bw
+		} else if bw > bestMixed {
+			bestMixed = bw
+		}
+	}
+	return readOnly, bestMixed
+}
+
+// TestFig5FullDuplexPeaksMixed asserts the paper's Figure 5 property:
+// the full-duplex ASIC devices reach peak bandwidth under mixed
+// read/write traffic.
+func TestFig5FullDuplexPeaksMixed(t *testing.T) {
+	for _, p := range []Profile{ProfileA(), ProfileB(), ProfileD()} {
+		ro, mixed := peakRatio(t, p)
+		if mixed <= ro {
+			t.Errorf("%s: mixed peak %.1f <= read-only %.1f (full duplex should win)",
+				p.Name, mixed, ro)
+		}
+	}
+}
+
+// TestFig5FPGAPeaksReadOnly asserts CXL-C's anomaly: the FPGA device
+// cannot exploit both link directions, so read-only traffic is its peak
+// and writes degrade it.
+func TestFig5FPGAPeaksReadOnly(t *testing.T) {
+	ro, mixed := peakRatio(t, ProfileC())
+	if ro <= mixed {
+		t.Fatalf("CXL-C: read-only %.1f <= mixed %.1f (half duplex should peak read-only)",
+			ro, mixed)
+	}
+}
+
+// TestPeakBandwidthTargets asserts the Table-1 peak bandwidths
+// (32/26/21/59 GB/s) within tolerance.
+func TestPeakBandwidthTargets(t *testing.T) {
+	targets := map[string]float64{"CXL-A": 32, "CXL-B": 26, "CXL-C": 21, "CXL-D": 59}
+	for _, p := range Profiles() {
+		ro, mixed := peakRatio(t, p)
+		peak := ro
+		if mixed > peak {
+			peak = mixed
+		}
+		want := targets[p.Name]
+		if peak < want*0.8 || peak > want*1.2 {
+			t.Errorf("%s peak = %.1f GB/s, want %.0f +-20%%", p.Name, peak, want)
+		}
+	}
+}

@@ -1,0 +1,270 @@
+// Package dram models a DDR memory backend: channels with shared data
+// buses, banks with open-row state, refresh blackouts, and bus
+// turnaround penalties. It is the common substrate behind the integrated
+// memory controller (local/NUMA DRAM) and every CXL device's media
+// controller.
+//
+// The model is time-driven: each Access computes when the request's
+// data transfer finishes given the current bank/bus/refresh state, and
+// advances that state. Contention between callers therefore emerges
+// naturally from shared state rather than from a global event queue.
+package dram
+
+import "github.com/moatlab/melody/internal/mem"
+
+// Timing holds the DDR timing parameters the model uses, in nanoseconds.
+// These are command-level approximations, not a full JEDEC state machine:
+// row hits cost TCAS, closed-row activations TRCD+TCAS, and row conflicts
+// TRP+TRCD+TCAS, with TRC bounding per-bank activate throughput.
+type Timing struct {
+	TCAS  float64 // column access (row already open)
+	TRCD  float64 // activate to column
+	TRP   float64 // precharge
+	TRC   float64 // minimum activate-to-activate on one bank
+	TRFC  float64 // refresh cycle (bank group blackout)
+	TREFI float64 // average refresh interval
+	// Turnaround is the *amortized* data-bus penalty when consecutive
+	// transfers on a channel change direction (read<->write).
+	// Controllers buffer writes and drain them in batches, so the raw
+	// ~6-8 ns bus-turnaround cost is paid once per batch; the values
+	// here are per-switch averages assuming ~8-deep write batching.
+	// DDR buses are bidirectional-but-half-duplex, so this is what
+	// makes mixed read/write traffic lose bandwidth on local DRAM while
+	// full-duplex CXL links gain from it (paper Figure 5).
+	Turnaround float64
+}
+
+// DDR4 returns typical DDR4-2666 timings.
+func DDR4() Timing {
+	return Timing{
+		TCAS:       14.2,
+		TRCD:       14.2,
+		TRP:        14.2,
+		TRC:        45.0,
+		TRFC:       130, // per-rank-interleaved refresh: short blackouts
+		TREFI:      2900,
+		Turnaround: 1.2,
+	}
+}
+
+// DDR5 returns typical DDR5-4800 timings. DDR5 halves the refresh
+// blackout with same-bank refresh and shortens the row cycle slightly.
+func DDR5() Timing {
+	return Timing{
+		TCAS:       13.3,
+		TRCD:       13.3,
+		TRP:        13.3,
+		TRC:        48.0,
+		TRFC:       75, // fine-granularity refresh (FGR 4x)
+		TREFI:      1950,
+		Turnaround: 0.8,
+	}
+}
+
+// Config describes one DRAM module.
+type Config struct {
+	Channels        int     // independent channels (own bus + banks)
+	BanksPerChannel int     // banks usable in parallel per channel
+	ChannelBW       float64 // effective per-channel data bandwidth, GB/s
+	RowBytes        uint64  // row-buffer size per bank
+	Timing          Timing
+}
+
+// DefaultConfig returns a single-channel DDR4 module, the shape of a
+// small CXL expander backend.
+func DefaultConfig() Config {
+	return Config{
+		Channels:        1,
+		BanksPerChannel: 16,
+		ChannelBW:       19.0,
+		RowBytes:        8192,
+		Timing:          DDR4(),
+	}
+}
+
+type bank struct {
+	freeAt  float64
+	openRow int64 // -1 when no row is open
+}
+
+type channel struct {
+	banks    []bank
+	busUntil float64
+	lastDir  uint8 // 0 idle, 1 read, 2 write
+	// refOffset staggers refresh windows across channels so they do not
+	// hit all channels simultaneously.
+	refOffset float64
+}
+
+// Module is a DRAM device backend. It is not safe for concurrent use;
+// the simulator is single-threaded by design.
+type Module struct {
+	cfg   Config
+	chans []channel
+
+	linesPerRow uint64
+
+	// stats
+	rowHits, rowMisses uint64
+	busyNs             float64
+}
+
+// New constructs a Module from cfg. It panics on nonsensical configs to
+// surface programming errors early.
+func New(cfg Config) *Module {
+	if cfg.Channels <= 0 || cfg.BanksPerChannel <= 0 || cfg.ChannelBW <= 0 || cfg.RowBytes < mem.LineSize {
+		panic("dram: invalid config")
+	}
+	m := &Module{cfg: cfg, linesPerRow: cfg.RowBytes / mem.LineSize}
+	m.Reset()
+	return m
+}
+
+// Config returns the module's configuration.
+func (m *Module) Config() Config { return m.cfg }
+
+// Reset reinitializes all banks, buses, and statistics.
+func (m *Module) Reset() {
+	m.chans = make([]channel, m.cfg.Channels)
+	for i := range m.chans {
+		banks := make([]bank, m.cfg.BanksPerChannel)
+		for b := range banks {
+			banks[b].openRow = -1
+		}
+		m.chans[i] = channel{
+			banks:     banks,
+			refOffset: m.cfg.Timing.TREFI * float64(i) / float64(m.cfg.Channels),
+		}
+	}
+	m.rowHits, m.rowMisses, m.busyNs = 0, 0, 0
+}
+
+// bankGroupRotate is how many banks a single row group's lines rotate
+// across, modelling DDR bank-group column interleaving: a streaming
+// access pattern occupies several banks concurrently, so two streams
+// that collide on one bank only contend for a fraction of their
+// accesses instead of crawling in full-row lockstep.
+const bankGroupRotate = 4
+
+// map the address onto (channel, bank, row). Lines interleave across
+// channels; within a channel, consecutive lines rotate across
+// bankGroupRotate banks chosen by hashing the row group — controllers
+// hash bank bits exactly so that power-of-two strides (e.g. per-thread
+// buffer bases) do not pile onto one bank.
+func (m *Module) locate(addr uint64) (ch, bk int, row int64) {
+	line := addr / mem.LineSize
+	ch = int(line % uint64(m.cfg.Channels))
+	inChan := line / uint64(m.cfg.Channels)
+	rowIdx := inChan / m.linesPerRow
+	grp := inChan % bankGroupRotate
+	h := rowIdx*0x9e3779b97f4a7c15 + grp*0xda942042e4dd58b5
+	bk = int((h >> 32) % uint64(m.cfg.BanksPerChannel))
+	// The row-group id serves as the open-row tag: an access hits the
+	// row buffer iff the bank's open row slice is from the same group.
+	row = int64(rowIdx)
+	return ch, bk, row
+}
+
+// Locate exposes the address mapping for tests and debugging tools.
+func (m *Module) Locate(addr uint64) (ch, bk int, row int64) {
+	return m.locate(addr)
+}
+
+// transferNs is the channel-bus occupancy of one line.
+func (m *Module) transferNs() float64 {
+	return mem.LineSize / m.cfg.ChannelBW // bytes / (bytes/ns)
+}
+
+// refreshClear returns the earliest time >= t at which the channel is
+// not in a refresh blackout.
+func (c *channel) refreshClear(t float64, tm Timing) float64 {
+	if tm.TREFI <= 0 || tm.TRFC <= 0 {
+		return t
+	}
+	shifted := t - c.refOffset
+	if shifted < 0 {
+		return t
+	}
+	k := float64(uint64(shifted / tm.TREFI))
+	winStart := k*tm.TREFI + c.refOffset
+	if t < winStart+tm.TRFC {
+		return winStart + tm.TRFC
+	}
+	return t
+}
+
+// Access services one line request and returns (dataStart, done): when
+// the data transfer begins and when it completes. Callers that model a
+// posted write can use dataStart as the absorption point.
+func (m *Module) Access(now float64, addr uint64, isWrite bool) (dataStart, done float64) {
+	tm := m.cfg.Timing
+	chIdx, bkIdx, row := m.locate(addr)
+	c := &m.chans[chIdx]
+	b := &c.banks[bkIdx]
+
+	cmdStart := now
+	if b.freeAt > cmdStart {
+		cmdStart = b.freeAt
+	}
+	cmdStart = c.refreshClear(cmdStart, tm)
+
+	var rbLatency float64
+	switch {
+	case b.openRow == row:
+		rbLatency = tm.TCAS
+		m.rowHits++
+	case b.openRow < 0:
+		rbLatency = tm.TRCD + tm.TCAS
+		m.rowMisses++
+	default:
+		rbLatency = tm.TRP + tm.TRCD + tm.TCAS
+		m.rowMisses++
+	}
+
+	dataReady := cmdStart + rbLatency
+
+	dir := uint8(1)
+	if isWrite {
+		dir = 2
+	}
+	busAvail := c.busUntil
+	if c.lastDir != 0 && c.lastDir != dir {
+		busAvail += tm.Turnaround
+	}
+	dataStart = dataReady
+	if busAvail > dataStart {
+		dataStart = busAvail
+	}
+	done = dataStart + m.transferNs()
+
+	c.busUntil = done
+	c.lastDir = dir
+	if rbLatency == tm.TCAS {
+		// Row hit: CAS commands pipeline, so the bank only needs to
+		// space column accesses by one burst; the shared bus is the
+		// real limiter.
+		b.freeAt = cmdStart + m.transferNs()
+	} else {
+		// Row activation: the bank is reusable after one row cycle.
+		// Deliberately independent of `done`: bus queueing must not
+		// extend bank occupancy, or banks and bus deadlock into
+		// latency-paced throughput under load.
+		b.freeAt = cmdStart + tm.TRC
+	}
+	b.openRow = row
+	m.busyNs += rbLatency + m.transferNs()
+	return dataStart, done
+}
+
+// PeakBandwidth returns the theoretical aggregate data bandwidth in
+// GB/s (bytes per ns), ignoring bank and refresh overheads.
+func (m *Module) PeakBandwidth() float64 {
+	return m.cfg.ChannelBW * float64(m.cfg.Channels)
+}
+
+// RowHits and RowMisses expose row-buffer statistics.
+func (m *Module) RowHits() uint64   { return m.rowHits }
+func (m *Module) RowMisses() uint64 { return m.rowMisses }
+
+// BusyNs returns accumulated service time across banks and buses.
+func (m *Module) BusyNs() float64 { return m.busyNs }

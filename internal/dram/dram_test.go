@@ -1,0 +1,227 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/moatlab/melody/internal/mem"
+	"github.com/moatlab/melody/internal/sim"
+)
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Timing.TREFI = 0 // disable refresh unless a test wants it
+	return cfg
+}
+
+func TestIdleRowMissLatency(t *testing.T) {
+	m := New(testConfig())
+	_, done := m.Access(0, 0, false)
+	tm := m.Config().Timing
+	want := tm.TRCD + tm.TCAS + mem.LineSize/m.Config().ChannelBW
+	if done != want {
+		t.Fatalf("idle closed-row latency = %v, want %v", done, want)
+	}
+}
+
+func TestRowHitFasterThanMiss(t *testing.T) {
+	m := New(testConfig())
+	cfg := m.Config()
+	_, first := m.Access(0, 0, false)
+	// Same row group and bank group: stride channels * bankGroupRotate
+	// lines keeps (rowIdx, grp) fixed, so this is a row-buffer hit.
+	hitAddr := mem.LineSize * uint64(cfg.Channels) * bankGroupRotate
+	if ch0, bk0, r0 := m.Locate(0); func() bool {
+		ch1, bk1, r1 := m.Locate(hitAddr)
+		return ch0 != ch1 || bk0 != bk1 || r0 != r1
+	}() {
+		t.Fatal("test addresses do not share (channel, bank, row)")
+	}
+	start2, done2 := m.Access(first+100, hitAddr, false)
+	hitLat := done2 - (first + 100)
+	missLat := first
+	if hitLat >= missLat {
+		t.Fatalf("row hit latency %v not faster than miss %v", hitLat, missLat)
+	}
+	if start2 < first+100 {
+		t.Fatalf("data start %v before request arrival", start2)
+	}
+	if m.RowHits() != 1 || m.RowMisses() != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", m.RowHits(), m.RowMisses())
+	}
+}
+
+// conflictAddr finds an address mapping to the same (channel, bank) as
+// base but a different row, by scanning row-group strides.
+func conflictAddr(m *Module, base uint64) (uint64, bool) {
+	ch0, bk0, r0 := m.Locate(base)
+	cfg := m.Config()
+	stride := cfg.RowBytes * uint64(cfg.Channels)
+	for i := uint64(1); i < 100000; i++ {
+		addr := base + i*stride
+		ch, bk, r := m.Locate(addr)
+		if ch == ch0 && bk == bk0 && r != r0 {
+			return addr, true
+		}
+	}
+	return 0, false
+}
+
+func TestRowConflictSlowest(t *testing.T) {
+	m := New(testConfig())
+	addr2, ok := conflictAddr(m, 0)
+	if !ok {
+		t.Fatal("no conflicting address found")
+	}
+	_, d1 := m.Access(0, 0, false)
+	lat1 := d1
+	base := d1 + 1000
+	_, d2 := m.Access(base, addr2, false)
+	conflictLat := d2 - base
+	if conflictLat <= lat1 {
+		t.Fatalf("conflict latency %v not slower than cold miss %v", conflictLat, lat1)
+	}
+}
+
+func TestBandwidthSaturation(t *testing.T) {
+	cfg := testConfig()
+	cfg.Channels = 1
+	cfg.ChannelBW = 20
+	m := New(cfg)
+	// Blast sequential reads back-to-back from t=0; completion of the
+	// last read bounds achieved bandwidth by the channel bus.
+	const n = 20000
+	var last float64
+	for i := 0; i < n; i++ {
+		_, last = m.Access(0, uint64(i)*mem.LineSize, false)
+	}
+	gbs := float64(n) * mem.LineSize / last
+	if gbs > cfg.ChannelBW*1.001 {
+		t.Fatalf("achieved %v GB/s exceeds channel bandwidth %v", gbs, cfg.ChannelBW)
+	}
+	if gbs < cfg.ChannelBW*0.85 {
+		t.Fatalf("sequential stream achieved only %v GB/s of %v", gbs, cfg.ChannelBW)
+	}
+}
+
+func TestChannelsScaleBandwidth(t *testing.T) {
+	run := func(channels int) float64 {
+		cfg := testConfig()
+		cfg.Channels = channels
+		m := New(cfg)
+		const n = 20000
+		var last float64
+		for i := 0; i < n; i++ {
+			_, last = m.Access(0, uint64(i)*mem.LineSize, false)
+		}
+		return float64(n) * mem.LineSize / last
+	}
+	one := run(1)
+	four := run(4)
+	if four < one*3 {
+		t.Fatalf("4 channels gave %v GB/s, 1 channel %v GB/s; want ~4x", four, one)
+	}
+}
+
+func TestTurnaroundPenalty(t *testing.T) {
+	cfg := testConfig()
+	m := New(cfg)
+	// Alternating read/write on the same row: each direction switch
+	// costs Turnaround on the bus versus a pure read stream.
+	var lastAlt float64
+	for i := 0; i < 1000; i++ {
+		_, lastAlt = m.Access(0, uint64(i%8)*mem.LineSize*uint64(cfg.Channels), i%2 == 1)
+	}
+	m2 := New(cfg)
+	var lastRead float64
+	for i := 0; i < 1000; i++ {
+		_, lastRead = m2.Access(0, uint64(i%8)*mem.LineSize*uint64(cfg.Channels), false)
+	}
+	if lastAlt <= lastRead {
+		t.Fatalf("alternating R/W (%v) not slower than pure reads (%v)", lastAlt, lastRead)
+	}
+}
+
+func TestRefreshBlackout(t *testing.T) {
+	cfg := testConfig()
+	cfg.Channels = 1
+	cfg.Timing.TREFI = 3900
+	cfg.Timing.TRFC = 350
+	m := New(cfg)
+	// A request landing inside the first refresh window of channel 0
+	// (which starts at t=0 by construction) must be pushed past TRFC.
+	_, done := m.Access(10, 0, false)
+	if done < cfg.Timing.TRFC {
+		t.Fatalf("request inside refresh window finished at %v, want >= %v", done, cfg.Timing.TRFC)
+	}
+	// A request far from any refresh boundary is unaffected. Use an
+	// address on a different bank (next row group) to avoid a row
+	// conflict with the first access.
+	base := cfg.Timing.TRFC + 1000
+	_, done2 := m.Access(base, cfg.RowBytes, false)
+	lat := done2 - base
+	plain := cfg.Timing.TRCD + cfg.Timing.TCAS + mem.LineSize/cfg.ChannelBW
+	if lat > plain*1.01 {
+		t.Fatalf("request outside refresh delayed: lat=%v want ~%v", lat, plain)
+	}
+}
+
+func TestCompletionMonotoneUnderLoad(t *testing.T) {
+	// Property: for requests issued at non-decreasing times to the same
+	// address stream, completions never precede arrivals.
+	f := func(seed uint64) bool {
+		r := sim.NewRand(seed)
+		m := New(testConfig())
+		now := 0.0
+		for i := 0; i < 500; i++ {
+			now += r.Float64() * 5
+			addr := r.Uint64n(1 << 30)
+			start, done := m.Access(now, addr, r.Bool(0.3))
+			if done < now || start < now || done < start {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	m := New(testConfig())
+	for i := 0; i < 100; i++ {
+		m.Access(0, uint64(i)*mem.LineSize, false)
+	}
+	m.Reset()
+	if m.RowHits() != 0 || m.RowMisses() != 0 || m.BusyNs() != 0 {
+		t.Fatal("Reset did not clear stats")
+	}
+	_, done := m.Access(0, 0, false)
+	tm := m.Config().Timing
+	want := tm.TRCD + tm.TCAS + mem.LineSize/m.Config().ChannelBW
+	if done != want {
+		t.Fatalf("post-Reset latency = %v, want %v (idle)", done, want)
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with zero channels did not panic")
+		}
+	}()
+	cfg := DefaultConfig()
+	cfg.Channels = 0
+	New(cfg)
+}
+
+func TestPeakBandwidth(t *testing.T) {
+	cfg := testConfig()
+	cfg.Channels = 8
+	cfg.ChannelBW = 27.0
+	m := New(cfg)
+	if got := m.PeakBandwidth(); got != 216.0 {
+		t.Fatalf("PeakBandwidth = %v, want 216", got)
+	}
+}

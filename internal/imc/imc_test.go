@@ -1,0 +1,73 @@
+package imc
+
+import (
+	"testing"
+
+	"github.com/moatlab/melody/internal/dram"
+	"github.com/moatlab/melody/internal/mem"
+)
+
+func testController() *Controller {
+	cfg := dram.DefaultConfig()
+	cfg.Timing.TREFI = 0
+	return New(Config{Name: "Local", PipelineNs: 20, DRAM: cfg})
+}
+
+func TestReadIncludesPipeline(t *testing.T) {
+	c := testController()
+	done := c.Access(0, 0, mem.DemandRead)
+	tm := c.Module().Config().Timing
+	raw := tm.TRCD + tm.TCAS + mem.LineSize/c.Module().Config().ChannelBW
+	if want := raw + 20; done != want {
+		t.Fatalf("read completion = %v, want %v", done, want)
+	}
+}
+
+func TestWritePosted(t *testing.T) {
+	c := testController()
+	read := c.Access(0, 0, mem.DemandRead)
+	c.Reset()
+	write := c.Access(0, 0, mem.Write)
+	if write >= read {
+		t.Fatalf("posted write (%v) not earlier than read (%v)", write, read)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	c := testController()
+	for i := 0; i < 10; i++ {
+		c.Access(0, uint64(i)*mem.LineSize, mem.DemandRead)
+	}
+	c.Access(0, 4096, mem.Write)
+	s := c.Stats()
+	if s.Reads != 10 || s.Writes != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.RowHits+s.RowMisses != 11 {
+		t.Fatalf("row stats = %d+%d", s.RowHits, s.RowMisses)
+	}
+	c.Reset()
+	if c.Stats().Reads != 0 {
+		t.Fatal("Reset did not clear stats")
+	}
+}
+
+func TestAllReadKindsCountAsReads(t *testing.T) {
+	c := testController()
+	for _, k := range []mem.Kind{mem.DemandRead, mem.PrefetchL1, mem.PrefetchL2, mem.RFO} {
+		c.Access(0, 0, k)
+	}
+	if got := c.Stats().Reads; got != 4 {
+		t.Fatalf("read-kind count = %d, want 4", got)
+	}
+}
+
+func TestNameAndPeak(t *testing.T) {
+	c := testController()
+	if c.Name() != "Local" {
+		t.Fatalf("Name = %q", c.Name())
+	}
+	if c.PeakBandwidth() != c.Module().PeakBandwidth() {
+		t.Fatal("PeakBandwidth mismatch")
+	}
+}

@@ -1,0 +1,179 @@
+// Package link models point-to-point serial interconnects: the UPI hop
+// between sockets and the CXL/PCIe Flex Bus link to a memory expander.
+//
+// A link has two directions. For CXL.mem, the request direction carries
+// read commands (header-only flits) and write data, while the response
+// direction carries read data and write completions. Full-duplex links
+// therefore reach their highest aggregate bandwidth under mixed
+// read/write traffic, while a half-duplex link (the FPGA CXL-C device,
+// whose IP cannot drive both directions) behaves like a DDR bus — this
+// asymmetry is the root of the paper's Figure 5 observations.
+//
+// The link layer also models CXL's reliability machinery: CRC errors
+// trigger link-layer replays, and credit-based flow control can
+// back-pressure senders when credit return lags under bursts — the
+// paper's explanation for µs-level tails on some devices even at low
+// average load (§3.2 "Reasoning").
+package link
+
+import (
+	"github.com/moatlab/melody/internal/sim"
+)
+
+// Direction selects which way a transfer flows.
+type Direction uint8
+
+const (
+	// Req is requester -> device (read commands, write data).
+	Req Direction = iota
+	// Rsp is device -> requester (read data, write completions).
+	Rsp
+)
+
+// Config describes one link.
+type Config struct {
+	// PropagationNs is the one-way PHY + wire + protocol-stack latency.
+	PropagationNs float64
+	// ReqBW and RspBW are per-direction payload bandwidths in GB/s.
+	ReqBW, RspBW float64
+	// HalfDuplex shares one set of lanes between both directions (with
+	// ReqBW as the shared capacity), modelling the FPGA device's
+	// inability to use both CXL transmission links concurrently. The
+	// sharing is proportional: each direction gets a slice of the total
+	// bandwidth matching its recent traffic share, minus a reversal
+	// penalty that grows as the two directions approach parity — so a
+	// half-duplex device peaks under read-only traffic and degrades as
+	// writes mix in (paper Figure 5, CXL-C).
+	HalfDuplex bool
+	// TurnaroundNs is the penalty for reversing a half-duplex link when
+	// traffic is serialized (used by DDR-style callers; the
+	// proportional-sharing model above covers pipelined traffic).
+	TurnaroundNs float64
+
+	// RetryProb is the per-transfer probability of a CRC error forcing
+	// a link-layer replay; RetryPenaltyNs is the replay cost.
+	RetryProb      float64
+	RetryPenaltyNs float64
+
+	// Credits bounds in-flight transfers per direction; 0 disables flow
+	// control. CreditReturnNs is the extra delay before a consumed
+	// credit is usable again — large values make bursts accumulate
+	// back-pressure (transaction-layer congestion).
+	Credits        int
+	CreditReturnNs float64
+}
+
+// Link is a time-driven serial link. Not safe for concurrent use.
+type Link struct {
+	cfg      Config
+	rng      *sim.Rand
+	busy     [2]float64 // per-direction busy-until (index by Direction)
+	dirBytes [2]float64 // EWMA of per-direction traffic (half-duplex)
+	credits  [2][]float64
+	seq      [2]uint64
+	retries  uint64
+}
+
+// New constructs a Link. seed feeds the CRC-error process.
+func New(cfg Config, seed uint64) *Link {
+	l := &Link{cfg: cfg, rng: sim.NewRand(seed)}
+	l.Reset()
+	return l
+}
+
+// Config returns the link configuration.
+func (l *Link) Config() Config { return l.cfg }
+
+// Reset restores the idle state.
+func (l *Link) Reset() {
+	l.busy = [2]float64{}
+	l.dirBytes = [2]float64{}
+	l.seq = [2]uint64{}
+	l.retries = 0
+	for d := 0; d < 2; d++ {
+		if l.cfg.Credits > 0 {
+			l.credits[d] = make([]float64, l.cfg.Credits)
+		} else {
+			l.credits[d] = nil
+		}
+	}
+}
+
+// Retries returns the number of CRC replays performed.
+func (l *Link) Retries() uint64 { return l.retries }
+
+// bw returns the payload bandwidth for dir, honouring duplex mode.
+func (l *Link) bw(dir Direction) float64 {
+	if !l.cfg.HalfDuplex {
+		if dir == Rsp {
+			return l.cfg.RspBW
+		}
+		return l.cfg.ReqBW
+	}
+	// Half-duplex: the directions split the shared capacity in
+	// proportion to their recent traffic, with a reversal penalty that
+	// peaks when the two directions carry equal traffic.
+	total := l.dirBytes[0] + l.dirBytes[1]
+	share := 0.5
+	if total > 0 {
+		share = l.dirBytes[int(dir)] / total
+	}
+	if share < 0.08 {
+		share = 0.08
+	}
+	minShare := l.dirBytes[0]
+	if l.dirBytes[1] < minShare {
+		minShare = l.dirBytes[1]
+	}
+	mix := 0.0
+	if total > 0 {
+		mix = 2 * minShare / total // 0 = one-directional, 1 = balanced
+	}
+	eff := 1 - 0.25*mix
+	return l.cfg.ReqBW * share * eff
+}
+
+// Send transmits `bytes` of payload in direction dir starting no earlier
+// than now, and returns the delivery time at the far end.
+func (l *Link) Send(now float64, dir Direction, bytes float64) float64 {
+	busyIdx := int(dir)
+
+	if l.cfg.HalfDuplex {
+		l.dirBytes[0] *= 0.999
+		l.dirBytes[1] *= 0.999
+		l.dirBytes[busyIdx] += bytes
+	}
+
+	start := now
+	if l.busy[busyIdx] > start {
+		start = l.busy[busyIdx]
+	}
+
+	// Credit flow control: the i-th transfer (mod Credits) must wait for
+	// the credit consumed Credits transfers ago to be returned.
+	if l.cfg.Credits > 0 {
+		slot := l.seq[dir] % uint64(l.cfg.Credits)
+		if t := l.credits[dir][slot]; t > start {
+			start = t
+		}
+		l.seq[dir]++
+		defer func(slot uint64) {
+			l.credits[dir][slot] = l.busy[busyIdx] + l.cfg.CreditReturnNs
+		}(slot)
+	}
+
+	tx := bytes / l.bw(dir)
+	if l.cfg.RetryProb > 0 && l.rng.Bool(l.cfg.RetryProb) {
+		tx += l.cfg.RetryPenaltyNs
+		l.retries++
+	}
+
+	end := start + tx
+	l.busy[busyIdx] = end
+	return end + l.cfg.PropagationNs
+}
+
+// BusyUntil reports when the given direction frees up; useful in tests.
+func (l *Link) BusyUntil(dir Direction) float64 {
+	return l.busy[int(dir)]
+}

@@ -1,0 +1,85 @@
+package melody
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestDeviceExperimentsSmoke executes the device-level figure
+// reproductions at reduced duration and sanity-checks their structure.
+// Accuracy properties are asserted by the platform/cxl calibration
+// tests; this guards the experiment plumbing itself.
+func TestDeviceExperimentsSmoke(t *testing.T) {
+	o := Options{Seed: 1, DurationNs: 30_000}
+	cases := []struct {
+		id       string
+		mustHave []string
+	}{
+		{"table1", []string{"SPR2S", "CXL-D", "ref"}},
+		{"fig1", []string{"Socket-local DRAM", "CXL+Switch", "CXL+multi-hop"}},
+		{"fig3b", []string{"Local:", "CXL-C:", "32 thr"}},
+		{"fig4", []string{"NUMA:", "7 rw thr"}},
+		{"fig6", []string{"CXL-B:", "p99.9"}},
+	}
+	for _, c := range cases {
+		e, ok := ExperimentByID(c.id)
+		if !ok {
+			t.Fatalf("%s not registered", c.id)
+		}
+		rep := e.Run(o)
+		joined := strings.Join(rep.Lines, "\n")
+		for _, want := range c.mustHave {
+			if !strings.Contains(joined, want) {
+				t.Fatalf("%s report missing %q:\n%s", c.id, want, joined)
+			}
+		}
+		if len(rep.Notes) == 0 {
+			t.Fatalf("%s has no paper-expectation notes", c.id)
+		}
+	}
+}
+
+// TestFig3cTailGrowsWithLoadOnCXL checks the Figure 3c property at the
+// experiment level: CXL-A's p99.9-p50 gap grows with utilization while
+// Local's stays flat.
+func TestFig3cTailGrowsWithLoadOnCXL(t *testing.T) {
+	rep := Fig3c(Options{Seed: 1, DurationNs: 60_000})
+	var localGaps, cxlAGaps []float64
+	section := ""
+	for _, l := range rep.Lines {
+		if strings.HasSuffix(l, ":") {
+			section = strings.TrimSuffix(l, ":")
+			continue
+		}
+		idx := strings.LastIndex(l, "gap(p99.9-p50)")
+		if idx < 0 {
+			continue
+		}
+		var gap float64
+		if _, err := fmtSscanField(l[idx:], &gap); err != nil {
+			continue
+		}
+		switch section {
+		case "Local":
+			localGaps = append(localGaps, gap)
+		case "CXL-A":
+			cxlAGaps = append(cxlAGaps, gap)
+		}
+	}
+	if len(localGaps) < 3 || len(cxlAGaps) < 3 {
+		t.Fatalf("fig3c parse failed: local=%d cxl=%d", len(localGaps), len(cxlAGaps))
+	}
+	if last := cxlAGaps[len(cxlAGaps)-1]; last < cxlAGaps[0]*1.5 && last < 150 {
+		t.Fatalf("CXL-A gap did not grow with load: %v", cxlAGaps)
+	}
+	if last := localGaps[len(localGaps)-1]; last > 250 {
+		t.Fatalf("Local gap exploded under load: %v", localGaps)
+	}
+}
+
+// fmtSscanField parses "gap(p99.9-p50) NNN ns".
+func fmtSscanField(s string, v *float64) (int, error) {
+	fields := strings.Fields(s)
+	return fmt.Sscanf(fields[1], "%f", v)
+}

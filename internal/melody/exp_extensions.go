@@ -1,0 +1,136 @@
+package melody
+
+import (
+	"github.com/moatlab/melody/internal/core"
+	"github.com/moatlab/melody/internal/cxl"
+	"github.com/moatlab/melody/internal/mem"
+	"github.com/moatlab/melody/internal/mio"
+	"github.com/moatlab/melody/internal/platform"
+	"github.com/moatlab/melody/internal/spa"
+	"github.com/moatlab/melody/internal/stats"
+	"github.com/moatlab/melody/internal/tiering"
+	"github.com/moatlab/melody/internal/workload"
+)
+
+// Predict validates the Spa-based performance predictor (§5.7
+// "Performance prediction and metric"): calibrate each workload on
+// CXL-A, predict its slowdown on NUMA, CXL-B and CXL-D from latency
+// alone, and compare with measurement.
+func Predict(o Options) *Report {
+	r := &Report{ID: "predict", Title: "Spa-based slowdown prediction at unseen latencies"}
+	specs := selectWorkloads(o.MaxWorkloads)
+	emr := platform.EMR2S()
+	run := runnerFor(emr, o)
+
+	l0 := emr.RefLocalLat
+	calCfg := CXL(emr, cxl.ProfileA())
+	targets := []struct {
+		mc  MemConfig
+		lat float64
+	}{
+		{NUMA(emr), emr.RefRemoteLat},
+		{CXL(emr, cxl.ProfileB()), 271},
+	}
+
+	var errs []float64
+	for _, s := range specs {
+		base := run.Run(s, Local(emr))
+		cal := run.Run(s, calCfg)
+		pred := spa.NewPredictor(base.Delta, cal.Delta, l0, 214)
+		for _, tgt := range targets {
+			actual := run.Slowdown(s, tgt.mc)
+			p := pred.Predict(tgt.lat)
+			errs = append(errs, spa.PredictionError(p, actual))
+		}
+	}
+	r.Printf("  %d predictions across %d workloads x {NUMA, CXL-B}:", len(errs), len(specs))
+	r.Printf("  |error| <= 5%%: %5.1f%%   <= 10%%: %5.1f%%   median %5.2f%%   p90 %5.2f%%",
+		fractionBelow(errs, 0.05)*100, fractionBelow(errs, 0.10)*100,
+		stats.Percentile(errs, 50)*100, stats.Percentile(errs, 90)*100)
+	r.Note("latency-linear extrapolation from one calibration point tracks latency-bound workloads;")
+	r.Note("bandwidth-saturated and tail-dominated workloads diverge (device heterogeneity, Finding #1)")
+	return r
+}
+
+// CPMUExp demonstrates the white-box tail analysis the paper proposes
+// via the CXL 3.0 performance monitoring unit: per-component latency
+// attribution inside each device, pinpointing *where* tails originate.
+func CPMUExp(o Options) *Report {
+	r := &Report{ID: "cpmu", Title: "White-box device latency attribution (CXL 3.0 CPMU)"}
+	r.Printf("  %-7s %9s %9s %9s %9s %9s %9s %8s %8s", "device",
+		"linkReq", "sched", "media", "linkRsp", "p50", "p99.9", "hiccups", "thermal")
+	for _, prof := range cxl.Profiles() {
+		dev := cxl.New(prof, o.seed())
+		dev.PMU().Enable()
+		cfg := mio.DefaultConfig()
+		cfg.DurationNs = o.durationNs() * 4
+		cfg.ChaseThreads = 4
+		cfg.Seed = o.seed()
+		mio.Run(dev, cfg)
+		pmu := dev.PMU()
+		lr, sw, md, lp := pmu.Breakdown()
+		r.Printf("  %-7s %8.1f  %8.1f  %8.1f  %8.1f  %8.0f  %8.0f  %7d  %7d",
+			prof.Name, lr, sw, md, lp, pmu.Percentile(50), pmu.Percentile(99.9),
+			pmu.HiccupStalls, pmu.ThermalStalls)
+	}
+	r.Note("tails on CXL-B/C originate in scheduler wait (hiccups), not media — the paper's hypothesis")
+	r.Note("a real CPMU would expose exactly this breakdown; the simulator provides it natively")
+	return r
+}
+
+// TieringExp compares tiering policies on a latency-bound workload: a
+// conventional access-count policy vs the Spa stall-metric policy, with
+// static all-local / all-CXL endpoints (§5.7 "smarter tiering policy
+// designs").
+func TieringExp(o Options) *Report {
+	r := &Report{ID: "tiering", Title: "Spa-metric vs access-count tiering policies"}
+	RegisterWorkloads()
+	// SKX2S: its 13.8 MB LLC does not shield a 32 MB hot set, so the
+	// tiering decision is visible within simulation-scale windows.
+	host := platform.SKX2S()
+	spec, _ := workload.ByName("micro-hot80-32m")
+	instr := o.Instructions
+	if instr == 0 {
+		instr = 800_000
+	}
+
+	runOn := func(mkDev func() mem.Device) float64 {
+		w := spec.Build(o.seed())
+		m := core.New(core.Config{CPU: host.CPU, Device: mkDev(), MaxInstructions: instr})
+		if pl, ok := w.(workload.Preloader); ok {
+			for _, obj := range pl.PreloadObjects() {
+				m.Preload(obj.Base, obj.Size)
+			}
+		}
+		w.Run(m)
+		return m.Counters().IPC()
+	}
+
+	local := runOn(func() mem.Device { return host.LocalDevice() })
+	all := runOn(func() mem.Device { return host.CXLDevice(cxl.ProfileA(), o.seed()) })
+	tiered := func(p tiering.Policy) float64 {
+		return runOn(func() mem.Device {
+			cfg := tiering.DefaultConfig()
+			cfg.Policy = p
+			cfg.FastPages = 12 << 10 // 48 MiB of local DRAM: fits the hot set
+			cfg.EpochAccesses = 30_000
+			cfg.MigrateBatch = 8192
+			// Migrations run in the background; only residual
+			// interference lands on the access timeline.
+			cfg.MigrationCostNs = 40
+			return tiering.New(host.LocalDevice(), host.CXLDevice(cxl.ProfileA(), o.seed()), cfg)
+		})
+	}
+	count := tiered(tiering.PolicyAccessCount)
+	spaP := tiered(tiering.PolicySpa)
+
+	r.Printf("  %-22s IPC %.3f", "all local DRAM", local)
+	r.Printf("  %-22s IPC %.3f", "tiered (spa metric)", spaP)
+	r.Printf("  %-22s IPC %.3f", "tiered (access count)", count)
+	r.Printf("  %-22s IPC %.3f", "all CXL-A", all)
+	r.Printf("  spa policy recovers %.0f%% of the all-local gap (access count: %.0f%%)",
+		(spaP-all)/(local-all)*100, (count-all)/(local-all)*100)
+	r.Note("both policies sit between the static endpoints; the stall-metric policy wins when")
+	r.Note("access counts and stall contribution diverge (prefetched or overlapped traffic)")
+	return r
+}

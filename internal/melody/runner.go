@@ -1,0 +1,207 @@
+// Package melody orchestrates the paper's experiments: it runs catalog
+// workloads on (platform, memory-config) combinations through the core
+// model, computes slowdowns against the local-DRAM baseline, applies Spa
+// analysis, and regenerates every table and figure of the evaluation as
+// a text report plus typed data.
+package melody
+
+import (
+	"fmt"
+
+	"github.com/moatlab/melody/internal/apps/graph"
+	"github.com/moatlab/melody/internal/apps/kvstore"
+	"github.com/moatlab/melody/internal/apps/tablestore"
+	"github.com/moatlab/melody/internal/core"
+	"github.com/moatlab/melody/internal/counters"
+	"github.com/moatlab/melody/internal/cxl"
+	"github.com/moatlab/melody/internal/mem"
+	"github.com/moatlab/melody/internal/platform"
+	"github.com/moatlab/melody/internal/workload"
+)
+
+// RegisterWorkloads installs the app-backed workloads (GAPBS, Redis,
+// VoltDB, memcached) into the catalog exactly once.
+func RegisterWorkloads() {
+	registerOnce.Do(func() {
+		graph.Register()
+		kvstore.Register()
+		tablestore.Register()
+	})
+}
+
+var registerOnce doOnce
+
+// doOnce is a tiny sync.Once replacement that keeps this file's imports
+// minimal and the zero value useful.
+type doOnce struct{ done bool }
+
+func (o *doOnce) Do(f func()) {
+	if !o.done {
+		o.done = true
+		f()
+	}
+}
+
+// MemConfig names a buildable memory configuration.
+type MemConfig struct {
+	Name  string
+	Build func(seed uint64) mem.Device
+}
+
+// Standard configurations for a platform.
+
+// Local returns the socket-local DRAM baseline config.
+func Local(p platform.Platform) MemConfig {
+	return MemConfig{Name: "Local", Build: func(seed uint64) mem.Device { return p.LocalDevice() }}
+}
+
+// NUMA returns the one-hop remote config.
+func NUMA(p platform.Platform) MemConfig {
+	return MemConfig{Name: "NUMA", Build: func(seed uint64) mem.Device { return p.NUMADevice(seed) }}
+}
+
+// CXL returns a locally attached CXL device config.
+func CXL(p platform.Platform, prof cxl.Profile) MemConfig {
+	return MemConfig{Name: prof.Name, Build: func(seed uint64) mem.Device { return p.CXLDevice(prof, seed) }}
+}
+
+// CXLNUMA returns the cross-socket CXL config.
+func CXLNUMA(p platform.Platform, prof cxl.Profile) MemConfig {
+	return MemConfig{Name: prof.Name + "+NUMA", Build: func(seed uint64) mem.Device { return p.CXLNUMADevice(prof, seed) }}
+}
+
+// CXLSwitch returns the switch-attached CXL config.
+func CXLSwitch(p platform.Platform, prof cxl.Profile) MemConfig {
+	return MemConfig{Name: prof.Name + "+Switch", Build: func(seed uint64) mem.Device { return p.CXLSwitchDevice(prof, seed) }}
+}
+
+// CXLInterleave returns an n-way interleaved CXL config.
+func CXLInterleave(p platform.Platform, prof cxl.Profile, n int) MemConfig {
+	return MemConfig{Name: fmt.Sprintf("%sx%d", prof.Name, n),
+		Build: func(seed uint64) mem.Device { return p.CXLInterleaveDevice(prof, n, seed) }}
+}
+
+// Result is one workload execution's measurement.
+type Result struct {
+	Workload string
+	Config   string
+	// Delta covers the measurement window (after warmup).
+	Delta counters.Snapshot
+	// Samples covers the whole run (time-based, for period analysis).
+	Samples []core.Sample
+	// Regions holds per-object attribution when requested.
+	Regions []core.RegionStat
+}
+
+// Cycles returns the measurement window's cycle count.
+func (r Result) Cycles() float64 { return r.Delta[counters.Cycles] }
+
+// Runner executes workloads with memoization: the local-DRAM baseline
+// of a workload is shared by every figure that needs its slowdown.
+type Runner struct {
+	Platform platform.Platform
+
+	// Instructions is the measurement window; Warmup precedes it.
+	Instructions uint64
+	Warmup       uint64
+
+	// SampleIntervalNs enables time sampling (period analysis).
+	SampleIntervalNs float64
+
+	// PrefetchersOff disables HW prefetching (ablations).
+	PrefetchersOff bool
+
+	Seed uint64
+
+	cache map[string]Result
+}
+
+// NewRunner returns a Runner with the defaults used across experiments.
+func NewRunner(p platform.Platform) *Runner {
+	return &Runner{
+		Platform:     p,
+		Instructions: 1_200_000,
+		Warmup:       250_000,
+		Seed:         1,
+		cache:        map[string]Result{},
+	}
+}
+
+func (r *Runner) key(spec workload.Spec, mc MemConfig) string {
+	return fmt.Sprintf("%s|%s|%s|%d|%d|%g|%v|%d",
+		spec.Name, mc.Name, r.Platform.CPU.Name, r.Instructions, r.Warmup,
+		r.SampleIntervalNs, r.PrefetchersOff, r.Seed)
+}
+
+// Run executes (or returns the cached) measurement of spec on mc.
+func (r *Runner) Run(spec workload.Spec, mc MemConfig) Result {
+	k := r.key(spec, mc)
+	if res, ok := r.cache[k]; ok {
+		return res
+	}
+	res := r.runOnce(spec, mc)
+	r.cache[k] = res
+	return res
+}
+
+func (r *Runner) runOnce(spec workload.Spec, mc MemConfig) Result {
+	dev := mc.Build(r.Seed)
+	var machineDev mem.Device = dev
+	if threads := spec.Siblings.BuildThreads(dev, r.Seed+101); threads != nil {
+		machineDev = core.NewContendedDevice(dev, threads)
+	}
+	instr := r.Instructions
+	if spec.Instructions > 0 {
+		instr = spec.Instructions
+	}
+	w := spec.Build(r.Seed)
+	m := core.New(core.Config{
+		CPU:              r.Platform.CPU,
+		Device:           machineDev,
+		PrefetchersOff:   r.PrefetchersOff,
+		MaxInstructions:  r.Warmup,
+		SampleIntervalNs: r.SampleIntervalNs,
+	})
+	if syn, ok := w.(*workload.Synthetic); ok {
+		m.SetRegions(syn.Arena().Objects())
+	}
+	if pl, ok := w.(workload.Preloader); ok {
+		for _, o := range pl.PreloadObjects() {
+			m.Preload(o.Base, o.Size)
+		}
+	}
+	w.Run(m)
+	before := m.Counters()
+	m.SetMaxInstructions(r.Warmup + instr)
+	w.Run(m)
+	after := m.Counters()
+
+	return Result{
+		Workload: spec.Name,
+		Config:   mc.Name,
+		Delta:    after.Delta(before),
+		Samples:  m.Samples(),
+		Regions:  m.RegionStats(),
+	}
+}
+
+// Slowdown measures spec's slowdown of target relative to the local
+// baseline: S = (c_target - c_local) / c_local.
+func (r *Runner) Slowdown(spec workload.Spec, target MemConfig) float64 {
+	base := r.Run(spec, Local(r.Platform))
+	tgt := r.Run(spec, target)
+	c := base.Cycles()
+	if c <= 0 {
+		return 0
+	}
+	return (tgt.Cycles() - c) / c
+}
+
+// Slowdowns evaluates a workload set against one target config.
+func (r *Runner) Slowdowns(specs []workload.Spec, target MemConfig) []float64 {
+	out := make([]float64, len(specs))
+	for i, s := range specs {
+		out[i] = r.Slowdown(s, target)
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+// Package mem defines the vocabulary shared by every memory component in
+// the simulator: request kinds, the Device interface that backs a
+// cacheline access, and access statistics.
+//
+// Devices are time-driven rather than event-driven: a caller hands
+// Access the current simulated time in nanoseconds and receives the
+// completion time back. Device implementations mutate their internal
+// state (bank occupancy, link busy windows, queue clocks) as a side
+// effect, which is what creates contention between callers that share a
+// device.
+package mem
+
+import "fmt"
+
+// LineSize is the cacheline size in bytes; all device traffic is in
+// units of one line, matching CXL.mem flit payloads.
+const LineSize = 64
+
+// Kind classifies a memory request the way the CPU backend does
+// (Figure 2c of the paper): demand loads, the two prefetcher classes,
+// read-for-ownership, and dirty writebacks.
+type Kind uint8
+
+const (
+	// DemandRead is a load the core needs for computation.
+	DemandRead Kind = iota
+	// PrefetchL1 is a read issued by the L1 hardware prefetcher.
+	PrefetchL1
+	// PrefetchL2 is a read issued by the L2 hardware prefetcher.
+	PrefetchL2
+	// RFO is the ownership read triggered by a store miss.
+	RFO
+	// Write is a dirty-line writeback (posted; the CPU does not wait).
+	Write
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case DemandRead:
+		return "demand"
+	case PrefetchL1:
+		return "l1pf"
+	case PrefetchL2:
+		return "l2pf"
+	case RFO:
+		return "rfo"
+	case Write:
+		return "write"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// IsRead reports whether the request moves data toward the CPU.
+// RFO transfers a full line to the core, so it loads the read path.
+func (k Kind) IsRead() bool { return k != Write }
+
+// Device is anything that can service a cacheline request: an integrated
+// memory controller over local DDR, a remote NUMA node behind a UPI hop,
+// or a CXL memory expander.
+type Device interface {
+	// Access simulates one line-sized request arriving at time now (ns)
+	// and returns its completion time (ns). For reads the completion is
+	// when data reaches the requester; for writes it is when the device
+	// has absorbed the write (back-pressure shows up as a late
+	// completion).
+	Access(now float64, addr uint64, kind Kind) (done float64)
+
+	// Name identifies the device in reports ("Local", "CXL-A", ...).
+	Name() string
+
+	// Reset returns the device to its initial idle state and clears
+	// statistics, so one instance can be reused across experiments.
+	Reset()
+
+	// Stats returns a snapshot of accumulated counters.
+	Stats() DeviceStats
+}
+
+// DeviceStats accumulates per-device traffic counters.
+type DeviceStats struct {
+	Reads     uint64  // demand + prefetch + RFO requests
+	Writes    uint64  // writeback requests
+	RowHits   uint64  // DRAM row-buffer hits
+	RowMisses uint64  // row closed or conflict
+	Retries   uint64  // link-layer CRC replays
+	Throttled uint64  // requests delayed by the thermal governor
+	BusyNs    float64 // total bank service time (for utilization)
+	LastDone  float64 // completion time of the most recent request
+}
+
+// TotalRequests returns reads + writes.
+func (s DeviceStats) TotalRequests() uint64 { return s.Reads + s.Writes }

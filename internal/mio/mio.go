@@ -1,0 +1,133 @@
+// Package mio reimplements the paper's custom microbenchmark for
+// cacheline-level latency distributions: a foreground pointer chase over
+// a working set larger than the LLC, optionally batched every N
+// operations (amortizing rdtsc in the original), co-located with other
+// pointer chasers and/or bandwidth-generating noise threads. It backs
+// Figures 3b, 3c, 4, 6, and 7c.
+package mio
+
+import (
+	"github.com/moatlab/melody/internal/mem"
+	"github.com/moatlab/melody/internal/stats"
+	"github.com/moatlab/melody/internal/traffic"
+)
+
+// NoiseKind selects the background-traffic flavour.
+type NoiseKind uint8
+
+const (
+	// NoiseNone runs only pointer chasers.
+	NoiseNone NoiseKind = iota
+	// NoiseRead runs read-only bandwidth threads (Figure 3c).
+	NoiseRead
+	// NoiseReadWrite runs AVX-style mixed read/write streams (Figure 4).
+	NoiseReadWrite
+)
+
+// Config controls one MIO measurement.
+type Config struct {
+	WorkingSet uint64  // per-thread working set (must exceed the LLC)
+	DurationNs float64 // simulated measurement time
+	BatchN     int     // average every N chases (1 = raw samples)
+
+	ChaseThreads int // co-located pointer chasers incl. the foreground
+
+	Noise        NoiseKind
+	NoiseThreads int
+	NoiseMLP     int
+	NoiseDelayNs float64 // pacing so noise does not saturate the device
+
+	Seed uint64
+}
+
+// DefaultConfig returns a single-threaded raw-sample measurement.
+func DefaultConfig() Config {
+	return Config{
+		WorkingSet:   256 << 20,
+		DurationNs:   400_000,
+		BatchN:       1,
+		ChaseThreads: 1,
+		NoiseMLP:     8,
+		Seed:         1,
+	}
+}
+
+// Result is one measurement outcome.
+type Result struct {
+	// Latencies holds the foreground thread's (possibly batched)
+	// latency samples in ns.
+	Latencies []float64
+	// BandwidthGBs is the aggregate payload bandwidth during the run.
+	BandwidthGBs float64
+	// Summary of the latency distribution.
+	Summary stats.Summary
+}
+
+// Percentile returns the p-th percentile of the sampled latencies.
+func (r Result) Percentile(p float64) float64 {
+	return stats.Percentile(r.Latencies, p)
+}
+
+// TailGap returns p99.9 - p50, the paper's tail-instability metric.
+func (r Result) TailGap() float64 {
+	ps := stats.Percentiles(r.Latencies, 50, 99.9)
+	return ps[1] - ps[0]
+}
+
+// Run executes the measurement on dev (Reset first).
+func Run(dev mem.Device, cfg Config) Result {
+	dev.Reset()
+	if cfg.ChaseThreads < 1 {
+		cfg.ChaseThreads = 1
+	}
+
+	var threads []traffic.Thread
+	fg := traffic.NewPointerChaser(dev, cfg.WorkingSet, cfg.Seed)
+	fg.Record = true
+	fg.BatchN = cfg.BatchN
+	threads = append(threads, fg)
+
+	chasers := []*traffic.PointerChaser{fg}
+	for i := 1; i < cfg.ChaseThreads; i++ {
+		pc := traffic.NewPointerChaser(dev, cfg.WorkingSet, cfg.Seed+uint64(i)*97)
+		pc.Base = uint64(i) * cfg.WorkingSet
+		threads = append(threads, pc)
+		chasers = append(chasers, pc)
+	}
+
+	var gens []*traffic.LoadGenerator
+	if cfg.Noise != NoiseNone {
+		readFrac := 1.0
+		if cfg.Noise == NoiseReadWrite {
+			readFrac = 0.5
+		}
+		for i := 0; i < cfg.NoiseThreads; i++ {
+			g := traffic.NewLoadGenerator(dev, cfg.WorkingSet, readFrac, cfg.Seed+uint64(i)*131+7)
+			g.Base = uint64(cfg.ChaseThreads+i) * cfg.WorkingSet
+			g.MLP = cfg.NoiseMLP
+			g.Sequential = true // AVX-style streaming noise
+			g.DelayNs = cfg.NoiseDelayNs
+			gens = append(gens, g)
+			threads = append(threads, g)
+		}
+	}
+
+	end := traffic.Run(threads, cfg.DurationNs)
+
+	bytes := 0.0
+	for _, pc := range chasers {
+		bytes += float64(pc.Count) * mem.LineSize
+	}
+	for _, g := range gens {
+		bytes += g.Bytes
+	}
+	bw := 0.0
+	if end > 0 {
+		bw = bytes / end
+	}
+	return Result{
+		Latencies:    fg.Latencies,
+		BandwidthGBs: bw,
+		Summary:      stats.Summarize(fg.Latencies),
+	}
+}

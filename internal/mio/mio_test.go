@@ -1,0 +1,104 @@
+package mio
+
+import (
+	"testing"
+
+	"github.com/moatlab/melody/internal/mem"
+)
+
+// spikyDev has a base latency plus periodic latency spikes.
+type spikyDev struct {
+	base   float64
+	period float64
+	spike  float64
+}
+
+func (d *spikyDev) Access(now float64, addr uint64, kind mem.Kind) float64 {
+	lat := d.base
+	if d.period > 0 {
+		into := now - float64(uint64(now/d.period))*d.period
+		if into < 200 { // 200ns spike window each period
+			lat += d.spike
+		}
+	}
+	return now + lat
+}
+func (d *spikyDev) Name() string           { return "spiky" }
+func (d *spikyDev) Reset()                 {}
+func (d *spikyDev) Stats() mem.DeviceStats { return mem.DeviceStats{} }
+
+func TestRunRecordsLatencies(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DurationNs = 50_000
+	res := Run(&spikyDev{base: 200}, cfg)
+	if len(res.Latencies) < 100 {
+		t.Fatalf("only %d samples", len(res.Latencies))
+	}
+	if p := res.Percentile(50); p < 199 || p > 201 {
+		t.Fatalf("p50 = %v, want ~200", p)
+	}
+	if res.BandwidthGBs <= 0 {
+		t.Fatal("no bandwidth reported")
+	}
+}
+
+func TestTailGapDetectsSpikes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DurationNs = 400_000
+	stable := Run(&spikyDev{base: 200}, cfg)
+	spiky := Run(&spikyDev{base: 200, period: 20_000, spike: 800}, cfg)
+	if stable.TailGap() > 5 {
+		t.Fatalf("stable device tail gap = %v", stable.TailGap())
+	}
+	if spiky.TailGap() < 300 {
+		t.Fatalf("spiky device tail gap = %v, want large", spiky.TailGap())
+	}
+}
+
+func TestBatchNAveraging(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DurationNs = 50_000
+	cfg.BatchN = 8
+	res := Run(&spikyDev{base: 150}, cfg)
+	raw := Run(&spikyDev{base: 150}, DefaultConfig())
+	if len(res.Latencies) >= len(raw.Latencies) {
+		t.Fatal("batched run should emit fewer samples")
+	}
+	if p := res.Percentile(50); p < 149 || p > 151 {
+		t.Fatalf("batched p50 = %v", p)
+	}
+}
+
+func TestNoiseThreadsAddBandwidth(t *testing.T) {
+	quiet := DefaultConfig()
+	quiet.DurationNs = 50_000
+	noisy := quiet
+	noisy.Noise = NoiseRead
+	noisy.NoiseThreads = 8
+	d := &spikyDev{base: 100}
+	bwQuiet := Run(d, quiet).BandwidthGBs
+	bwNoisy := Run(d, noisy).BandwidthGBs
+	if bwNoisy <= bwQuiet*2 {
+		t.Fatalf("noise threads added no bandwidth: %v vs %v", bwQuiet, bwNoisy)
+	}
+}
+
+func TestRunPrefetchedHidesLatency(t *testing.T) {
+	cfg := DefaultPrefetchedConfig()
+	cfg.Samples = 5_000
+	res := RunPrefetched(&spikyDev{base: 300}, cfg)
+	// Timely prefetches: observed p50 should be the cache-hit cost, far
+	// below the device's 300ns.
+	if p := res.Percentile(50); p > cfg.HitNs*1.5 {
+		t.Fatalf("prefetched p50 = %v, want ~%v", p, cfg.HitNs)
+	}
+}
+
+func TestRunPrefetchedLeaksSpikes(t *testing.T) {
+	cfg := DefaultPrefetchedConfig()
+	cfg.Samples = 30_000
+	res := RunPrefetched(&spikyDev{base: 300, period: 30_000, spike: 2_000}, cfg)
+	if res.Summary.Max < 500 {
+		t.Fatalf("prefetching hid a 2us device spike entirely: max %v", res.Summary.Max)
+	}
+}

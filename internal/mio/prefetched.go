@@ -1,0 +1,94 @@
+package mio
+
+import (
+	"github.com/moatlab/melody/internal/mem"
+	"github.com/moatlab/melody/internal/stats"
+)
+
+// PrefetchedConfig controls the prefetcher-on measurement (Figure 6):
+// a strided chase whose upcoming lines a hardware-prefetcher model
+// fetches ahead, so the observed demand latency is near the cache-hit
+// cost when prefetches are timely and spikes when the device delays
+// them — "prefetching is insufficient to hide CXL-induced latencies".
+type PrefetchedConfig struct {
+	StrideBytes uint64  // access stride (line-sized by default)
+	Distance    int     // lines fetched ahead of demand
+	HitNs       float64 // cache-hit latency observed when timely
+	GapNs       float64 // compute time between accesses
+	Samples     int
+	Chasers     int // co-located strided chasers
+	Seed        uint64
+}
+
+// DefaultPrefetchedConfig mirrors the paper's setting.
+func DefaultPrefetchedConfig() PrefetchedConfig {
+	return PrefetchedConfig{
+		StrideBytes: mem.LineSize,
+		Distance:    8,
+		HitNs:       15,
+		GapNs:       20,
+		Samples:     60_000,
+		Chasers:     1,
+		Seed:        1,
+	}
+}
+
+// prefetchState tracks in-flight prefetch completions for one chaser.
+type prefetchState struct {
+	base      uint64
+	cursor    uint64
+	issued    uint64 // next line index to prefetch
+	doneAt    map[uint64]float64
+	latencies []float64
+}
+
+// RunPrefetched measures the effective demand latency distribution of
+// strided chasers with prefetching, on dev (Reset first).
+func RunPrefetched(dev mem.Device, cfg PrefetchedConfig) Result {
+	dev.Reset()
+	if cfg.StrideBytes == 0 {
+		cfg.StrideBytes = mem.LineSize
+	}
+	if cfg.Chasers < 1 {
+		cfg.Chasers = 1
+	}
+	chasers := make([]*prefetchState, cfg.Chasers)
+	for i := range chasers {
+		chasers[i] = &prefetchState{
+			base:   uint64(i) << 33,
+			doneAt: map[uint64]float64{},
+		}
+	}
+	now := 0.0
+	perChaser := cfg.Samples / cfg.Chasers
+	for s := 0; s < perChaser; s++ {
+		for _, c := range chasers {
+			// Prefetch ahead of the demand cursor.
+			for c.issued < c.cursor+uint64(cfg.Distance) {
+				addr := c.base + c.issued*cfg.StrideBytes
+				c.doneAt[c.issued] = dev.Access(now, addr, mem.PrefetchL2)
+				c.issued++
+			}
+			// Demand access: timely prefetch means a cache hit; a late
+			// one stalls until the fill lands.
+			lat := cfg.HitNs
+			if done, ok := c.doneAt[c.cursor]; ok {
+				if wait := done - now; wait > lat {
+					lat = wait
+				}
+				delete(c.doneAt, c.cursor)
+			} else {
+				done := dev.Access(now, c.base+c.cursor*cfg.StrideBytes, mem.DemandRead)
+				lat = done - now
+			}
+			c.latencies = append(c.latencies, lat)
+			c.cursor++
+			now += lat + cfg.GapNs
+		}
+	}
+	fg := chasers[0].latencies
+	return Result{
+		Latencies: fg,
+		Summary:   stats.Summarize(fg),
+	}
+}

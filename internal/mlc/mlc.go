@@ -1,0 +1,150 @@
+// Package mlc reimplements the Intel Memory Latency Checker methodology
+// over simulated devices: idle latency (dependent pointer chase),
+// bandwidth matrices (saturating traffic), and loaded-latency curves
+// (one latency thread contending with 31 traffic threads that inject
+// configurable compute delays) — the tooling behind the paper's Table 1
+// and Figures 1, 3a, 3c, and 5.
+package mlc
+
+import (
+	"github.com/moatlab/melody/internal/mem"
+	"github.com/moatlab/melody/internal/stats"
+	"github.com/moatlab/melody/internal/traffic"
+)
+
+// Config controls a measurement run.
+type Config struct {
+	WorkingSet uint64  // per-thread working set, bytes
+	DurationNs float64 // simulated time per measurement
+	Threads    int     // traffic threads (the paper uses 31)
+	MLP        int     // outstanding requests per traffic thread
+	Seed       uint64
+}
+
+// DefaultConfig returns the paper's measurement shape scaled to
+// simulation-friendly durations.
+func DefaultConfig() Config {
+	return Config{
+		WorkingSet: 256 << 20,
+		DurationNs: 300_000,
+		Threads:    31,
+		MLP:        32,
+		Seed:       1,
+	}
+}
+
+// IdleLatency measures the average dependent-load latency with no other
+// traffic, like "mlc --latency_matrix". The device is Reset first.
+func IdleLatency(dev mem.Device, cfg Config) float64 {
+	dev.Reset()
+	pc := traffic.NewPointerChaser(dev, cfg.WorkingSet, cfg.Seed)
+	pc.Record = true
+	traffic.Run([]traffic.Thread{pc}, cfg.DurationNs)
+	if len(pc.Latencies) == 0 {
+		return 0
+	}
+	return stats.Mean(pc.Latencies)
+}
+
+// Bandwidth measures achieved bandwidth (GB/s) with all threads issuing
+// traffic at the given read fraction and no injected delay, like
+// "mlc --bandwidth_matrix". The device is Reset first.
+func Bandwidth(dev mem.Device, readFrac float64, cfg Config) float64 {
+	dev.Reset()
+	threads := make([]traffic.Thread, cfg.Threads)
+	gens := make([]*traffic.LoadGenerator, cfg.Threads)
+	for i := range threads {
+		g := traffic.NewLoadGenerator(dev, cfg.WorkingSet, readFrac, cfg.Seed+uint64(i)*101)
+		g.Base = uint64(i) * cfg.WorkingSet
+		g.MLP = cfg.MLP
+		g.Sequential = true // MLC streams buffers (row-friendly)
+		gens[i] = g
+		threads[i] = g
+	}
+	end := traffic.Run(threads, cfg.DurationNs)
+	if end <= 0 {
+		return 0
+	}
+	total := 0.0
+	for _, g := range gens {
+		total += g.Bytes
+	}
+	return total / end // bytes per ns == GB/s
+}
+
+// LoadedPoint is one point of a loaded-latency curve.
+type LoadedPoint struct {
+	InjectDelayNs float64
+	BandwidthGBs  float64
+	AvgLatencyNs  float64
+	P50Ns, P999Ns float64
+}
+
+// LoadedLatency sweeps the injected traffic-thread delay and, for each
+// level, measures the foreground pointer-chase latency distribution and
+// the aggregate bandwidth — Figure 3a (readFrac 1.0) and Figure 5
+// (various read/write ratios). Delays are in ns; the paper's "0-20K
+// cycles" at ~2.1 GHz spans roughly 0-9500 ns.
+func LoadedLatency(dev mem.Device, readFrac float64, delaysNs []float64, cfg Config) []LoadedPoint {
+	out := make([]LoadedPoint, 0, len(delaysNs))
+	for di, delay := range delaysNs {
+		dev.Reset()
+		pc := traffic.NewPointerChaser(dev, cfg.WorkingSet, cfg.Seed+uint64(di))
+		pc.Record = true
+		threads := make([]traffic.Thread, 0, cfg.Threads+1)
+		threads = append(threads, pc)
+		gens := make([]*traffic.LoadGenerator, 0, cfg.Threads)
+		for i := 0; i < cfg.Threads; i++ {
+			g := traffic.NewLoadGenerator(dev, cfg.WorkingSet, readFrac, cfg.Seed+uint64(di*1000+i)*37)
+			g.Base = uint64(i+1) * cfg.WorkingSet
+			g.MLP = cfg.MLP
+			g.Sequential = true
+			g.DelayNs = delay
+			gens = append(gens, g)
+			threads = append(threads, g)
+		}
+		end := traffic.Run(threads, cfg.DurationNs)
+		if end <= 0 || len(pc.Latencies) == 0 {
+			continue
+		}
+		total := 0.0
+		for _, g := range gens {
+			total += g.Bytes
+		}
+		total += float64(pc.Count) * mem.LineSize
+		ps := stats.Percentiles(pc.Latencies, 50, 99.9)
+		out = append(out, LoadedPoint{
+			InjectDelayNs: delay,
+			BandwidthGBs:  total / end,
+			AvgLatencyNs:  stats.Mean(pc.Latencies),
+			P50Ns:         ps[0],
+			P999Ns:        ps[1],
+		})
+	}
+	return out
+}
+
+// RWRatios returns the paper's Figure 5 read:write mixes as read
+// fractions: 1:0, 4:1, 3:1, 2:1, 3:2, 1:1.
+func RWRatios() []struct {
+	Name     string
+	ReadFrac float64
+} {
+	return []struct {
+		Name     string
+		ReadFrac float64
+	}{
+		{"1:0", 1.0},
+		{"4:1", 0.8},
+		{"3:1", 0.75},
+		{"2:1", 2.0 / 3.0},
+		{"3:2", 0.6},
+		{"1:1", 0.5},
+	}
+}
+
+// StandardDelays returns the paper's injected-delay sweep (0-20K cycles
+// at ~2.1 GHz) as ns values, descending from light to heavy load.
+func StandardDelays() []float64 {
+	return []float64{9500, 4800, 2400, 1200, 700, 450, 330, 240, 140, 70, 30, 0}
+}

@@ -1,0 +1,99 @@
+package mlc
+
+import (
+	"testing"
+
+	"github.com/moatlab/melody/internal/mem"
+)
+
+// rampDev's latency grows with instantaneous load (requests in the last
+// 100ns window), giving loaded-latency curves something to bend on.
+type rampDev struct {
+	base        float64
+	windowStart float64
+	count       float64
+	level       float64
+}
+
+func (d *rampDev) Access(now float64, addr uint64, kind mem.Kind) float64 {
+	if now-d.windowStart > 100 {
+		d.level = d.count / (now - d.windowStart)
+		d.windowStart = now
+		d.count = 0
+	}
+	d.count++
+	return now + d.base + d.level*400
+}
+func (d *rampDev) Name() string           { return "ramp" }
+func (d *rampDev) Reset()                 { d.windowStart, d.count, d.level = 0, 0, 0 }
+func (d *rampDev) Stats() mem.DeviceStats { return mem.DeviceStats{} }
+
+func testCfg() Config {
+	cfg := DefaultConfig()
+	cfg.DurationNs = 40_000
+	return cfg
+}
+
+func TestIdleLatencyFixedDevice(t *testing.T) {
+	d := &rampDev{base: 150}
+	got := IdleLatency(d, testCfg())
+	// A single chaser is light load; latency should be near base.
+	if got < 150 || got > 170 {
+		t.Fatalf("idle latency = %v, want ~150", got)
+	}
+}
+
+func TestBandwidthPositive(t *testing.T) {
+	d := &rampDev{base: 100}
+	bw := Bandwidth(d, 1.0, testCfg())
+	if bw <= 0 {
+		t.Fatalf("bandwidth = %v", bw)
+	}
+}
+
+func TestLoadedLatencyMonotone(t *testing.T) {
+	d := &rampDev{base: 100}
+	pts := LoadedLatency(d, 1.0, []float64{5000, 500, 0}, testCfg())
+	if len(pts) != 3 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	// Decreasing injected delay raises bandwidth and (here) latency.
+	if !(pts[0].BandwidthGBs < pts[2].BandwidthGBs) {
+		t.Fatalf("bandwidth not increasing with load: %+v", pts)
+	}
+	if !(pts[0].AvgLatencyNs < pts[2].AvgLatencyNs) {
+		t.Fatalf("loaded latency not increasing with load: %+v", pts)
+	}
+	for _, p := range pts {
+		if p.P50Ns > p.P999Ns {
+			t.Fatalf("p50 %v > p99.9 %v", p.P50Ns, p.P999Ns)
+		}
+	}
+}
+
+func TestRWRatiosShape(t *testing.T) {
+	ratios := RWRatios()
+	if len(ratios) != 6 {
+		t.Fatalf("got %d ratios, want 6", len(ratios))
+	}
+	if ratios[0].ReadFrac != 1.0 || ratios[len(ratios)-1].ReadFrac != 0.5 {
+		t.Fatalf("ratio endpoints wrong: %+v", ratios)
+	}
+	for i := 1; i < len(ratios); i++ {
+		if ratios[i].ReadFrac >= ratios[i-1].ReadFrac {
+			t.Fatal("read fractions not strictly decreasing")
+		}
+	}
+}
+
+func TestStandardDelaysDescending(t *testing.T) {
+	ds := StandardDelays()
+	for i := 1; i < len(ds); i++ {
+		if ds[i] >= ds[i-1] {
+			t.Fatal("delays not descending")
+		}
+	}
+	if ds[len(ds)-1] != 0 {
+		t.Fatal("sweep must end at zero delay (full load)")
+	}
+}

@@ -1,0 +1,59 @@
+package spa
+
+import (
+	"sort"
+
+	"github.com/moatlab/melody/internal/core"
+)
+
+// Placement advisory (paper §5.7): rank a workload's objects by their
+// contribution to CXL-induced DRAM stalls and suggest which to relocate
+// to local DRAM. The paper's version used Intel Pin and addr2line; the
+// simulator attributes stalls per vm object directly.
+
+// Advice ranks one object.
+type Advice struct {
+	Name string
+	// StallShare is the object's fraction of all attributed DRAM stall
+	// cycles.
+	StallShare float64
+	// MissShare is its fraction of demand misses.
+	MissShare float64
+}
+
+// Advise ranks the profiled regions by stall contribution, descending.
+func Advise(stats []core.RegionStat) []Advice {
+	var totalStall, totalMiss float64
+	for _, s := range stats {
+		totalStall += s.StallCycles
+		totalMiss += float64(s.DemandMisses)
+	}
+	out := make([]Advice, 0, len(stats))
+	for _, s := range stats {
+		a := Advice{Name: s.Object.Name}
+		if totalStall > 0 {
+			a.StallShare = s.StallCycles / totalStall
+		}
+		if totalMiss > 0 {
+			a.MissShare = float64(s.DemandMisses) / totalMiss
+		}
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].StallShare > out[j].StallShare })
+	return out
+}
+
+// TopObjects returns the names of objects that together cover at least
+// the given share of stalls — the relocation candidates.
+func TopObjects(advice []Advice, share float64) []string {
+	var names []string
+	covered := 0.0
+	for _, a := range advice {
+		if covered >= share {
+			break
+		}
+		names = append(names, a.Name)
+		covered += a.StallShare
+	}
+	return names
+}

@@ -1,0 +1,64 @@
+package spa
+
+import "github.com/moatlab/melody/internal/counters"
+
+// Performance prediction (paper §5.7 and the companion technical
+// report): because Spa isolates the stall cycles that scale with memory
+// latency, a workload's slowdown at an *unseen* latency can be
+// predicted from its behaviour at one measured latency.
+//
+// The model: the memory-subsystem stall delta grows linearly with the
+// added round-trip latency (each blocking miss costs the latency
+// difference), while core/frontend contributions stay flat. Given a
+// baseline at L0 and a measurement at L1, the slowdown at L2 is
+//
+//	S(L2) ≈ ΔsMemory(L1)/c × (L2-L0)/(L1-L0)
+//
+// Bandwidth saturation and device tails break pure linearity — exactly
+// the divergences the paper attributes to device heterogeneity — so
+// Predict is an estimator, and PredictionError quantifies it.
+
+// Predictor extrapolates slowdowns from one calibration measurement.
+type Predictor struct {
+	// BaseLatencyNs is the local-DRAM idle latency (L0).
+	BaseLatencyNs float64
+	// CalLatencyNs is the calibration device's idle latency (L1).
+	CalLatencyNs float64
+	// memStallPerCycle is ΔsMemory/c from the calibration pair.
+	memStallPerCycle float64
+	// corePerCycle is the latency-independent remainder.
+	corePerCycle float64
+}
+
+// NewPredictor calibrates a predictor from a baseline snapshot (local
+// DRAM, latency l0) and a measurement snapshot (a CXL device or NUMA,
+// latency l1).
+func NewPredictor(base, cal counters.Snapshot, l0, l1 float64) Predictor {
+	b := Analyze(base, cal)
+	return Predictor{
+		BaseLatencyNs:    l0,
+		CalLatencyNs:     l1,
+		memStallPerCycle: b.EstMemory,
+		corePerCycle:     b.Core,
+	}
+}
+
+// Predict returns the estimated slowdown at device latency l2 (ns).
+func (p Predictor) Predict(l2 float64) float64 {
+	den := p.CalLatencyNs - p.BaseLatencyNs
+	if den <= 0 {
+		return 0
+	}
+	scale := (l2 - p.BaseLatencyNs) / den
+	return p.memStallPerCycle*scale + p.corePerCycle
+}
+
+// PredictionError compares a prediction with a measured slowdown and
+// returns the absolute error.
+func PredictionError(predicted, actual float64) float64 {
+	d := predicted - actual
+	if d < 0 {
+		return -d
+	}
+	return d
+}

@@ -1,0 +1,114 @@
+// Package spa implements the paper's Stall-based CXL performance
+// analysis (§5): a root-cause breakdown of CXL-induced slowdowns using
+// only the nine CPU counters of Table 2, differenced between a local
+// DRAM run and a CXL run of the same instruction window.
+//
+// The arithmetic follows Equations (1)-(8):
+//
+//	Δs        = ΔP6                       (total additional stalls)
+//	ΔsCore    = ΔP7 + ΔP8 + ΔP9
+//	ΔsMemory  = ΔP1 + ΔP2
+//	s_store=P2, s_L1=P1-P3, s_L2=P3-P4, s_L3=P4-P5, s_DRAM=P5
+//	S ≈ Δs/c ≈ ΔsBackend/c ≈ ΔsMemory/c
+//	S ≈ S_store + S_L1 + S_L2 + S_L3 + S_DRAM
+//
+// where c is the baseline (local DRAM) cycle count.
+package spa
+
+import (
+	"fmt"
+
+	"github.com/moatlab/melody/internal/counters"
+)
+
+// Breakdown is one workload's Spa analysis.
+type Breakdown struct {
+	// Actual is the measured slowdown S = (c'-c)/c.
+	Actual float64
+
+	// The three estimators of Figure 11.
+	EstTotal   float64 // Δs / c        (ΔP6)
+	EstBackend float64 // ΔsBackend / c (ΔP1+ΔP2+ΔP7+ΔP8+ΔP9)
+	EstMemory  float64 // ΔsMemory / c  (ΔP1+ΔP2)
+
+	// Component slowdowns (Equation 8). Other absorbs whatever the five
+	// sources do not explain.
+	Store, L1, L2, L3, DRAM float64
+	Core                    float64
+	Other                   float64
+}
+
+// Components returns the stacked-bar values in the paper's Figure 14
+// order: DRAM, L3, L2, L1, Store, Core, Other.
+func (b Breakdown) Components() []float64 {
+	return []float64{b.DRAM, b.L3, b.L2, b.L1, b.Store, b.Core, b.Other}
+}
+
+// ComponentNames matches Components.
+func ComponentNames() []string {
+	return []string{"DRAM", "L3", "L2", "L1", "Store", "Core", "Other"}
+}
+
+// Sum returns the sum of all attributed components (excluding Other).
+func (b Breakdown) Sum() float64 {
+	return b.Store + b.L1 + b.L2 + b.L3 + b.DRAM + b.Core
+}
+
+// String renders the breakdown on one line.
+func (b Breakdown) String() string {
+	return fmt.Sprintf("S=%.1f%% [DRAM %.1f, L3 %.1f, L2 %.1f, L1 %.1f, store %.1f, core %.1f, other %.1f]",
+		b.Actual*100, b.DRAM*100, b.L3*100, b.L2*100, b.L1*100, b.Store*100, b.Core*100, b.Other*100)
+}
+
+// memStalls splits a snapshot into the five memory sources.
+func memStalls(c counters.Snapshot) (store, l1, l2, l3, dram float64) {
+	store = c[counters.BoundOnStores]
+	l1 = c[counters.BoundOnLoads] - c[counters.StallsL1DMiss]
+	l2 = c[counters.StallsL1DMiss] - c[counters.StallsL2Miss]
+	l3 = c[counters.StallsL2Miss] - c[counters.StallsL3Miss]
+	dram = c[counters.StallsL3Miss]
+	return
+}
+
+// Analyze differences a baseline (local DRAM) snapshot against a target
+// (CXL) snapshot covering the same instruction window and returns the
+// slowdown breakdown. Snapshots must include Cycles.
+func Analyze(base, target counters.Snapshot) Breakdown {
+	c := base[counters.Cycles]
+	if c <= 0 {
+		return Breakdown{}
+	}
+	d := target.Delta(base)
+
+	var b Breakdown
+	b.Actual = d[counters.Cycles] / c
+	b.EstTotal = d[counters.RetiredStalls] / c
+	coreDelta := d[counters.OnePortsUtil] + d[counters.TwoPortsUtil] + d[counters.StallsScoreboard]
+	memDelta := d[counters.BoundOnLoads] + d[counters.BoundOnStores]
+	b.EstBackend = (coreDelta + memDelta) / c
+	b.EstMemory = memDelta / c
+
+	bs, bl1, bl2, bl3, bd := memStalls(base)
+	ts, tl1, tl2, tl3, td := memStalls(target)
+	b.Store = (ts - bs) / c
+	b.L1 = (tl1 - bl1) / c
+	b.L2 = (tl2 - bl2) / c
+	b.L3 = (tl3 - bl3) / c
+	b.DRAM = (td - bd) / c
+	b.Core = coreDelta / c
+	b.Other = b.Actual - b.Sum()
+	return b
+}
+
+// AccuracyErrors returns the absolute differences |estimate - actual|
+// for the three estimators, the quantities whose CDFs the paper plots
+// in Figure 11a-c.
+func AccuracyErrors(b Breakdown) (total, backend, memory float64) {
+	abs := func(v float64) float64 {
+		if v < 0 {
+			return -v
+		}
+		return v
+	}
+	return abs(b.EstTotal - b.Actual), abs(b.EstBackend - b.Actual), abs(b.EstMemory - b.Actual)
+}

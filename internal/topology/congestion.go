@@ -1,0 +1,95 @@
+package topology
+
+import "github.com/moatlab/melody/internal/mem"
+
+// CongestionConfig parameterizes load-dependent path congestion.
+//
+// The paper finds that CXL accessed across a NUMA hop (CXL+NUMA)
+// exhibits tail latencies far worse than either CXL or 2-hop NUMA alone
+// (Figure 8c/8d: 520.omnetpp slows 2.9x while consuming <1 GB/s), and
+// that reducing workload intensity shrinks both the tail and the
+// slowdown. We model this as periodic congestion windows on the
+// cross-socket path — coherence/directory traffic interference — whose
+// duration scales with the requester's recent arrival rate.
+type CongestionConfig struct {
+	// PeriodNs is the spacing between congestion windows.
+	PeriodNs float64
+	// WindowNs is the maximum window duration (at full intensity).
+	WindowNs float64
+	// RefRatePerNs is the request arrival rate (requests per ns,
+	// measured over RateWindowNs) at which congestion reaches full
+	// strength. Intensity scales quadratically below it, so sparse
+	// traffic (an idle latency probe) sees almost nothing while dense
+	// dependent-miss streams hit near-full windows — matching the
+	// paper's observation that halving workload intensity collapses
+	// the CXL+NUMA tail (Figure 8d).
+	RefRatePerNs float64
+	// RateWindowNs is the rate-measurement window (default 1000).
+	RateWindowNs float64
+}
+
+// Congested delays requests that land inside congestion windows. It
+// wraps the device on the far side of the congested path.
+type Congested struct {
+	name  string
+	inner mem.Device
+	cfg   CongestionConfig
+
+	windowStart float64
+	windowCount float64
+	rate        float64 // EWMA of requests per ns
+}
+
+var _ mem.Device = (*Congested)(nil)
+
+// NewCongested wraps inner with load-dependent congestion.
+func NewCongested(name string, inner mem.Device, cfg CongestionConfig) *Congested {
+	if cfg.RateWindowNs <= 0 {
+		cfg.RateWindowNs = 1000
+	}
+	return &Congested{name: name, inner: inner, cfg: cfg}
+}
+
+// Name implements mem.Device.
+func (c *Congested) Name() string { return c.name }
+
+// Reset implements mem.Device.
+func (c *Congested) Reset() {
+	c.inner.Reset()
+	c.windowStart, c.windowCount, c.rate = 0, 0, 0
+}
+
+// Stats implements mem.Device.
+func (c *Congested) Stats() mem.DeviceStats { return c.inner.Stats() }
+
+// Access implements mem.Device.
+func (c *Congested) Access(now float64, addr uint64, kind mem.Kind) float64 {
+	c.windowCount++
+	if elapsed := now - c.windowStart; elapsed >= c.cfg.RateWindowNs {
+		inst := c.windowCount / elapsed
+		c.rate = 0.6*c.rate + 0.4*inst
+		c.windowStart = now
+		c.windowCount = 0
+	}
+
+	t := now
+	if c.cfg.PeriodNs > 0 && c.cfg.WindowNs > 0 && c.cfg.RefRatePerNs > 0 {
+		// Quartic in the rate ratio: queueing interference has a sharp
+		// onset, which is what makes halving workload intensity collapse
+		// the tail (Figure 8d).
+		ratio := c.rate / c.cfg.RefRatePerNs
+		intensity := ratio * ratio * ratio * ratio
+		if intensity > 1 {
+			intensity = 1
+		}
+		window := c.cfg.WindowNs * intensity
+		if window > 0 {
+			k := float64(uint64(t / c.cfg.PeriodNs))
+			winStart := k * c.cfg.PeriodNs
+			if t < winStart+window {
+				t = winStart + window
+			}
+		}
+	}
+	return c.inner.Access(t, addr, kind)
+}

@@ -1,0 +1,259 @@
+// Package topology composes mem.Devices into the memory configurations
+// the paper evaluates: socket-local DRAM, one- and two-hop NUMA, locally
+// attached CXL, CXL accessed from a remote socket (CXL+NUMA), CXL behind
+// a switch, hardware-interleaved device sets (2x CXL-D), and
+// region-based placement for the tiering use case (§5.7).
+package topology
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/moatlab/melody/internal/link"
+	"github.com/moatlab/melody/internal/mem"
+)
+
+const flitHeader = 16.0
+
+// Remote places an inner device behind a cross-socket hop (UPI). It is
+// used both for plain NUMA (inner = the remote socket's iMC) and for
+// CXL+NUMA (inner = a CXL device attached to the other socket).
+//
+// ExtraNs models vendor/platform-specific cross-socket inefficiency: the
+// paper measures that one NUMA hop adds 161/202/227/94 ns for CXL A-D,
+// far from uniform, so the hop cost is per-configuration.
+type Remote struct {
+	name    string
+	inner   mem.Device
+	upi     *link.Link
+	extraNs float64
+}
+
+var _ mem.Device = (*Remote)(nil)
+
+// NewRemote wraps inner behind a UPI link. extraNs is added per
+// direction on top of the link's own cost.
+func NewRemote(name string, inner mem.Device, upiCfg link.Config, extraNs float64, seed uint64) *Remote {
+	return &Remote{
+		name:    name,
+		inner:   inner,
+		upi:     link.New(upiCfg, seed),
+		extraNs: extraNs / 2,
+	}
+}
+
+// Name implements mem.Device.
+func (r *Remote) Name() string { return r.name }
+
+// Reset implements mem.Device.
+func (r *Remote) Reset() {
+	r.inner.Reset()
+	r.upi.Reset()
+}
+
+// Access implements mem.Device.
+func (r *Remote) Access(now float64, addr uint64, kind mem.Kind) float64 {
+	reqBytes := flitHeader
+	if kind == mem.Write {
+		reqBytes = mem.LineSize + flitHeader
+	}
+	t := r.upi.Send(now, link.Req, reqBytes) + r.extraNs
+	done := r.inner.Access(t, addr, kind)
+	if kind == mem.Write {
+		// Posted: absorbed at the far side; ack returns off the
+		// critical path.
+		r.upi.Send(done, link.Rsp, 8)
+		return done
+	}
+	return r.upi.Send(done, link.Rsp, mem.LineSize+flitHeader) + r.extraNs
+}
+
+// Stats implements mem.Device.
+func (r *Remote) Stats() mem.DeviceStats { return r.inner.Stats() }
+
+// Switched places an inner device behind a CXL switch hop: a fixed
+// per-direction latency plus store-and-forward ports that add queueing
+// under load. Each direction has its own port, since requests flow at
+// present time while responses are forwarded at (later) completion
+// times — sharing one clock would let responses starve requests.
+type Switched struct {
+	name      string
+	inner     mem.Device
+	latencyNs float64    // per direction
+	portBW    float64    // GB/s through each switch port
+	busyUntil [2]float64 // 0 = upstream (requests), 1 = downstream
+}
+
+var _ mem.Device = (*Switched)(nil)
+
+// NewSwitched wraps inner behind a switch with the given per-direction
+// latency and port bandwidth.
+func NewSwitched(name string, inner mem.Device, latencyNs, portBW float64) *Switched {
+	return &Switched{name: name, inner: inner, latencyNs: latencyNs, portBW: portBW}
+}
+
+// Name implements mem.Device.
+func (s *Switched) Name() string { return s.name }
+
+// Reset implements mem.Device.
+func (s *Switched) Reset() {
+	s.inner.Reset()
+	s.busyUntil = [2]float64{}
+}
+
+func (s *Switched) forward(now, bytes float64, dir int) float64 {
+	start := now
+	if s.busyUntil[dir] > start {
+		start = s.busyUntil[dir]
+	}
+	end := start + bytes/s.portBW
+	s.busyUntil[dir] = end
+	return end + s.latencyNs
+}
+
+// Access implements mem.Device.
+func (s *Switched) Access(now float64, addr uint64, kind mem.Kind) float64 {
+	bytes := flitHeader
+	if kind == mem.Write {
+		bytes = mem.LineSize + flitHeader
+	}
+	t := s.forward(now, bytes, 0)
+	done := s.inner.Access(t, addr, kind)
+	if kind == mem.Write {
+		return done
+	}
+	return s.forward(done, mem.LineSize+flitHeader, 1)
+}
+
+// Stats implements mem.Device.
+func (s *Switched) Stats() mem.DeviceStats { return s.inner.Stats() }
+
+// Interleave spreads addresses across several devices at a fixed granule
+// (hardware interleaving; the paper doubles CXL-D bandwidth this way in
+// Figure 8f).
+type Interleave struct {
+	name    string
+	devs    []mem.Device
+	granule uint64
+}
+
+var _ mem.Device = (*Interleave)(nil)
+
+// NewInterleave builds an interleaved device set. granule is the
+// interleaving block size in bytes (256 is typical for CXL HW
+// interleaving). It panics if devs is empty or granule < one line.
+func NewInterleave(name string, devs []mem.Device, granule uint64) *Interleave {
+	if len(devs) == 0 || granule < mem.LineSize {
+		panic("topology: invalid interleave")
+	}
+	return &Interleave{name: name, devs: devs, granule: granule}
+}
+
+// Name implements mem.Device.
+func (iv *Interleave) Name() string { return iv.name }
+
+// Reset implements mem.Device.
+func (iv *Interleave) Reset() {
+	for _, d := range iv.devs {
+		d.Reset()
+	}
+}
+
+// Access implements mem.Device.
+func (iv *Interleave) Access(now float64, addr uint64, kind mem.Kind) float64 {
+	idx := int((addr / iv.granule) % uint64(len(iv.devs)))
+	return iv.devs[idx].Access(now, addr, kind)
+}
+
+// Stats implements mem.Device. Counters are summed across members.
+func (iv *Interleave) Stats() mem.DeviceStats {
+	var total mem.DeviceStats
+	for _, d := range iv.devs {
+		s := d.Stats()
+		total.Reads += s.Reads
+		total.Writes += s.Writes
+		total.RowHits += s.RowHits
+		total.RowMisses += s.RowMisses
+		total.Retries += s.Retries
+		total.Throttled += s.Throttled
+		total.BusyNs += s.BusyNs
+		if s.LastDone > total.LastDone {
+			total.LastDone = s.LastDone
+		}
+	}
+	return total
+}
+
+// Region maps an address range onto a device, for tiered placement.
+type Region struct {
+	Base, Size uint64
+	Device     mem.Device
+}
+
+// Placement routes accesses by address region with a default device for
+// unmapped addresses. This implements the paper's §5.7 tuning use case:
+// relocating hot objects from CXL to local DRAM.
+type Placement struct {
+	name    string
+	def     mem.Device
+	regions []Region // sorted by Base
+}
+
+var _ mem.Device = (*Placement)(nil)
+
+// NewPlacement builds a placement-routing device. Regions may be given
+// in any order; overlapping regions are rejected.
+func NewPlacement(name string, def mem.Device, regions []Region) (*Placement, error) {
+	sorted := append([]Region(nil), regions...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Base < sorted[j].Base })
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i-1].Base+sorted[i-1].Size > sorted[i].Base {
+			return nil, fmt.Errorf("topology: regions %d and %d overlap", i-1, i)
+		}
+	}
+	return &Placement{name: name, def: def, regions: sorted}, nil
+}
+
+// Name implements mem.Device.
+func (p *Placement) Name() string { return p.name }
+
+// Reset implements mem.Device.
+func (p *Placement) Reset() {
+	p.def.Reset()
+	seen := map[mem.Device]bool{p.def: true}
+	for _, r := range p.regions {
+		if !seen[r.Device] {
+			r.Device.Reset()
+			seen[r.Device] = true
+		}
+	}
+}
+
+// route finds the backing device for addr.
+func (p *Placement) route(addr uint64) mem.Device {
+	lo, hi := 0, len(p.regions)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.regions[mid].Base <= addr {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo > 0 {
+		r := p.regions[lo-1]
+		if addr < r.Base+r.Size {
+			return r.Device
+		}
+	}
+	return p.def
+}
+
+// Access implements mem.Device.
+func (p *Placement) Access(now float64, addr uint64, kind mem.Kind) float64 {
+	return p.route(addr).Access(now, addr, kind)
+}
+
+// Stats implements mem.Device (default device's stats; per-region stats
+// are available from the member devices directly).
+func (p *Placement) Stats() mem.DeviceStats { return p.def.Stats() }

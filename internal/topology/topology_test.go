@@ -1,0 +1,187 @@
+package topology
+
+import (
+	"testing"
+
+	"github.com/moatlab/melody/internal/dram"
+	"github.com/moatlab/melody/internal/imc"
+	"github.com/moatlab/melody/internal/link"
+	"github.com/moatlab/melody/internal/mem"
+	"github.com/moatlab/melody/internal/sim"
+)
+
+func localDevice() *imc.Controller {
+	cfg := dram.DefaultConfig()
+	cfg.Timing.TREFI = 0
+	return imc.New(imc.Config{Name: "Local", PipelineNs: 15, DRAM: cfg})
+}
+
+func upiCfg() link.Config {
+	return link.Config{PropagationNs: 35, ReqBW: 120, RspBW: 120}
+}
+
+func TestRemoteAddsHopLatency(t *testing.T) {
+	local := localDevice()
+	base := local.Access(0, 0, mem.DemandRead)
+	local.Reset()
+	remote := NewRemote("NUMA", local, upiCfg(), 0, 1)
+	got := remote.Access(0, 0, mem.DemandRead)
+	// Two propagation delays plus flit transmission.
+	if got < base+2*35 {
+		t.Fatalf("remote latency %v not >= local %v + 70", got, base)
+	}
+	if got > base+2*35+10 {
+		t.Fatalf("remote latency %v too far above local %v + hop", got, base)
+	}
+}
+
+func TestRemoteExtraNs(t *testing.T) {
+	a := NewRemote("r0", localDevice(), upiCfg(), 0, 1)
+	b := NewRemote("r100", localDevice(), upiCfg(), 100, 1)
+	la := a.Access(0, 0, mem.DemandRead)
+	lb := b.Access(0, 0, mem.DemandRead)
+	if diff := lb - la; diff < 99 || diff > 101 {
+		t.Fatalf("ExtraNs=100 added %v", diff)
+	}
+}
+
+func TestRemoteWritePosted(t *testing.T) {
+	r := NewRemote("NUMA", localDevice(), upiCfg(), 0, 1)
+	read := r.Access(0, 0, mem.DemandRead)
+	r.Reset()
+	write := r.Access(0, mem.LineSize, mem.Write)
+	if write >= read {
+		t.Fatalf("posted remote write (%v) not faster than read (%v)", write, read)
+	}
+}
+
+func TestSwitchedAddsLatencyBothWays(t *testing.T) {
+	local := localDevice()
+	base := local.Access(0, 0, mem.DemandRead)
+	local.Reset()
+	sw := NewSwitched("CXL+Switch", local, 60, 50)
+	got := sw.Access(0, 0, mem.DemandRead)
+	if got < base+120 {
+		t.Fatalf("switch latency %v, want >= %v", got, base+120)
+	}
+}
+
+func TestInterleaveSpreadsAcrossDevices(t *testing.T) {
+	d0, d1 := localDevice(), localDevice()
+	iv := NewInterleave("2x", []mem.Device{d0, d1}, 256)
+	for i := 0; i < 64; i++ {
+		iv.Access(0, uint64(i)*256, mem.DemandRead)
+	}
+	s0, s1 := d0.Stats(), d1.Stats()
+	if s0.Reads != 32 || s1.Reads != 32 {
+		t.Fatalf("interleave split %d/%d, want 32/32", s0.Reads, s1.Reads)
+	}
+	if iv.Stats().Reads != 64 {
+		t.Fatalf("aggregate reads = %d", iv.Stats().Reads)
+	}
+}
+
+func TestInterleaveDoublesBandwidth(t *testing.T) {
+	run := func(n int) float64 {
+		devs := make([]mem.Device, n)
+		for i := range devs {
+			devs[i] = localDevice()
+		}
+		iv := NewInterleave("ix", devs, 256)
+		const reqs = 10000
+		var last float64
+		for i := 0; i < reqs; i++ {
+			if done := iv.Access(0, uint64(i)*mem.LineSize, mem.DemandRead); done > last {
+				last = done
+			}
+		}
+		return float64(reqs) * mem.LineSize / last
+	}
+	one, two := run(1), run(2)
+	if two < one*1.7 {
+		t.Fatalf("2-way interleave bandwidth %v vs single %v, want ~2x", two, one)
+	}
+}
+
+func TestInterleavePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty interleave did not panic")
+		}
+	}()
+	NewInterleave("bad", nil, 256)
+}
+
+func TestPlacementRouting(t *testing.T) {
+	slow := localDevice()
+	fast := localDevice()
+	p, err := NewPlacement("tiered", slow, []Region{
+		{Base: 1 << 20, Size: 1 << 20, Device: fast},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Access(0, 0, mem.DemandRead)          // default
+	p.Access(0, (1<<20)+64, mem.DemandRead) // region
+	p.Access(0, (2<<20)+64, mem.DemandRead) // past region end -> default
+	if got := fast.Stats().Reads; got != 1 {
+		t.Fatalf("region device got %d reads, want 1", got)
+	}
+	if got := slow.Stats().Reads; got != 2 {
+		t.Fatalf("default device got %d reads, want 2", got)
+	}
+}
+
+func TestPlacementRejectsOverlap(t *testing.T) {
+	d := localDevice()
+	_, err := NewPlacement("bad", d, []Region{
+		{Base: 0, Size: 200, Device: d},
+		{Base: 100, Size: 200, Device: d},
+	})
+	if err == nil {
+		t.Fatal("overlapping regions accepted")
+	}
+}
+
+func TestCongestedLoadDependence(t *testing.T) {
+	cfg := CongestionConfig{PeriodNs: 10_000, WindowNs: 2_000, RefRatePerNs: 0.01}
+	run := func(interval float64) float64 {
+		c := NewCongested("cong", localDevice(), cfg)
+		r := sim.NewRand(3)
+		now, total := 0.0, 0.0
+		const n = 5000
+		for i := 0; i < n; i++ {
+			done := c.Access(now, r.Uint64n(1<<30), mem.DemandRead)
+			total += done - now
+			now = done + interval
+		}
+		return total / n
+	}
+	busy := run(20) // dense traffic: full windows
+	idle := run(2000)
+	if busy <= idle*1.2 {
+		t.Fatalf("congestion not load-dependent: busy=%v idle=%v", busy, idle)
+	}
+}
+
+func TestCongestedTailShape(t *testing.T) {
+	cfg := CongestionConfig{PeriodNs: 20_000, WindowNs: 1_000, RefRatePerNs: 0.005}
+	c := NewCongested("cong", localDevice(), cfg)
+	r := sim.NewRand(5)
+	now := 0.0
+	var max, sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		done := c.Access(now, r.Uint64n(1<<30), mem.DemandRead)
+		lat := done - now
+		sum += lat
+		if lat > max {
+			max = lat
+		}
+		now = done + 200
+	}
+	mean := sum / n
+	if max < mean*3 {
+		t.Fatalf("no congestion tail: mean=%v max=%v", mean, max)
+	}
+}

@@ -1,0 +1,183 @@
+// Package traffic simulates concurrent closed-loop memory threads
+// sharing a device — the substrate for the MLC-style loaded-latency
+// harness and the MIO tail-latency microbenchmark. Threads are state
+// machines woken in timestamp order; contention emerges from the shared
+// time-driven device.
+package traffic
+
+import (
+	"github.com/moatlab/melody/internal/mem"
+	"github.com/moatlab/melody/internal/sim"
+)
+
+// Thread is one simulated hardware thread. Step performs the thread's
+// next burst of work starting at now and returns when it should run
+// again. Returning a non-finite or non-increasing wake time stops the
+// thread.
+type Thread interface {
+	Step(now float64) (nextWake float64)
+}
+
+// Run interleaves threads in wake-time order until the simulated clock
+// passes untilNs. It returns the final clock value.
+func Run(threads []Thread, untilNs float64) float64 {
+	n := len(threads)
+	wake := make([]float64, n)
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	now := 0.0
+	for {
+		// Pick the earliest-awake live thread (n is small: <= 64).
+		best := -1
+		for i := 0; i < n; i++ {
+			if alive[i] && (best < 0 || wake[i] < wake[best]) {
+				best = i
+			}
+		}
+		if best < 0 || wake[best] > untilNs {
+			return now
+		}
+		now = wake[best]
+		next := threads[best].Step(now)
+		if next <= now {
+			alive[best] = false
+			continue
+		}
+		wake[best] = next
+	}
+}
+
+// PointerChaser performs dependent loads: each access's completion gates
+// the next. It optionally records per-access latency (averaged over
+// BatchN accesses, mirroring MIO's rdtsc-amortization).
+type PointerChaser struct {
+	Dev        mem.Device
+	WorkingSet uint64  // bytes; addresses are drawn line-aligned inside it
+	Base       uint64  // base address of the working set
+	ComputeNs  float64 // delay between dependent accesses
+	BatchN     int     // average every BatchN accesses (0 or 1 = raw)
+	Record     bool
+
+	Latencies []float64
+	Count     uint64
+
+	rng      *sim.Rand
+	batchSum float64
+	batchCnt int
+}
+
+// NewPointerChaser builds a chaser over a working set.
+func NewPointerChaser(dev mem.Device, workingSet uint64, seed uint64) *PointerChaser {
+	return &PointerChaser{Dev: dev, WorkingSet: workingSet, rng: sim.NewRand(seed)}
+}
+
+// Step implements Thread.
+func (p *PointerChaser) Step(now float64) float64 {
+	lines := p.WorkingSet / mem.LineSize
+	addr := p.Base + p.rng.Uint64n(lines)*mem.LineSize
+	done := p.Dev.Access(now, addr, mem.DemandRead)
+	lat := done - now
+	p.Count++
+	if p.Record {
+		if p.BatchN > 1 {
+			p.batchSum += lat
+			p.batchCnt++
+			if p.batchCnt == p.BatchN {
+				p.Latencies = append(p.Latencies, p.batchSum/float64(p.BatchN))
+				p.batchSum, p.batchCnt = 0, 0
+			}
+		} else {
+			p.Latencies = append(p.Latencies, lat)
+		}
+	}
+	return done + p.ComputeNs
+}
+
+// LoadGenerator issues independent (non-dependent) reads and/or writes,
+// keeping up to MLP requests in flight like an out-of-order core's fill
+// buffers — the model of MLC's traffic threads with injected compute
+// delays.
+type LoadGenerator struct {
+	Dev        mem.Device
+	WorkingSet uint64
+	Base       uint64
+	ReadFrac   float64 // fraction of requests that are reads
+	MLP        int     // maximum outstanding requests
+	DelayNs    float64 // injected delay between accesses ("0-20K cycles")
+	Sequential bool    // streaming (row-friendly) vs random addresses
+
+	Bytes  float64 // payload bytes moved (64 per request)
+	Reads  uint64
+	Writes uint64
+
+	rng      *sim.Rand
+	cursor   uint64
+	inflight *sim.TimeHeap
+}
+
+// NewLoadGenerator builds a generator with sane defaults (MLP 4, random).
+func NewLoadGenerator(dev mem.Device, workingSet uint64, readFrac float64, seed uint64) *LoadGenerator {
+	return &LoadGenerator{
+		Dev: dev, WorkingSet: workingSet, ReadFrac: readFrac,
+		MLP: 4, rng: sim.NewRand(seed), inflight: &sim.TimeHeap{},
+	}
+}
+
+// issue sends one request at now.
+func (g *LoadGenerator) issue(now float64) {
+	lines := g.WorkingSet / mem.LineSize
+	var addr uint64
+	if g.Sequential {
+		addr = g.Base + (g.cursor%lines)*mem.LineSize
+		g.cursor++
+	} else {
+		addr = g.Base + g.rng.Uint64n(lines)*mem.LineSize
+	}
+	// Randomized read/write choice: a deterministic repeating pattern
+	// would correlate with channel interleaving (e.g. every 4th line on
+	// a fixed channel), creating artificial single-direction channels.
+	kind := mem.Write
+	if g.rng.Bool(g.ReadFrac) {
+		kind = mem.DemandRead
+	}
+	done := g.Dev.Access(now, addr, kind)
+	if kind == mem.Write {
+		g.Writes++
+	} else {
+		g.Reads++
+	}
+	g.Bytes += mem.LineSize
+	g.inflight.Push(done)
+}
+
+// Step implements Thread: retire completions due by now, refill the
+// in-flight window, and wake when the next slot frees (or after the
+// injected delay, whichever is later).
+func (g *LoadGenerator) Step(now float64) float64 {
+	mlp := g.MLP
+	if mlp < 1 {
+		mlp = 1
+	}
+	for g.inflight.Len() > 0 && g.inflight.Min() <= now {
+		g.inflight.PopMin()
+	}
+	toIssue := mlp - g.inflight.Len()
+	if g.DelayNs > 0 && toIssue > 1 {
+		// With injected compute delay the thread paces one access per
+		// delay interval, mirroring MLC's load-delay-load loop.
+		toIssue = 1
+	}
+	for i := 0; i < toIssue; i++ {
+		g.issue(now)
+	}
+	wake := now + g.DelayNs
+	if g.inflight.Len() >= mlp && g.inflight.Min() > wake {
+		wake = g.inflight.Min()
+	}
+	if wake <= now {
+		wake = g.inflight.Min()
+	}
+	return wake
+}

@@ -1,0 +1,131 @@
+package traffic
+
+import (
+	"testing"
+
+	"github.com/moatlab/melody/internal/mem"
+)
+
+type countDev struct {
+	lat    float64
+	reads  int
+	writes int
+	lastT  float64
+}
+
+func (d *countDev) Access(now float64, addr uint64, kind mem.Kind) float64 {
+	if kind == mem.Write {
+		d.writes++
+	} else {
+		d.reads++
+	}
+	d.lastT = now
+	return now + d.lat
+}
+func (d *countDev) Name() string           { return "count" }
+func (d *countDev) Reset()                 { d.reads, d.writes = 0, 0 }
+func (d *countDev) Stats() mem.DeviceStats { return mem.DeviceStats{} }
+
+func TestRunStopsAtDeadline(t *testing.T) {
+	d := &countDev{lat: 50}
+	pc := NewPointerChaser(d, 1<<20, 1)
+	end := Run([]Thread{pc}, 10_000)
+	if end > 10_050 {
+		t.Fatalf("ran past deadline: %v", end)
+	}
+	if pc.Count < 100 {
+		t.Fatalf("chaser made only %d accesses", pc.Count)
+	}
+}
+
+func TestRunStopsDeadThreads(t *testing.T) {
+	dead := ThreadFunc(func(now float64) float64 { return now }) // never re-schedules
+	end := Run([]Thread{dead}, 1000)
+	if end != 0 {
+		t.Fatalf("dead thread advanced the clock to %v", end)
+	}
+}
+
+// ThreadFunc adapts a function to the Thread interface for tests.
+type ThreadFunc func(now float64) float64
+
+func (f ThreadFunc) Step(now float64) float64 { return f(now) }
+
+func TestPointerChaserDependence(t *testing.T) {
+	d := &countDev{lat: 100}
+	pc := NewPointerChaser(d, 1<<20, 1)
+	pc.Record = true
+	Run([]Thread{pc}, 5_000)
+	// Dependent chase: exactly one access per latency period.
+	want := 5000 / 100
+	if int(pc.Count) < want-2 || int(pc.Count) > want+2 {
+		t.Fatalf("chaser made %d accesses, want ~%d", pc.Count, want)
+	}
+	for _, l := range pc.Latencies {
+		if l != 100 {
+			t.Fatalf("latency sample %v, want 100", l)
+		}
+	}
+}
+
+func TestPointerChaserComputeDelay(t *testing.T) {
+	d := &countDev{lat: 100}
+	pc := NewPointerChaser(d, 1<<20, 1)
+	pc.ComputeNs = 100
+	Run([]Thread{pc}, 5_000)
+	want := 5000 / 200
+	if int(pc.Count) < want-2 || int(pc.Count) > want+2 {
+		t.Fatalf("with compute delay: %d accesses, want ~%d", pc.Count, want)
+	}
+}
+
+func TestLoadGeneratorMLP(t *testing.T) {
+	// With MLP m and latency L, steady throughput is m/L.
+	for _, mlp := range []int{1, 4, 16} {
+		d := &countDev{lat: 100}
+		g := NewLoadGenerator(d, 1<<20, 1.0, 1)
+		g.MLP = mlp
+		Run([]Thread{g}, 10_000)
+		want := float64(mlp) * 10_000 / 100
+		got := float64(g.Reads)
+		if got < want*0.9 || got > want*1.1 {
+			t.Fatalf("MLP %d: %v accesses, want ~%v", mlp, got, want)
+		}
+	}
+}
+
+func TestLoadGeneratorReadFrac(t *testing.T) {
+	d := &countDev{lat: 20}
+	g := NewLoadGenerator(d, 1<<20, 0.75, 1)
+	g.MLP = 8
+	Run([]Thread{g}, 50_000)
+	frac := float64(g.Reads) / float64(g.Reads+g.Writes)
+	if frac < 0.7 || frac > 0.8 {
+		t.Fatalf("read fraction = %v, want ~0.75", frac)
+	}
+}
+
+func TestLoadGeneratorDelayPacing(t *testing.T) {
+	d := &countDev{lat: 10}
+	g := NewLoadGenerator(d, 1<<20, 1.0, 1)
+	g.MLP = 8
+	g.DelayNs = 500
+	Run([]Thread{g}, 50_000)
+	// Paced at ~1 per 500ns.
+	if g.Reads > 120 {
+		t.Fatalf("delay pacing failed: %d accesses in 50us", g.Reads)
+	}
+}
+
+func TestLoadGeneratorSequential(t *testing.T) {
+	d := &countDev{lat: 10}
+	g := NewLoadGenerator(d, 4096, 1.0, 1)
+	g.Sequential = true
+	g.MLP = 1
+	Run([]Thread{g}, 1_000)
+	// 4096-byte working set = 64 lines; the cursor must wrap without
+	// leaving the range (Access would have been called with huge addr).
+	if g.Reads < 50 {
+		t.Fatalf("sequential generator made %d accesses", g.Reads)
+	}
+}

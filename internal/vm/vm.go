@@ -1,0 +1,82 @@
+// Package vm provides the simulated address space workloads allocate
+// from: a bump arena with named objects. Object identity is what the
+// Spa placement use case (§5.7) operates on — relocating a hot object
+// means binding its address range to a different device via
+// topology.Placement, exactly like the paper's Pin+addr2line workflow
+// identified 605.mcf's two 2 GB arrays.
+package vm
+
+import "fmt"
+
+const pageSize = 4096
+
+// Object is a named allocation in the simulated address space.
+type Object struct {
+	Name       string
+	Base, Size uint64
+}
+
+// Addr returns the address of byte off within the object. It panics on
+// out-of-range offsets to catch workload bugs early.
+func (o Object) Addr(off uint64) uint64 {
+	if off >= o.Size {
+		panic(fmt.Sprintf("vm: offset %d out of object %q (size %d)", off, o.Name, o.Size))
+	}
+	return o.Base + off
+}
+
+// Contains reports whether addr falls inside the object.
+func (o Object) Contains(addr uint64) bool {
+	return addr >= o.Base && addr < o.Base+o.Size
+}
+
+// Arena is a bump allocator over a simulated address range. The zero
+// value is not usable; call New.
+type Arena struct {
+	next    uint64
+	objects []Object
+}
+
+// New returns an arena starting at base (page-aligned upward).
+func New(base uint64) *Arena {
+	return &Arena{next: alignUp(base)}
+}
+
+func alignUp(v uint64) uint64 {
+	return (v + pageSize - 1) &^ (pageSize - 1)
+}
+
+// Alloc reserves size bytes under the given name and returns the
+// object. Allocations are page-aligned with a guard page between them.
+func (a *Arena) Alloc(name string, size uint64) Object {
+	if size == 0 {
+		panic("vm: zero-size allocation")
+	}
+	o := Object{Name: name, Base: a.next, Size: size}
+	a.objects = append(a.objects, o)
+	a.next = alignUp(a.next+size) + pageSize
+	return o
+}
+
+// Objects returns all allocations in order.
+func (a *Arena) Objects() []Object { return a.objects }
+
+// Lookup finds the object containing addr.
+func (a *Arena) Lookup(addr uint64) (Object, bool) {
+	for _, o := range a.objects {
+		if o.Contains(addr) {
+			return o, true
+		}
+	}
+	return Object{}, false
+}
+
+// ByName finds an object by name.
+func (a *Arena) ByName(name string) (Object, bool) {
+	for _, o := range a.objects {
+		if o.Name == name {
+			return o, true
+		}
+	}
+	return Object{}, false
+}

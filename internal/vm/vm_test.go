@@ -1,0 +1,65 @@
+package vm
+
+import "testing"
+
+func TestAllocDisjoint(t *testing.T) {
+	a := New(1 << 30)
+	x := a.Alloc("x", 1000)
+	y := a.Alloc("y", 5000)
+	if x.Base+x.Size > y.Base {
+		t.Fatalf("objects overlap: %+v %+v", x, y)
+	}
+	if x.Base%4096 != 0 || y.Base%4096 != 0 {
+		t.Fatal("objects not page-aligned")
+	}
+}
+
+func TestAddrBounds(t *testing.T) {
+	a := New(0)
+	o := a.Alloc("o", 100)
+	if o.Addr(0) != o.Base || o.Addr(99) != o.Base+99 {
+		t.Fatal("Addr arithmetic wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Addr did not panic")
+		}
+	}()
+	o.Addr(100)
+}
+
+func TestLookup(t *testing.T) {
+	a := New(1 << 20)
+	x := a.Alloc("x", 8192)
+	y := a.Alloc("y", 8192)
+	if got, ok := a.Lookup(x.Addr(100)); !ok || got.Name != "x" {
+		t.Fatalf("Lookup in x = %v %v", got, ok)
+	}
+	if got, ok := a.Lookup(y.Addr(0)); !ok || got.Name != "y" {
+		t.Fatalf("Lookup in y = %v %v", got, ok)
+	}
+	if _, ok := a.Lookup(5); ok {
+		t.Fatal("Lookup below arena matched")
+	}
+}
+
+func TestByName(t *testing.T) {
+	a := New(0)
+	a.Alloc("nodes", 1<<20)
+	a.Alloc("edges", 1<<20)
+	if o, ok := a.ByName("edges"); !ok || o.Size != 1<<20 {
+		t.Fatalf("ByName = %v %v", o, ok)
+	}
+	if _, ok := a.ByName("missing"); ok {
+		t.Fatal("ByName matched missing object")
+	}
+}
+
+func TestZeroSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-size Alloc did not panic")
+		}
+	}()
+	New(0).Alloc("bad", 0)
+}

@@ -1,0 +1,399 @@
+package workload
+
+import "fmt"
+
+// The catalog reproduces the paper's 265-workload mix. Each entry's
+// Profile encodes the published memory behaviour of the real program
+// (footprint, dependence, read/write mix, streams, phases); Siblings
+// encode its multi-threaded bandwidth appetite. Graph, Redis-like and
+// VoltDB-like workloads are registered separately by the apps packages
+// via RegisterApps to avoid an import cycle.
+
+// bandwidth siblings: a rate-run or OpenMP workload saturating devices.
+func bwSiblings(threads int, readFrac float64) Siblings {
+	return Siblings{Threads: threads, ReadFrac: readFrac, MLP: 12, Sequential: true, WorkingSetMB: 64}
+}
+
+// specCPU2017 returns the 43 SPEC CPU 2017 benchmarks.
+func specCPU2017() []Spec {
+	s := []Spec{
+		// --- SPECspeed / SPECrate integer ---
+		{Name: "600.perlbench_s", Class: ClassMixed, Profile: Profile{WorkingSetMB: 64, MemRatio: 0.2, StoreFrac: 0.3, DepFrac: 0.3, SeqFrac: 0.2, ILP: 2.5}},
+		{Name: "602.gcc_s", Class: ClassMixed, Profile: Profile{WorkingSetMB: 512, MemRatio: 0.3, StoreFrac: 0.35, DepFrac: 0.35, SeqFrac: 0.15, ILP: 2,
+			PhaseInstr: 200_000, PhaseMemMult: []float64{1.6, 1.4, 0.3}}},
+		{Name: "605.mcf_s", Class: ClassLatency, Profile: Profile{WorkingSetMB: 1024, MemRatio: 0.35, StoreFrac: 0.15, DepFrac: 0.6, SeqFrac: 0.05, ILP: 1.5,
+			HotFrac: 0.6, HotSetMB: 256, PhaseInstr: 250_000, PhaseMemMult: []float64{1.3, 0.5, 1.4, 0.6}}},
+		{Name: "620.omnetpp_s", Class: ClassLatency,
+			Siblings: Siblings{Threads: 6, ReadFrac: 0.85, MLP: 3, DelayNs: 160, WorkingSetMB: 64},
+			Profile:  Profile{WorkingSetMB: 256, MemRatio: 0.3, StoreFrac: 0.25, DepFrac: 0.4, SeqFrac: 0.05, ILP: 1.8, HotFrac: 0.97, HotSetMB: 40}},
+		{Name: "623.xalancbmk_s", Class: ClassLatency, Profile: Profile{WorkingSetMB: 128, MemRatio: 0.3, StoreFrac: 0.2, DepFrac: 0.45, SeqFrac: 0.1, ILP: 2}},
+		{Name: "625.x264_s", Class: ClassCompute, Profile: Profile{WorkingSetMB: 48, MemRatio: 0.1, StoreFrac: 0.3, SeqFrac: 0.6, ILP: 3.2}},
+		{Name: "631.deepsjeng_s", Class: ClassMixed, Profile: Profile{WorkingSetMB: 700, MemRatio: 0.15, StoreFrac: 0.25, DepFrac: 0.45, SeqFrac: 0.05, ILP: 2.5,
+			PhaseInstr: 300_000, PhaseMemMult: []float64{1.4, 0.6, 1.2, 0.8}}},
+		{Name: "641.leela_s", Class: ClassCompute, Profile: Profile{WorkingSetMB: 32, MemRatio: 0.12, StoreFrac: 0.2, DepFrac: 0.4, ILP: 2.2}},
+		{Name: "648.exchange2_s", Class: ClassCompute, Profile: Profile{WorkingSetMB: 8, MemRatio: 0.05, StoreFrac: 0.3, ILP: 3.5}},
+		{Name: "657.xz_s", Class: ClassMixed, Profile: Profile{WorkingSetMB: 512, MemRatio: 0.25, StoreFrac: 0.3, DepFrac: 0.4, SeqFrac: 0.25, ILP: 2}},
+		// --- SPECspeed floating point ---
+		{Name: "603.bwaves_s", Class: ClassBandwidth, Siblings: bwSiblings(28, 0.85),
+			Profile: Profile{WorkingSetMB: 1024, MemRatio: 0.45, StoreFrac: 0.2, SeqFrac: 0.92, StreamCount: 8, ILP: 2.5}},
+		{Name: "607.cactuBSSN_s", Class: ClassMixed, Siblings: bwSiblings(10, 0.75),
+			Profile: Profile{WorkingSetMB: 512, MemRatio: 0.3, StoreFrac: 0.3, SeqFrac: 0.7, ILP: 2.5}},
+		{Name: "619.lbm_s", Class: ClassBandwidth, Siblings: bwSiblings(28, 0.55),
+			Profile: Profile{WorkingSetMB: 512, MemRatio: 0.45, StoreFrac: 0.45, SeqFrac: 0.9, StreamCount: 8, ILP: 2.2}},
+		{Name: "621.wrf_s", Class: ClassMixed, Siblings: bwSiblings(8, 0.7),
+			Profile: Profile{WorkingSetMB: 256, MemRatio: 0.25, StoreFrac: 0.3, SeqFrac: 0.6, ILP: 2.5}},
+		{Name: "627.cam4_s", Class: ClassMixed, Profile: Profile{WorkingSetMB: 256, MemRatio: 0.22, StoreFrac: 0.3, SeqFrac: 0.5, ILP: 2.5}},
+		{Name: "628.pop2_s", Class: ClassMixed, Profile: Profile{WorkingSetMB: 256, MemRatio: 0.25, StoreFrac: 0.3, SeqFrac: 0.55, ILP: 2.4}},
+		{Name: "638.imagick_s", Class: ClassCompute, Profile: Profile{WorkingSetMB: 64, MemRatio: 0.08, StoreFrac: 0.3, SeqFrac: 0.6, ILP: 3.4}},
+		{Name: "644.nab_s", Class: ClassCompute, Profile: Profile{WorkingSetMB: 64, MemRatio: 0.1, StoreFrac: 0.25, SeqFrac: 0.4, ILP: 3}},
+		{Name: "649.fotonik3d_s", Class: ClassBandwidth, Siblings: bwSiblings(24, 0.8),
+			Profile: Profile{WorkingSetMB: 1024, MemRatio: 0.42, StoreFrac: 0.25, SeqFrac: 0.88, StreamCount: 10, ILP: 2.4}},
+		{Name: "654.roms_s", Class: ClassBandwidth, Siblings: bwSiblings(24, 0.75),
+			Profile: Profile{WorkingSetMB: 1024, MemRatio: 0.4, StoreFrac: 0.3, SeqFrac: 0.85, StreamCount: 8, ILP: 2.4}},
+		// --- SPECrate integer ---
+		{Name: "500.perlbench_r", Class: ClassMixed, Profile: Profile{WorkingSetMB: 64, MemRatio: 0.2, StoreFrac: 0.3, DepFrac: 0.3, SeqFrac: 0.2, ILP: 2.5}},
+		{Name: "502.gcc_r", Class: ClassMixed, Profile: Profile{WorkingSetMB: 256, MemRatio: 0.28, StoreFrac: 0.35, DepFrac: 0.35, SeqFrac: 0.15, ILP: 2}},
+		{Name: "505.mcf_r", Class: ClassLatency, Profile: Profile{WorkingSetMB: 512, MemRatio: 0.35, StoreFrac: 0.15, DepFrac: 0.55, SeqFrac: 0.05, ILP: 1.6, HotFrac: 0.5, HotSetMB: 128}},
+		{Name: "520.omnetpp_r", Class: ClassLatency,
+			Siblings: Siblings{Threads: 6, ReadFrac: 0.85, MLP: 3, DelayNs: 160, WorkingSetMB: 64},
+			Profile:  Profile{WorkingSetMB: 256, MemRatio: 0.3, StoreFrac: 0.25, DepFrac: 0.4, SeqFrac: 0.05, ILP: 1.8, HotFrac: 0.97, HotSetMB: 40}},
+		{Name: "523.xalancbmk_r", Class: ClassLatency, Profile: Profile{WorkingSetMB: 128, MemRatio: 0.3, StoreFrac: 0.2, DepFrac: 0.45, SeqFrac: 0.1, ILP: 2}},
+		{Name: "525.x264_r", Class: ClassCompute, Profile: Profile{WorkingSetMB: 48, MemRatio: 0.1, StoreFrac: 0.3, SeqFrac: 0.6, ILP: 3.2}},
+		{Name: "531.deepsjeng_r", Class: ClassCompute, Profile: Profile{WorkingSetMB: 128, MemRatio: 0.14, StoreFrac: 0.25, DepFrac: 0.45, ILP: 2.5}},
+		{Name: "541.leela_r", Class: ClassCompute, Profile: Profile{WorkingSetMB: 32, MemRatio: 0.12, StoreFrac: 0.2, DepFrac: 0.4, ILP: 2.2}},
+		{Name: "548.exchange2_r", Class: ClassCompute, Profile: Profile{WorkingSetMB: 8, MemRatio: 0.05, StoreFrac: 0.3, ILP: 3.5}},
+		{Name: "557.xz_r", Class: ClassMixed, Profile: Profile{WorkingSetMB: 256, MemRatio: 0.25, StoreFrac: 0.3, DepFrac: 0.4, SeqFrac: 0.25, ILP: 2}},
+		// --- SPECrate floating point ---
+		{Name: "503.bwaves_r", Class: ClassBandwidth, Siblings: bwSiblings(24, 0.85),
+			Profile: Profile{WorkingSetMB: 512, MemRatio: 0.45, StoreFrac: 0.2, SeqFrac: 0.92, StreamCount: 8, ILP: 2.5}},
+		{Name: "507.cactuBSSN_r", Class: ClassMixed, Siblings: bwSiblings(8, 0.75),
+			Profile: Profile{WorkingSetMB: 256, MemRatio: 0.3, StoreFrac: 0.3, SeqFrac: 0.7, ILP: 2.5}},
+		{Name: "508.namd_r", Class: ClassCompute, Profile: Profile{WorkingSetMB: 64, MemRatio: 0.06, StoreFrac: 0.25, SeqFrac: 0.5, ILP: 3.3,
+			PhaseInstr: 400_000, PhaseMemMult: []float64{0.4, 0.4, 3.5, 0.4}}},
+		{Name: "510.parest_r", Class: ClassMixed, Profile: Profile{WorkingSetMB: 256, MemRatio: 0.25, StoreFrac: 0.25, SeqFrac: 0.5, DepFrac: 0.2, ILP: 2.4}},
+		{Name: "511.povray_r", Class: ClassCompute, Profile: Profile{WorkingSetMB: 16, MemRatio: 0.08, StoreFrac: 0.25, DepFrac: 0.3, ILP: 3}},
+		{Name: "519.lbm_r", Class: ClassBandwidth, Siblings: bwSiblings(24, 0.55),
+			Profile: Profile{WorkingSetMB: 400, MemRatio: 0.45, StoreFrac: 0.45, SeqFrac: 0.9, StreamCount: 8, ILP: 2.2}},
+		{Name: "521.wrf_r", Class: ClassMixed, Siblings: bwSiblings(6, 0.7),
+			Profile: Profile{WorkingSetMB: 200, MemRatio: 0.25, StoreFrac: 0.3, SeqFrac: 0.6, ILP: 2.5}},
+		{Name: "526.blender_r", Class: ClassCompute, Profile: Profile{WorkingSetMB: 128, MemRatio: 0.12, StoreFrac: 0.25, SeqFrac: 0.4, ILP: 3}},
+		{Name: "527.cam4_r", Class: ClassMixed, Profile: Profile{WorkingSetMB: 200, MemRatio: 0.22, StoreFrac: 0.3, SeqFrac: 0.5, ILP: 2.5}},
+		{Name: "538.imagick_r", Class: ClassCompute, Profile: Profile{WorkingSetMB: 48, MemRatio: 0.08, StoreFrac: 0.3, SeqFrac: 0.6, ILP: 3.4}},
+		{Name: "544.nab_r", Class: ClassCompute, Profile: Profile{WorkingSetMB: 48, MemRatio: 0.1, StoreFrac: 0.25, SeqFrac: 0.4, ILP: 3}},
+		{Name: "549.fotonik3d_r", Class: ClassBandwidth, Siblings: bwSiblings(20, 0.8),
+			Profile: Profile{WorkingSetMB: 512, MemRatio: 0.42, StoreFrac: 0.25, SeqFrac: 0.88, StreamCount: 10, ILP: 2.4}},
+		{Name: "554.roms_r", Class: ClassBandwidth, Siblings: bwSiblings(20, 0.75),
+			Profile: Profile{WorkingSetMB: 512, MemRatio: 0.4, StoreFrac: 0.3, SeqFrac: 0.85, StreamCount: 8, ILP: 2.4}},
+	}
+	for i := range s {
+		s[i].Suite = "SPEC CPU 2017"
+	}
+	return s
+}
+
+// pbbs returns the PBBS V2 problem-based benchmarks.
+func pbbs() []Spec {
+	type row struct {
+		name string
+		cls  Class
+		p    Profile
+	}
+	rows := []row{
+		{"pbbs-bfs", ClassLatency, Profile{WorkingSetMB: 512, MemRatio: 0.35, StoreFrac: 0.1, DepFrac: 0.55, SeqFrac: 0.1, ILP: 1.8}},
+		{"pbbs-mis", ClassLatency, Profile{WorkingSetMB: 256, MemRatio: 0.3, StoreFrac: 0.15, DepFrac: 0.5, ILP: 1.8}},
+		{"pbbs-matching", ClassLatency, Profile{WorkingSetMB: 256, MemRatio: 0.3, StoreFrac: 0.2, DepFrac: 0.45, ILP: 1.8}},
+		{"pbbs-spanning-forest", ClassLatency, Profile{WorkingSetMB: 256, MemRatio: 0.32, StoreFrac: 0.2, DepFrac: 0.5, ILP: 1.8}},
+		{"pbbs-min-spanning-forest", ClassMixed, Profile{WorkingSetMB: 256, MemRatio: 0.3, StoreFrac: 0.2, DepFrac: 0.4, SeqFrac: 0.2, ILP: 2}},
+		{"pbbs-sort-integer", ClassBandwidth, Profile{WorkingSetMB: 512, MemRatio: 0.4, StoreFrac: 0.45, SeqFrac: 0.8, StreamCount: 8, ILP: 2.2}},
+		{"pbbs-sort-comparison", ClassMixed, Profile{WorkingSetMB: 512, MemRatio: 0.35, StoreFrac: 0.4, SeqFrac: 0.6, DepFrac: 0.15, ILP: 2.2}},
+		{"pbbs-remove-duplicates", ClassMixed, Profile{WorkingSetMB: 256, MemRatio: 0.35, StoreFrac: 0.3, DepFrac: 0.3, SeqFrac: 0.3, ILP: 2}},
+		{"pbbs-histogram", ClassMixed, Profile{WorkingSetMB: 256, MemRatio: 0.4, StoreFrac: 0.4, SeqFrac: 0.5, HotFrac: 0.4, HotSetMB: 4, ILP: 2.2}},
+		{"pbbs-word-counts", ClassMixed, Profile{WorkingSetMB: 256, MemRatio: 0.35, StoreFrac: 0.3, SeqFrac: 0.5, HotFrac: 0.3, HotSetMB: 8, ILP: 2.2}},
+		{"pbbs-suffix-array", ClassLatency, Profile{WorkingSetMB: 512, MemRatio: 0.35, StoreFrac: 0.25, DepFrac: 0.4, SeqFrac: 0.2, ILP: 2}},
+		{"pbbs-longest-common-prefix", ClassMixed, Profile{WorkingSetMB: 256, MemRatio: 0.3, StoreFrac: 0.2, DepFrac: 0.35, SeqFrac: 0.3, ILP: 2}},
+		{"pbbs-classify", ClassMixed, Profile{WorkingSetMB: 256, MemRatio: 0.3, StoreFrac: 0.25, SeqFrac: 0.5, ILP: 2.4}},
+		{"pbbs-build-index", ClassMixed, Profile{WorkingSetMB: 512, MemRatio: 0.35, StoreFrac: 0.35, SeqFrac: 0.4, DepFrac: 0.2, ILP: 2}},
+		{"pbbs-nearest-neighbors", ClassLatency, Profile{WorkingSetMB: 256, MemRatio: 0.3, StoreFrac: 0.1, DepFrac: 0.5, ILP: 1.8}},
+		{"pbbs-ray-cast", ClassMixed, Profile{WorkingSetMB: 256, MemRatio: 0.25, StoreFrac: 0.15, DepFrac: 0.4, SeqFrac: 0.2, ILP: 2.4}},
+		{"pbbs-convex-hull", ClassMixed, Profile{WorkingSetMB: 256, MemRatio: 0.3, StoreFrac: 0.2, SeqFrac: 0.4, DepFrac: 0.2, ILP: 2.4}},
+		{"pbbs-delaunay", ClassLatency, Profile{WorkingSetMB: 512, MemRatio: 0.32, StoreFrac: 0.25, DepFrac: 0.45, ILP: 2}},
+		{"pbbs-range-query", ClassLatency, Profile{WorkingSetMB: 512, MemRatio: 0.35, StoreFrac: 0.1, DepFrac: 0.55, ILP: 1.8}},
+	}
+	out := []Spec{}
+	for _, r := range rows {
+		out = append(out, Spec{Name: r.name, Suite: "PBBS", Class: r.cls, Profile: r.p})
+	}
+	out = append(out,
+		Spec{Name: "pbbs-nbody", Suite: "PBBS", Class: ClassBandwidth, Siblings: bwSiblings(12, 0.8),
+			Profile: Profile{WorkingSetMB: 256, MemRatio: 0.35, StoreFrac: 0.25, SeqFrac: 0.8, StreamCount: 6, ILP: 2.6}},
+		Spec{Name: "pbbs-integrate", Suite: "PBBS", Class: ClassCompute,
+			Profile: Profile{WorkingSetMB: 32, MemRatio: 0.08, StoreFrac: 0.2, SeqFrac: 0.5, ILP: 3.4}},
+		Spec{Name: "pbbs-flatten", Suite: "PBBS", Class: ClassBandwidth, Siblings: bwSiblings(16, 0.6),
+			Profile: Profile{WorkingSetMB: 512, MemRatio: 0.45, StoreFrac: 0.5, SeqFrac: 0.9, StreamCount: 8, ILP: 2.2}},
+	)
+	return out
+}
+
+// parsec returns the PARSEC 3.0 suite.
+func parsec() []Spec {
+	s := []Spec{
+		{Name: "parsec-blackscholes", Class: ClassCompute, Profile: Profile{WorkingSetMB: 64, MemRatio: 0.1, StoreFrac: 0.25, SeqFrac: 0.6, ILP: 3.2}},
+		{Name: "parsec-bodytrack", Class: ClassCompute, Profile: Profile{WorkingSetMB: 32, MemRatio: 0.12, StoreFrac: 0.25, SeqFrac: 0.4, ILP: 3}},
+		{Name: "parsec-canneal", Class: ClassLatency, Profile: Profile{WorkingSetMB: 768, MemRatio: 0.35, StoreFrac: 0.15, DepFrac: 0.65, ILP: 1.5}},
+		{Name: "parsec-dedup", Class: ClassMixed, Profile: Profile{WorkingSetMB: 256, MemRatio: 0.3, StoreFrac: 0.35, SeqFrac: 0.5, HotFrac: 0.3, HotSetMB: 16, ILP: 2.2}},
+		{Name: "parsec-facesim", Class: ClassMixed, Profile: Profile{WorkingSetMB: 256, MemRatio: 0.25, StoreFrac: 0.3, SeqFrac: 0.6, ILP: 2.5}},
+		{Name: "parsec-ferret", Class: ClassMixed, Profile: Profile{WorkingSetMB: 128, MemRatio: 0.25, StoreFrac: 0.2, DepFrac: 0.3, SeqFrac: 0.3, ILP: 2.4}},
+		{Name: "parsec-fluidanimate", Class: ClassMixed, Profile: Profile{WorkingSetMB: 256, MemRatio: 0.3, StoreFrac: 0.35, SeqFrac: 0.55, ILP: 2.4}},
+		{Name: "parsec-freqmine", Class: ClassLatency, Profile: Profile{WorkingSetMB: 512, MemRatio: 0.3, StoreFrac: 0.2, DepFrac: 0.5, ILP: 2}},
+		{Name: "parsec-raytrace", Class: ClassLatency, Profile: Profile{WorkingSetMB: 256, MemRatio: 0.25, StoreFrac: 0.1, DepFrac: 0.45, SeqFrac: 0.1, ILP: 2.2}},
+		{Name: "parsec-streamcluster", Class: ClassBandwidth, Siblings: bwSiblings(16, 0.9),
+			Profile: Profile{WorkingSetMB: 256, MemRatio: 0.4, StoreFrac: 0.1, SeqFrac: 0.85, StreamCount: 4, ILP: 2.4}},
+		{Name: "parsec-swaptions", Class: ClassCompute, Profile: Profile{WorkingSetMB: 16, MemRatio: 0.06, StoreFrac: 0.25, ILP: 3.5}},
+		{Name: "parsec-vips", Class: ClassMixed, Profile: Profile{WorkingSetMB: 128, MemRatio: 0.2, StoreFrac: 0.35, SeqFrac: 0.65, ILP: 2.8}},
+		{Name: "parsec-x264", Class: ClassCompute, Profile: Profile{WorkingSetMB: 48, MemRatio: 0.1, StoreFrac: 0.3, SeqFrac: 0.6, ILP: 3.2}},
+	}
+	for i := range s {
+		s[i].Suite = "PARSEC"
+	}
+	return s
+}
+
+// cloudsuite returns the CloudSuite services.
+func cloudsuite() []Spec {
+	s := []Spec{
+		{Name: "cloudsuite-data-caching", Class: ClassLatency, Profile: Profile{WorkingSetMB: 1024, MemRatio: 0.3, StoreFrac: 0.1, DepFrac: 0.55, HotFrac: 0.3, HotSetMB: 64, ILP: 1.8}},
+		{Name: "cloudsuite-data-serving", Class: ClassLatency, Profile: Profile{WorkingSetMB: 1024, MemRatio: 0.3, StoreFrac: 0.25, DepFrac: 0.5, HotFrac: 0.2, HotSetMB: 64, ILP: 1.8}},
+		{Name: "cloudsuite-data-analytics", Class: ClassMixed, Profile: Profile{WorkingSetMB: 512, MemRatio: 0.3, StoreFrac: 0.3, SeqFrac: 0.5, DepFrac: 0.2, ILP: 2.2}},
+		{Name: "cloudsuite-graph-analytics", Class: ClassLatency, Profile: Profile{WorkingSetMB: 768, MemRatio: 0.35, StoreFrac: 0.15, DepFrac: 0.55, ILP: 1.7}},
+		{Name: "cloudsuite-in-memory-analytics", Class: ClassMixed, Profile: Profile{WorkingSetMB: 512, MemRatio: 0.3, StoreFrac: 0.25, SeqFrac: 0.45, DepFrac: 0.2, ILP: 2.2}},
+		{Name: "cloudsuite-media-streaming", Class: ClassBandwidth, Siblings: bwSiblings(12, 0.95),
+			Profile: Profile{WorkingSetMB: 512, MemRatio: 0.35, StoreFrac: 0.05, SeqFrac: 0.9, StreamCount: 8, ILP: 2.4}},
+		{Name: "cloudsuite-web-search", Class: ClassLatency, Profile: Profile{WorkingSetMB: 1024, MemRatio: 0.28, StoreFrac: 0.1, DepFrac: 0.5, HotFrac: 0.35, HotSetMB: 128, ILP: 2}},
+		{Name: "cloudsuite-web-serving", Class: ClassMixed, Profile: Profile{WorkingSetMB: 256, MemRatio: 0.22, StoreFrac: 0.3, DepFrac: 0.3, SeqFrac: 0.25, ILP: 2.3}},
+	}
+	for i := range s {
+		s[i].Suite = "CloudSuite"
+	}
+	return s
+}
+
+// phoronix returns a Phoronix Test Suite slice.
+func phoronix() []Spec {
+	s := []Spec{
+		{Name: "pts-compress-7zip", Class: ClassMixed, Profile: Profile{WorkingSetMB: 256, MemRatio: 0.28, StoreFrac: 0.3, DepFrac: 0.35, SeqFrac: 0.25, ILP: 2.2}},
+		{Name: "pts-compress-zstd", Class: ClassMixed, Profile: Profile{WorkingSetMB: 256, MemRatio: 0.3, StoreFrac: 0.35, SeqFrac: 0.45, DepFrac: 0.2, ILP: 2.4}},
+		{Name: "pts-openssl", Class: ClassCompute, Profile: Profile{WorkingSetMB: 8, MemRatio: 0.04, StoreFrac: 0.3, ILP: 3.6}},
+		{Name: "pts-x265", Class: ClassCompute, Profile: Profile{WorkingSetMB: 64, MemRatio: 0.1, StoreFrac: 0.3, SeqFrac: 0.6, ILP: 3.2}},
+		{Name: "pts-svt-av1", Class: ClassMixed, Profile: Profile{WorkingSetMB: 128, MemRatio: 0.15, StoreFrac: 0.3, SeqFrac: 0.6, ILP: 3}},
+		{Name: "pts-build-linux-kernel", Class: ClassMixed, Profile: Profile{WorkingSetMB: 128, MemRatio: 0.22, StoreFrac: 0.3, DepFrac: 0.3, SeqFrac: 0.2, ILP: 2.3}},
+		{Name: "pts-build-llvm", Class: ClassMixed, Profile: Profile{WorkingSetMB: 256, MemRatio: 0.24, StoreFrac: 0.3, DepFrac: 0.32, SeqFrac: 0.2, ILP: 2.2}},
+		{Name: "pts-sqlite", Class: ClassLatency, Profile: Profile{WorkingSetMB: 256, MemRatio: 0.28, StoreFrac: 0.35, DepFrac: 0.4, ILP: 2}},
+		{Name: "pts-nginx", Class: ClassLatency, Profile: Profile{WorkingSetMB: 128, MemRatio: 0.22, StoreFrac: 0.25, DepFrac: 0.35, SeqFrac: 0.2, ILP: 2.2}},
+		{Name: "pts-apache", Class: ClassLatency, Profile: Profile{WorkingSetMB: 128, MemRatio: 0.22, StoreFrac: 0.25, DepFrac: 0.35, SeqFrac: 0.2, ILP: 2.2}},
+		{Name: "pts-pybench", Class: ClassLatency, Profile: Profile{WorkingSetMB: 64, MemRatio: 0.25, StoreFrac: 0.3, DepFrac: 0.5, ILP: 1.8}},
+		{Name: "pts-git", Class: ClassMixed, Profile: Profile{WorkingSetMB: 128, MemRatio: 0.25, StoreFrac: 0.3, SeqFrac: 0.3, DepFrac: 0.3, ILP: 2.2}},
+		{Name: "pts-blender-bmw", Class: ClassCompute, Profile: Profile{WorkingSetMB: 128, MemRatio: 0.12, StoreFrac: 0.25, SeqFrac: 0.4, ILP: 3}},
+		{Name: "pts-c-ray", Class: ClassCompute, Profile: Profile{WorkingSetMB: 8, MemRatio: 0.04, StoreFrac: 0.2, ILP: 3.6}},
+		{Name: "pts-john-the-ripper", Class: ClassCompute, Profile: Profile{WorkingSetMB: 16, MemRatio: 0.05, StoreFrac: 0.2, ILP: 3.5}},
+		{Name: "pts-stream-copy", Class: ClassBandwidth, Siblings: bwSiblings(28, 0.5),
+			Profile: Profile{WorkingSetMB: 512, MemRatio: 0.5, StoreFrac: 0.5, SeqFrac: 0.98, StreamCount: 4, ILP: 2}},
+		{Name: "pts-stream-triad", Class: ClassBandwidth, Siblings: bwSiblings(28, 0.66),
+			Profile: Profile{WorkingSetMB: 512, MemRatio: 0.5, StoreFrac: 0.34, SeqFrac: 0.98, StreamCount: 6, ILP: 2.2}},
+		{Name: "pts-ramspeed", Class: ClassBandwidth, Siblings: bwSiblings(28, 0.8),
+			Profile: Profile{WorkingSetMB: 512, MemRatio: 0.5, StoreFrac: 0.2, SeqFrac: 0.98, StreamCount: 4, ILP: 2.2}},
+		{Name: "pts-cachebench", Class: ClassMixed, Profile: Profile{WorkingSetMB: 64, MemRatio: 0.4, StoreFrac: 0.3, SeqFrac: 0.7, ILP: 2.4}},
+		{Name: "pts-postmark", Class: ClassMixed, Profile: Profile{WorkingSetMB: 256, MemRatio: 0.3, StoreFrac: 0.4, SeqFrac: 0.4, DepFrac: 0.2, ILP: 2.2}},
+		{Name: "pts-pgbench", Class: ClassLatency, Profile: Profile{WorkingSetMB: 512, MemRatio: 0.28, StoreFrac: 0.35, DepFrac: 0.45, HotFrac: 0.3, HotSetMB: 64, ILP: 2}},
+		{Name: "pts-mariadb", Class: ClassLatency, Profile: Profile{WorkingSetMB: 512, MemRatio: 0.28, StoreFrac: 0.35, DepFrac: 0.45, HotFrac: 0.3, HotSetMB: 64, ILP: 2}},
+		{Name: "pts-rocksdb", Class: ClassLatency, Profile: Profile{WorkingSetMB: 768, MemRatio: 0.3, StoreFrac: 0.3, DepFrac: 0.5, HotFrac: 0.25, HotSetMB: 32, ILP: 2}},
+		{Name: "pts-leveldb", Class: ClassLatency, Profile: Profile{WorkingSetMB: 512, MemRatio: 0.3, StoreFrac: 0.3, DepFrac: 0.5, HotFrac: 0.25, HotSetMB: 32, ILP: 2}},
+		{Name: "pts-scimark2", Class: ClassMixed, Profile: Profile{WorkingSetMB: 128, MemRatio: 0.25, StoreFrac: 0.3, SeqFrac: 0.65, ILP: 2.6}},
+	}
+	for i := range s {
+		s[i].Suite = "Phoronix"
+	}
+	return s
+}
+
+// spark returns HiBench-style Spark analytics workloads.
+func spark() []Spec {
+	s := []Spec{
+		{Name: "spark-wordcount", Class: ClassMixed, Profile: Profile{WorkingSetMB: 512, MemRatio: 0.3, StoreFrac: 0.3, SeqFrac: 0.55, HotFrac: 0.2, HotSetMB: 32, ILP: 2.2}},
+		{Name: "spark-sort", Class: ClassBandwidth, Siblings: bwSiblings(16, 0.6),
+			Profile: Profile{WorkingSetMB: 1024, MemRatio: 0.38, StoreFrac: 0.45, SeqFrac: 0.7, StreamCount: 8, ILP: 2.2}},
+		{Name: "spark-terasort", Class: ClassBandwidth, Siblings: bwSiblings(16, 0.6),
+			Profile: Profile{WorkingSetMB: 1024, MemRatio: 0.4, StoreFrac: 0.45, SeqFrac: 0.72, StreamCount: 8, ILP: 2.2}},
+		{Name: "spark-pagerank", Class: ClassLatency, Profile: Profile{WorkingSetMB: 768, MemRatio: 0.33, StoreFrac: 0.2, DepFrac: 0.5, SeqFrac: 0.15, ILP: 1.9}},
+		{Name: "spark-kmeans", Class: ClassMixed, Profile: Profile{WorkingSetMB: 512, MemRatio: 0.3, StoreFrac: 0.2, SeqFrac: 0.7, ILP: 2.6}},
+		{Name: "spark-bayes", Class: ClassMixed, Profile: Profile{WorkingSetMB: 512, MemRatio: 0.28, StoreFrac: 0.25, SeqFrac: 0.5, DepFrac: 0.2, ILP: 2.3}},
+		{Name: "spark-join", Class: ClassMixed, Profile: Profile{WorkingSetMB: 768, MemRatio: 0.32, StoreFrac: 0.3, SeqFrac: 0.4, DepFrac: 0.3, HotFrac: 0.2, HotSetMB: 64, ILP: 2.1}},
+		{Name: "spark-scan", Class: ClassBandwidth, Siblings: bwSiblings(14, 0.9),
+			Profile: Profile{WorkingSetMB: 1024, MemRatio: 0.4, StoreFrac: 0.1, SeqFrac: 0.9, StreamCount: 8, ILP: 2.4}},
+		{Name: "spark-aggregation", Class: ClassMixed, Profile: Profile{WorkingSetMB: 768, MemRatio: 0.33, StoreFrac: 0.3, SeqFrac: 0.55, HotFrac: 0.25, HotSetMB: 16, ILP: 2.2}},
+		{Name: "spark-als", Class: ClassMixed, Profile: Profile{WorkingSetMB: 512, MemRatio: 0.3, StoreFrac: 0.25, SeqFrac: 0.6, ILP: 2.5}},
+	}
+	for i := range s {
+		s[i].Suite = "Spark"
+	}
+	return s
+}
+
+// ml returns the ML/AI inference workloads.
+func ml() []Spec {
+	s := []Spec{
+		{Name: "gpt2-small", Class: ClassMixed, Profile: Profile{WorkingSetMB: 512, MemRatio: 0.3, StoreFrac: 0.15, SeqFrac: 0.8, StreamCount: 8, ILP: 2.8}},
+		{Name: "gpt2-medium", Class: ClassBandwidth, Siblings: bwSiblings(8, 0.9),
+			Profile: Profile{WorkingSetMB: 1024, MemRatio: 0.35, StoreFrac: 0.12, SeqFrac: 0.85, StreamCount: 8, ILP: 2.6}},
+		{Name: "llama7b-prefill", Class: ClassCompute, Profile: Profile{WorkingSetMB: 512, MemRatio: 0.18, StoreFrac: 0.15, SeqFrac: 0.85, StreamCount: 8, ILP: 3.4}},
+		{Name: "llama7b-decode", Class: ClassBandwidth, Siblings: bwSiblings(20, 0.95),
+			Profile: Profile{WorkingSetMB: 2048, MemRatio: 0.45, StoreFrac: 0.05, SeqFrac: 0.95, StreamCount: 12, ILP: 2.4}},
+		{Name: "llama7b-decode-batch8", Class: ClassBandwidth, Siblings: bwSiblings(24, 0.95),
+			Profile: Profile{WorkingSetMB: 2048, MemRatio: 0.45, StoreFrac: 0.08, SeqFrac: 0.92, StreamCount: 12, ILP: 2.5}},
+		{Name: "dlrm-embedding", Class: ClassLatency, Profile: Profile{WorkingSetMB: 2048, MemRatio: 0.35, StoreFrac: 0.05, DepFrac: 0.3, HotFrac: 0.4, HotSetMB: 64, ILP: 2}},
+		{Name: "dlrm-full", Class: ClassMixed, Profile: Profile{WorkingSetMB: 1536, MemRatio: 0.3, StoreFrac: 0.1, DepFrac: 0.2, SeqFrac: 0.4, HotFrac: 0.3, HotSetMB: 64, ILP: 2.4}},
+		{Name: "bert-base", Class: ClassMixed, Profile: Profile{WorkingSetMB: 512, MemRatio: 0.25, StoreFrac: 0.15, SeqFrac: 0.8, StreamCount: 8, ILP: 3}},
+		{Name: "resnet50", Class: ClassCompute, Profile: Profile{WorkingSetMB: 256, MemRatio: 0.15, StoreFrac: 0.2, SeqFrac: 0.8, ILP: 3.4}},
+		{Name: "mlperf-rnnt", Class: ClassMixed, Profile: Profile{WorkingSetMB: 512, MemRatio: 0.25, StoreFrac: 0.15, SeqFrac: 0.7, DepFrac: 0.15, ILP: 2.6}},
+		{Name: "mlperf-3dunet", Class: ClassBandwidth, Siblings: bwSiblings(12, 0.85),
+			Profile: Profile{WorkingSetMB: 1024, MemRatio: 0.38, StoreFrac: 0.2, SeqFrac: 0.88, StreamCount: 10, ILP: 2.5}},
+		{Name: "mobilenet-v2", Class: ClassCompute, Profile: Profile{WorkingSetMB: 64, MemRatio: 0.12, StoreFrac: 0.2, SeqFrac: 0.75, ILP: 3.4}},
+	}
+	for i := range s {
+		s[i].Suite = "ML"
+	}
+	return s
+}
+
+// micro generates the parametric microbenchmark grid that rounds the
+// catalog out to 265 entries. Each point exercises a distinct corner of
+// {footprint} x {access pattern} x {read-write mix}.
+func micro() []Spec {
+	var out []Spec
+	add := func(name string, cls Class, p Profile) {
+		out = append(out, Spec{Name: name, Suite: "micro", Class: cls, Profile: p})
+	}
+	sizes := []float64{16, 64, 256, 1024}
+	// Pattern x size grid (24).
+	for _, ws := range sizes {
+		tag := fmt.Sprintf("%gm", ws)
+		add("micro-chase-"+tag, ClassLatency, Profile{WorkingSetMB: ws, MemRatio: 0.5, DepFrac: 1, ILP: 1.2, Skew: -1})
+		add("micro-randread-"+tag, ClassLatency, Profile{WorkingSetMB: ws, MemRatio: 0.5, DepFrac: 0, ILP: 2, Skew: -1})
+		add("micro-seqread-"+tag, ClassBandwidth, Profile{WorkingSetMB: ws, MemRatio: 0.5, SeqFrac: 1, StreamCount: 4, ILP: 2.4, Skew: -1})
+		add("micro-seqrw-"+tag, ClassBandwidth, Profile{WorkingSetMB: ws, MemRatio: 0.5, SeqFrac: 1, StoreFrac: 0.5, StreamCount: 4, ILP: 2.2, Skew: -1})
+		add("micro-randstore-"+tag, ClassMixed, Profile{WorkingSetMB: ws, MemRatio: 0.5, StoreFrac: 1, ILP: 2, Skew: -1})
+		add("micro-mixed-"+tag, ClassMixed, Profile{WorkingSetMB: ws, MemRatio: 0.4, StoreFrac: 0.3, DepFrac: 0.3, SeqFrac: 0.3, ILP: 2.2, Skew: -1})
+	}
+	// Intensity sweep on chase and stream (24).
+	for _, ws := range sizes {
+		for _, mr := range []float64{0.1, 0.25, 0.45} {
+			add(fmt.Sprintf("micro-chase-%gm-mr%02.0f", ws, mr*100), ClassLatency,
+				Profile{WorkingSetMB: ws, MemRatio: mr, DepFrac: 1, ILP: 2, Skew: -1})
+			add(fmt.Sprintf("micro-seq-%gm-mr%02.0f", ws, mr*100), ClassMixed,
+				Profile{WorkingSetMB: ws, MemRatio: mr, SeqFrac: 1, StreamCount: 4, ILP: 2.4, Skew: -1})
+		}
+	}
+	// Read/write ratio sweep (16).
+	for _, ws := range sizes {
+		for _, sf := range []float64{0.2, 0.33, 0.5, 0.66} {
+			add(fmt.Sprintf("micro-rw-%gm-w%02.0f", ws, sf*100), ClassMixed,
+				Profile{WorkingSetMB: ws, MemRatio: 0.45, SeqFrac: 0.8, StoreFrac: sf, StreamCount: 4, ILP: 2.2, Skew: -1})
+		}
+	}
+	// Hot-set (Zipf-ish) locality sweep (8).
+	for _, hot := range []float64{0.5, 0.8} {
+		for _, hs := range []float64{4, 32} {
+			add(fmt.Sprintf("micro-hot%02.0f-%gm", hot*100, hs), ClassLatency,
+				Profile{WorkingSetMB: 512, MemRatio: 0.4, DepFrac: 0.4, HotFrac: hot, HotSetMB: hs, ILP: 2, Skew: -1})
+		}
+	}
+	// Dependence-depth sweep (8).
+	for _, dep := range []float64{0.12, 0.25, 0.38, 0.5, 0.62, 0.75, 0.88, 1} {
+		add(fmt.Sprintf("micro-dep%03.0f", dep*100), ClassLatency,
+			Profile{WorkingSetMB: 256, MemRatio: 0.4, DepFrac: dep, ILP: 2, Skew: -1})
+	}
+	// Serialize-heavy kernels (4).
+	for _, per := range []uint64{32, 128, 512, 2048} {
+		add(fmt.Sprintf("micro-fence%d", per), ClassMixed,
+			Profile{WorkingSetMB: 256, MemRatio: 0.35, StoreFrac: 0.3, SerializePer: per, ILP: 2, Skew: -1})
+	}
+	// Stride/stream-count variants (8).
+	for _, sc := range []int{1, 2, 8, 16} {
+		add(fmt.Sprintf("micro-streams%d", sc), ClassBandwidth,
+			Profile{WorkingSetMB: 512, MemRatio: 0.45, SeqFrac: 1, StreamCount: sc, ILP: 2.4, Skew: -1})
+		add(fmt.Sprintf("micro-streams%d-rw", sc), ClassBandwidth,
+			Profile{WorkingSetMB: 512, MemRatio: 0.45, SeqFrac: 1, StoreFrac: 0.4, StreamCount: sc, ILP: 2.2, Skew: -1})
+	}
+	return out
+}
+
+// appSpecs holds workloads registered by the apps packages (graph
+// kernels, Redis-like KV store, VoltDB-like table store).
+var appSpecs []Spec
+
+// RegisterApps adds externally built workload specs to the catalog.
+// It is called from the apps packages' registration helpers.
+func RegisterApps(specs []Spec) {
+	appSpecs = append(appSpecs, specs...)
+}
+
+// parallelSuites lists the suites whose real programs are inherently
+// multithreaded; entries without explicit sibling traffic get a
+// moderate default so they exercise shared-device contention the way
+// the real servers/runtimes do.
+var parallelSuites = map[string]bool{
+	"PBBS": true, "PARSEC": true, "CloudSuite": true, "Spark": true, "ML": true, "Phoronix": true,
+}
+
+// Catalog returns all workload specs. The total is 265 once the apps
+// packages have registered (graph 30, Redis 6, VoltDB 6, memcached 2).
+func Catalog() []Spec {
+	var all []Spec
+	all = append(all, specCPU2017()...)
+	all = append(all, pbbs()...)
+	all = append(all, parsec()...)
+	all = append(all, cloudsuite()...)
+	all = append(all, phoronix()...)
+	all = append(all, spark()...)
+	all = append(all, ml()...)
+	all = append(all, micro()...)
+	all = append(all, appSpecs...)
+	for i := range all {
+		s := &all[i]
+		if s.Siblings.Threads == 0 && parallelSuites[s.Suite] {
+			s.Siblings = Siblings{Threads: 6, ReadFrac: 0.85, MLP: 3, DelayNs: 200, WorkingSetMB: 64}
+		}
+	}
+	return all
+}
+
+// ByName finds a catalog entry.
+func ByName(name string) (Spec, bool) {
+	for _, s := range Catalog() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// BySuite filters the catalog.
+func BySuite(suite string) []Spec {
+	var out []Spec
+	for _, s := range Catalog() {
+		if s.Suite == suite {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ByClass filters the catalog.
+func ByClass(c Class) []Spec {
+	var out []Spec
+	for _, s := range Catalog() {
+		if s.Class == c {
+			out = append(out, s)
+		}
+	}
+	return out
+}

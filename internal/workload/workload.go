@@ -1,0 +1,337 @@
+// Package workload defines the workload abstraction Melody evaluates
+// and the 265-entry catalog reproducing the paper's suite mix (SPEC CPU
+// 2017, GAPBS, PBBS, PARSEC, CloudSuite, Phoronix, Spark, ML inference,
+// Redis/VoltDB under YCSB, plus microbenchmarks).
+//
+// Real applications cannot run on a simulated memory hierarchy, so each
+// workload is either (a) a parametric model whose memory-access
+// structure — footprint, dependence depth, read/write mix, spatial
+// locality, phase behaviour — matches the real program's published
+// characteristics, or (b) an actually-executing mini-app (graph
+// kernels, KV store, table store) that performs its algorithm's loads
+// and stores through the simulated machine. DESIGN.md §1 documents this
+// substitution.
+package workload
+
+import (
+	"github.com/moatlab/melody/internal/core"
+	"github.com/moatlab/melody/internal/mem"
+	"github.com/moatlab/melody/internal/sim"
+	"github.com/moatlab/melody/internal/traffic"
+	"github.com/moatlab/melody/internal/vm"
+)
+
+// Workload is anything that can execute on a simulated machine.
+type Workload interface {
+	// Name identifies the workload ("605.mcf_s", "bfs-twitter", ...).
+	Name() string
+	// Run executes against m until m.Done() (or natural completion).
+	Run(m *core.Machine)
+}
+
+// Siblings describes the background traffic modelling the workload's
+// other threads: one representative core is simulated in detail and
+// siblings load the shared device (DESIGN.md §3.2).
+type Siblings struct {
+	Threads      int
+	ReadFrac     float64
+	DelayNs      float64 // pacing between accesses per thread
+	MLP          int
+	Sequential   bool
+	WorkingSetMB float64
+}
+
+// BuildThreads constructs the background traffic threads against dev.
+// Sibling buffers sit far above workload arenas (>= 1 TiB) so they never
+// alias workload objects.
+func (s Siblings) BuildThreads(dev mem.Device, seed uint64) []traffic.Thread {
+	if s.Threads <= 0 {
+		return nil
+	}
+	ws := uint64(s.WorkingSetMB * (1 << 20))
+	if ws == 0 {
+		ws = 64 << 20
+	}
+	mlp := s.MLP
+	if mlp <= 0 {
+		mlp = 8
+	}
+	readFrac := s.ReadFrac
+	if readFrac <= 0 {
+		readFrac = 1
+	}
+	threads := make([]traffic.Thread, s.Threads)
+	for i := 0; i < s.Threads; i++ {
+		g := traffic.NewLoadGenerator(dev, ws, readFrac, seed+uint64(i)*257+11)
+		g.Base = (1 << 40) + uint64(i)*(ws+(1<<21))
+		g.MLP = mlp
+		g.DelayNs = s.DelayNs
+		g.Sequential = s.Sequential
+		threads[i] = g
+	}
+	return threads
+}
+
+// Class coarsely categorizes sensitivity, used to slice experiments.
+type Class uint8
+
+const (
+	// ClassCompute is CPU-bound (minimal memory traffic).
+	ClassCompute Class = iota
+	// ClassLatency is dominated by dependent or random loads.
+	ClassLatency
+	// ClassBandwidth streams more data than small devices can serve.
+	ClassBandwidth
+	// ClassMixed sits in between.
+	ClassMixed
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassCompute:
+		return "compute"
+	case ClassLatency:
+		return "latency"
+	case ClassBandwidth:
+		return "bandwidth"
+	default:
+		return "mixed"
+	}
+}
+
+// Spec is one catalog entry.
+type Spec struct {
+	Name  string
+	Suite string
+	Class Class
+
+	// Profile parameterizes the synthetic model; used unless New is set.
+	Profile Profile
+
+	// New overrides Profile with a custom (usually actually-executing)
+	// workload constructor.
+	New func(seed uint64) Workload
+
+	// Siblings models the workload's other threads as device traffic.
+	Siblings Siblings
+
+	// Instructions overrides the default per-run budget when non-zero.
+	Instructions uint64
+}
+
+// Build constructs the workload instance. Class-dependent locality
+// defaults are applied here: compute-bound programs reuse a small hot
+// set (their real miss rates are tiny), and mixed programs reuse a
+// moderate one; entries that set HotFrac/HotSetMB explicitly keep their
+// values.
+func (s Spec) Build(seed uint64) Workload {
+	if s.New != nil {
+		return s.New(seed)
+	}
+	p := s.Profile
+	if p.HotFrac == 0 && p.HotSetMB == 0 {
+		switch s.Class {
+		case ClassCompute:
+			p.HotFrac, p.HotSetMB = 0.995, 3
+		case ClassMixed:
+			p.HotFrac, p.HotSetMB = 0.985, 20
+		case ClassLatency:
+			p.HotFrac, p.HotSetMB = 0.6, 48
+		}
+	}
+	if p.StreamCapMB == 0 {
+		switch s.Class {
+		case ClassCompute:
+			p.StreamCapMB = 2
+		case ClassMixed, ClassLatency:
+			p.StreamCapMB = 4
+		}
+	}
+	return NewSynthetic(s.Name, p, seed)
+}
+
+// Profile parameterizes the synthetic workload model.
+type Profile struct {
+	WorkingSetMB float64 // random-access footprint
+	MemRatio     float64 // memory ops per instruction
+	StoreFrac    float64 // stores as a fraction of memory ops
+	DepFrac      float64 // loads depending on the previous load
+	SeqFrac      float64 // accesses on sequential (prefetchable) streams
+	StreamCount  int     // concurrent sequential streams (default 4)
+	HotFrac      float64 // random accesses hitting the hot object
+	HotSetMB     float64 // hot object size
+	ILP          float64 // compute ILP between memory ops
+	SerializePer uint64  // serializing op cadence (0 = never)
+
+	// Skew shapes the random-access popularity distribution: 0 selects
+	// the default Zipf exponent (0.85 — real programs reuse data),
+	// positive values set it explicitly, and negative values select
+	// uniform random (microbenchmark behaviour, no locality).
+	Skew float64
+
+	// StreamCapMB bounds each sequential stream's footprint. Cache-
+	// friendly programs stream over reused buffers (frames, tiles), so
+	// their streams should turn into cache hits after the first pass;
+	// bandwidth-bound programs stream over fresh data (0 = unbounded).
+	StreamCapMB float64
+
+	// PhaseInstr splits execution into phases of this many instructions
+	// cycling through PhaseMemMult as MemRatio multipliers (used for the
+	// period-based Spa analysis, Figure 16).
+	PhaseInstr   uint64
+	PhaseMemMult []float64
+}
+
+// Synthetic executes a Profile. It allocates its footprint from a vm
+// arena so placement experiments can rebind objects to devices.
+type Synthetic struct {
+	name string
+	prof Profile
+	rng  *sim.Rand
+
+	arena   *vm.Arena
+	randObj vm.Object
+	hotObj  vm.Object
+	streams []vm.Object
+	cursors []uint64
+	zipf    *sim.Zipf // nil = uniform random accesses
+}
+
+var _ Workload = (*Synthetic)(nil)
+
+// NewSynthetic builds a synthetic workload from prof.
+func NewSynthetic(name string, prof Profile, seed uint64) *Synthetic {
+	if prof.WorkingSetMB <= 0 {
+		prof.WorkingSetMB = 64
+	}
+	if prof.ILP <= 0 {
+		prof.ILP = 2
+	}
+	if prof.MemRatio <= 0 {
+		prof.MemRatio = 0.25
+	}
+	if prof.StreamCount <= 0 {
+		prof.StreamCount = 4
+	}
+	w := &Synthetic{name: name, prof: prof, rng: sim.NewRand(seed)}
+	w.arena = vm.New(1 << 30)
+	w.randObj = w.arena.Alloc("rand", uint64(prof.WorkingSetMB*(1<<20)))
+	if prof.Skew >= 0 {
+		skew := prof.Skew
+		if skew == 0 {
+			skew = 0.85
+		}
+		w.zipf = sim.NewZipf(w.rng.Fork(), w.randObj.Size/64, skew)
+	}
+	if prof.HotFrac > 0 && prof.HotSetMB > 0 {
+		w.hotObj = w.arena.Alloc("hot", uint64(prof.HotSetMB*(1<<20)))
+	}
+	if prof.SeqFrac > 0 {
+		per := uint64(prof.WorkingSetMB * (1 << 20) / float64(prof.StreamCount))
+		if per < 1<<20 {
+			per = 1 << 20
+		}
+		if cap := uint64(prof.StreamCapMB * (1 << 20)); cap > 0 && per > cap {
+			per = cap
+		}
+		for i := 0; i < prof.StreamCount; i++ {
+			w.streams = append(w.streams, w.arena.Alloc("stream", per))
+			w.cursors = append(w.cursors, 0)
+		}
+	}
+	return w
+}
+
+// Name implements Workload.
+func (w *Synthetic) Name() string { return w.name }
+
+// Arena exposes the workload's allocations for placement experiments.
+func (w *Synthetic) Arena() *vm.Arena { return w.arena }
+
+// Preloader is implemented by workloads whose steady-state cache
+// residency should be installed before measurement (hot sets, reused
+// stream buffers, index structures). The runner preloads these objects
+// in order until the machine's budget is spent.
+type Preloader interface {
+	PreloadObjects() []vm.Object
+}
+
+// PreloadObjects implements Preloader: the hot set and stream buffers
+// are what a long-running instance would keep cached.
+func (w *Synthetic) PreloadObjects() []vm.Object {
+	var objs []vm.Object
+	if w.hotObj.Size > 0 {
+		objs = append(objs, w.hotObj)
+	}
+	objs = append(objs, w.streams...)
+	return objs
+}
+
+// Run implements Workload.
+func (w *Synthetic) Run(m *core.Machine) {
+	p := w.prof
+	const line = 64
+	stream := 0
+	sinceSerialize := uint64(0)
+	for !m.Done() {
+		memRatio := p.MemRatio
+		if p.PhaseInstr > 0 && len(p.PhaseMemMult) > 0 {
+			phase := (m.Instructions() / p.PhaseInstr) % uint64(len(p.PhaseMemMult))
+			memRatio *= p.PhaseMemMult[phase]
+			if memRatio > 1 {
+				memRatio = 1
+			}
+		}
+
+		// One memory op plus its compute filler.
+		r := w.rng.Float64()
+		switch {
+		case r < p.SeqFrac:
+			obj := w.streams[stream]
+			cur := w.cursors[stream]
+			addr := obj.Base + (cur % (obj.Size / line) * line)
+			w.cursors[stream] = cur + 1
+			stream++
+			if stream == len(w.streams) {
+				stream = 0
+			}
+			if w.rng.Float64() < p.StoreFrac {
+				m.Store(addr)
+			} else {
+				m.Load(addr, false)
+			}
+		default:
+			var addr uint64
+			if p.HotFrac > 0 && w.rng.Float64() < p.HotFrac {
+				addr = w.hotObj.Base + w.rng.Uint64n(w.hotObj.Size/line)*line
+			} else if w.zipf != nil {
+				// Zipf rank scattered across the footprint so the hot
+				// set has no artificial spatial locality.
+				lines := w.randObj.Size / line
+				rank := w.zipf.Next()
+				addr = w.randObj.Base + (rank*0x9e3779b97f4a7c15)%lines*line
+			} else {
+				addr = w.randObj.Base + w.rng.Uint64n(w.randObj.Size/line)*line
+			}
+			if w.rng.Float64() < p.StoreFrac {
+				m.Store(addr)
+			} else {
+				m.Load(addr, w.rng.Float64() < p.DepFrac)
+			}
+		}
+
+		if memRatio < 1 {
+			fill := uint64((1-memRatio)/memRatio + 0.5)
+			if fill > 0 {
+				m.ComputeILP(fill, p.ILP)
+			}
+		}
+
+		sinceSerialize++
+		if p.SerializePer > 0 && sinceSerialize >= p.SerializePer {
+			m.Serialize()
+			sinceSerialize = 0
+		}
+	}
+}
