@@ -10,12 +10,19 @@
 //
 //	go test -bench=. -benchmem
 //
+// Compare sequential vs parallel cell execution (the engine's worker
+// pool; expect >= 2x on >= 4 cores):
+//
+//	go test -bench=Sweep48 -benchtime=3x
+//
 // The options below subsample the 265-workload catalog for tractable
 // runtimes; pass -full to sweep the entire catalog (minutes per figure).
 package bench
 
 import (
+	"context"
 	"flag"
+	"runtime"
 	"testing"
 
 	"github.com/moatlab/melody/internal/melody"
@@ -46,19 +53,38 @@ func benchOptions() melody.Options {
 func runExperiment(b *testing.B, id string) {
 	b.Helper()
 	melody.RegisterWorkloads()
-	e, ok := melody.ExperimentByID(id)
-	if !ok {
-		b.Fatalf("experiment %q not registered", id)
-	}
 	var rep *melody.Report
 	for i := 0; i < b.N; i++ {
-		rep = e.Run(benchOptions())
+		var ok bool
+		rep, ok = melody.RunExperiment(context.Background(), id, benchOptions(), 0)
+		if !ok {
+			b.Fatalf("experiment %q not registered", id)
+		}
 	}
 	if rep == nil || len(rep.Lines) == 0 {
 		b.Fatalf("experiment %q produced no output", id)
 	}
 	b.Log("\n" + rep.String())
 }
+
+// benchmarkSweep measures the wall-clock of a 48-workload Figure 8a
+// sweep at a fixed worker count — the acceptance comparison for the
+// parallel experiment engine (run Sweep48J1 vs Sweep48JMax).
+func benchmarkSweep(b *testing.B, workers int) {
+	b.Helper()
+	melody.RegisterWorkloads()
+	o := benchOptions()
+	o.MaxWorkloads = 48
+	for i := 0; i < b.N; i++ {
+		rep, ok := melody.RunExperiment(context.Background(), "fig8a", o, workers)
+		if !ok || len(rep.Lines) == 0 {
+			b.Fatal("fig8a sweep produced no output")
+		}
+	}
+}
+
+func BenchmarkSweep48J1(b *testing.B)   { benchmarkSweep(b, 1) }
+func BenchmarkSweep48JMax(b *testing.B) { benchmarkSweep(b, runtime.NumCPU()) }
 
 func BenchmarkTable1(b *testing.B)    { runExperiment(b, "table1") }
 func BenchmarkTable2(b *testing.B)    { runExperiment(b, "table2") }

@@ -7,20 +7,25 @@
 //	melody run <experiment-id>... [flags]
 //	melody run all [flags]
 //
-// Flags:
+// Flags may appear before, between, or after experiment ids:
 //
 //	-workloads N      catalog subset size (0 = all 265; default 48)
 //	-instructions N   measurement window per run (default 1200000)
 //	-warmup N         warmup instructions per run (default 250000)
 //	-duration NS      device-measurement duration in ns (default 200000)
 //	-seed N           simulation seed (default 1)
+//	-j N              parallel (workload, config) cells (0 = NumCPU)
+//	-quiet            suppress live progress lines on stderr
+//	-out DIR          also write each report to DIR/<id>.txt
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"github.com/moatlab/melody/internal/melody"
@@ -48,6 +53,27 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "usage: melody list | melody run <id>...|all [flags]")
 }
 
+// parseRunArgs parses args against fs, allowing flags and positional
+// experiment ids to interleave in any order (the standard flag package
+// stops at the first positional, which used to make `melody run -j 8
+// fig5` drop the ids after the flag — and `melody run fig5 -j 8` drop
+// the flags after the id).
+func parseRunArgs(fs *flag.FlagSet, args []string) ([]string, error) {
+	var ids []string
+	rest := args
+	for {
+		if err := fs.Parse(rest); err != nil {
+			return nil, err
+		}
+		rest = fs.Args()
+		if len(rest) == 0 {
+			return ids, nil
+		}
+		ids = append(ids, rest[0])
+		rest = rest[1:]
+	}
+}
+
 func runCmd(args []string) {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	workloads := fs.Int("workloads", 48, "catalog subset size (0 = all 265)")
@@ -55,16 +81,12 @@ func runCmd(args []string) {
 	warmup := fs.Uint64("warmup", 0, "warmup instructions per run")
 	duration := fs.Float64("duration", 0, "device measurement duration (ns)")
 	seed := fs.Uint64("seed", 1, "simulation seed")
+	jobs := fs.Int("j", 0, "parallel (workload, config) cells (0 = NumCPU)")
+	quiet := fs.Bool("quiet", false, "suppress live progress lines")
 	outDir := fs.String("out", "", "also write each report to <dir>/<id>.txt")
 
-	// Allow flags after experiment ids.
-	var ids []string
-	rest := args
-	for len(rest) > 0 && rest[0] != "" && rest[0][0] != '-' {
-		ids = append(ids, rest[0])
-		rest = rest[1:]
-	}
-	if err := fs.Parse(rest); err != nil {
+	ids, err := parseRunArgs(fs, args)
+	if err != nil {
 		os.Exit(2)
 	}
 	if len(ids) == 0 {
@@ -78,14 +100,30 @@ func runCmd(args []string) {
 		}
 	}
 
-	opts := melody.Options{
+	eng := melody.NewEngine(melody.Options{
 		MaxWorkloads: *workloads,
 		Instructions: *instructions,
 		Warmup:       *warmup,
 		DurationNs:   *duration,
 		Seed:         *seed,
+	})
+	eng.Workers = *jobs
+	progressing := false
+	if !*quiet {
+		eng.Progress = func(id string, done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%-8s %d/%d cells", id, done, total)
+			progressing = true
+		}
 	}
+	clearProgress := func() {
+		if progressing {
+			fmt.Fprintf(os.Stderr, "\r%s\r", strings.Repeat(" ", 40))
+			progressing = false
+		}
+	}
+
 	melody.RegisterWorkloads()
+	ctx := context.Background()
 	for _, id := range ids {
 		e, ok := melody.ExperimentByID(id)
 		if !ok {
@@ -93,7 +131,8 @@ func runCmd(args []string) {
 			os.Exit(1)
 		}
 		start := time.Now()
-		rep := e.Run(opts)
+		rep := eng.Run(ctx, e)
+		clearProgress()
 		fmt.Println(rep.String())
 		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
 		if *outDir != "" {

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"flag"
+	"io"
+	"reflect"
+	"testing"
+)
+
+// newRunFlags mirrors runCmd's flag set for parser tests.
+func newRunFlags() (*flag.FlagSet, *int, *int) {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	workloads := fs.Int("workloads", 48, "")
+	jobs := fs.Int("j", 0, "")
+	fs.Uint64("seed", 1, "")
+	fs.Bool("quiet", false, "")
+	return fs, workloads, jobs
+}
+
+func TestParseRunArgsInterleaved(t *testing.T) {
+	cases := []struct {
+		name      string
+		args      []string
+		ids       []string
+		workloads int
+		jobs      int
+	}{
+		{"flags first", []string{"-j", "8", "-workloads", "16", "fig8a", "fig11"},
+			[]string{"fig8a", "fig11"}, 16, 8},
+		{"flags last", []string{"fig8a", "fig11", "-j", "8", "-workloads", "16"},
+			[]string{"fig8a", "fig11"}, 16, 8},
+		{"flags between", []string{"fig8a", "-j", "8", "fig11", "-workloads", "16", "tuning"},
+			[]string{"fig8a", "fig11", "tuning"}, 16, 8},
+		{"ids only", []string{"fig5"}, []string{"fig5"}, 48, 0},
+		{"all with trailing flag", []string{"all", "-quiet"}, []string{"all"}, 48, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			fs, workloads, jobs := newRunFlags()
+			ids, err := parseRunArgs(fs, c.args)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(ids, c.ids) {
+				t.Fatalf("ids = %v, want %v", ids, c.ids)
+			}
+			if *workloads != c.workloads || *jobs != c.jobs {
+				t.Fatalf("workloads=%d jobs=%d, want %d/%d", *workloads, *jobs, c.workloads, c.jobs)
+			}
+		})
+	}
+}
+
+func TestParseRunArgsBadFlag(t *testing.T) {
+	fs, _, _ := newRunFlags()
+	if _, err := parseRunArgs(fs, []string{"fig8a", "-nope"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

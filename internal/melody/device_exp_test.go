@@ -27,7 +27,7 @@ func TestDeviceExperimentsSmoke(t *testing.T) {
 		if !ok {
 			t.Fatalf("%s not registered", c.id)
 		}
-		rep := e.Run(o)
+		rep := e.Run(testCtx(o))
 		joined := strings.Join(rep.Lines, "\n")
 		for _, want := range c.mustHave {
 			if !strings.Contains(joined, want) {
@@ -44,7 +44,7 @@ func TestDeviceExperimentsSmoke(t *testing.T) {
 // experiment level: CXL-A's p99.9-p50 gap grows with utilization while
 // Local's stays flat.
 func TestFig3cTailGrowsWithLoadOnCXL(t *testing.T) {
-	rep := Fig3c(Options{Seed: 1, DurationNs: 60_000})
+	rep := Fig3c(testCtx(Options{Seed: 1, DurationNs: 60_000}))
 	var localGaps, cxlAGaps []float64
 	section := ""
 	for _, l := range rep.Lines {

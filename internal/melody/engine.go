@@ -1,0 +1,158 @@
+package melody
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"github.com/moatlab/melody/internal/platform"
+	"github.com/moatlab/melody/internal/workload"
+)
+
+// Engine executes experiments over a pool of shared, per-platform
+// Runners. Sharing the runners across experiments means a figure never
+// recomputes a (workload, config) cell another figure already measured
+// — in particular the local-DRAM baselines every slowdown needs — and
+// the singleflight cache keeps that true when cells are requested
+// concurrently.
+type Engine struct {
+	// Opts scales every experiment the engine runs.
+	Opts Options
+
+	// Workers bounds cell-level concurrency (0 = NumCPU).
+	Workers int
+
+	// Progress, when set, observes batch execution: it is called as
+	// cells of an experiment's declared set complete. Calls are
+	// serialized by the engine.
+	Progress func(experimentID string, done, total int)
+
+	mu         sync.Mutex
+	runners    map[string]*Runner
+	progressMu sync.Mutex
+}
+
+// NewEngine returns an engine executing experiments under o.
+func NewEngine(o Options) *Engine {
+	return &Engine{Opts: o, runners: map[string]*Runner{}}
+}
+
+// Run executes one experiment to completion.
+func (g *Engine) Run(ctx context.Context, e Experiment) *Report {
+	RegisterWorkloads()
+	return e.Run(g.context(ctx, e.ID))
+}
+
+// RunByID executes a registered experiment.
+func (g *Engine) RunByID(ctx context.Context, id string) (*Report, bool) {
+	e, ok := ExperimentByID(id)
+	if !ok {
+		return nil, false
+	}
+	return g.Run(ctx, e), true
+}
+
+// context builds the per-experiment ExperimentContext.
+func (g *Engine) context(ctx context.Context, id string) *ExperimentContext {
+	return &ExperimentContext{eng: g, ctx: ctx, id: id, Opts: g.Opts}
+}
+
+// runner returns the shared Runner for p, creating it on first use.
+func (g *Engine) runner(p platform.Platform) *Runner {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if r, ok := g.runners[p.CPU.Name]; ok {
+		return r
+	}
+	r := g.newRunner(p)
+	g.runners[p.CPU.Name] = r
+	return r
+}
+
+// newRunner builds a Runner honouring the engine's options.
+func (g *Engine) newRunner(p platform.Platform) *Runner {
+	o := g.Opts
+	r := NewRunner(p)
+	r.Seed = o.seed()
+	r.Workers = g.Workers
+	if o.Instructions > 0 {
+		r.Instructions = o.Instructions
+	}
+	if o.Warmup > 0 {
+		r.Warmup = o.Warmup
+	}
+	return r
+}
+
+// report forwards batch progress to the engine's observer.
+func (g *Engine) report(id string, done, total int) {
+	if g.Progress == nil {
+		return
+	}
+	g.progressMu.Lock()
+	g.Progress(id, done, total)
+	g.progressMu.Unlock()
+}
+
+// RunExperiment executes a registered experiment with a one-shot engine
+// — the convenience path for tests, benchmarks and library callers that
+// do not need cross-experiment cache sharing.
+func RunExperiment(ctx context.Context, id string, o Options, workers int) (*Report, bool) {
+	g := NewEngine(o)
+	g.Workers = workers
+	return g.RunByID(ctx, id)
+}
+
+// ExperimentContext is what every experiment receives: the experiment's
+// options plus access to the engine's shared runners, batch submission
+// with progress reporting, and the run's cancellation context.
+type ExperimentContext struct {
+	eng  *Engine
+	ctx  context.Context
+	id   string
+	Opts Options
+}
+
+// Context returns the run's cancellation context.
+func (ec *ExperimentContext) Context() context.Context { return ec.ctx }
+
+// Runner returns the engine-shared Runner for p: results are memoized
+// across every experiment the engine runs. Experiments that mutate
+// runner knobs (sampling interval, prefetchers) or register impure
+// MemConfigs must use IsolatedRunner instead.
+func (ec *ExperimentContext) Runner(p platform.Platform) *Runner {
+	return ec.eng.runner(p)
+}
+
+// IsolatedRunner returns a fresh private Runner for p, configured from
+// the experiment's options but sharing no cache with other experiments.
+func (ec *ExperimentContext) IsolatedRunner(p platform.Platform) *Runner {
+	return ec.eng.newRunner(p)
+}
+
+// Declare submits an experiment's full cell set for parallel execution
+// on r, reporting progress as cells complete. Results land in r's cache,
+// so the experiment's subsequent Run/Slowdown calls are pure lookups;
+// declaring up front is what lets a figure's whole grid run wide instead
+// of serializing on its reporting order.
+func (ec *ExperimentContext) Declare(r *Runner, cells []RunRequest) error {
+	total := len(cells)
+	var done atomic.Int64
+	_, err := r.runAll(ec.ctx, cells, func() {
+		ec.eng.report(ec.id, int(done.Add(1)), total)
+	})
+	return err
+}
+
+// Slowdowns evaluates specs against target on r with progress reporting,
+// fanning baseline and target cells across the worker pool.
+func (ec *ExperimentContext) Slowdowns(r *Runner, specs []workload.Spec, target MemConfig) []float64 {
+	if err := ec.Declare(r, Cells(specs, Local(r.Platform), target)); err != nil {
+		return make([]float64, len(specs))
+	}
+	out, err := r.SlowdownsCtx(ec.ctx, specs, target)
+	if err != nil {
+		return make([]float64, len(specs))
+	}
+	return out
+}

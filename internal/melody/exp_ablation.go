@@ -15,7 +15,8 @@ import (
 // (b) the L2 streamer's in-flight budget, the mechanism behind the
 // Figure 12 coverage loss;
 // (c) the controller hiccup processes behind CXL-B's tail latencies.
-func Ablations(o Options) *Report {
+func Ablations(ec *ExperimentContext) *Report {
+	o := ec.Opts
 	r := &Report{ID: "ablations", Title: "Model ablations"}
 	RegisterWorkloads()
 	emr := platform.EMR2S()
@@ -27,8 +28,8 @@ func Ablations(o Options) *Report {
 		if !ok {
 			continue
 		}
-		on := runnerFor(emr, o)
-		off := runnerFor(emr, o)
+		on := ec.Runner(emr)
+		off := ec.IsolatedRunner(emr)
 		off.PrefetchersOff = true
 		cOn := on.Run(spec, Local(emr)).Cycles()
 		cOff := off.Run(spec, Local(emr)).Cycles()

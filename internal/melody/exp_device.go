@@ -33,7 +33,8 @@ func deviceSet(seed uint64) []struct {
 
 // Table1 regenerates the testbed table: idle latency and bandwidth for
 // every platform (local + remote) and CXL device (local + remote host).
-func Table1(o Options) *Report {
+func Table1(ec *ExperimentContext) *Report {
+	o := ec.Opts
 	r := &Report{ID: "table1", Title: "Testbed idle latency and bandwidth"}
 	cfg := mlc.DefaultConfig()
 	cfg.DurationNs = o.durationNs()
@@ -73,7 +74,8 @@ func Table1(o Options) *Report {
 // Fig1 regenerates the latency/bandwidth spectrum: each configuration's
 // achieved bandwidth and idle latency, including switch and multi-hop
 // points.
-func Fig1(o Options) *Report {
+func Fig1(ec *ExperimentContext) *Report {
+	o := ec.Opts
 	r := &Report{ID: "fig1", Title: "Sub-us CXL latency/bandwidth spectrum"}
 	cfg := mlc.DefaultConfig()
 	cfg.DurationNs = o.durationNs()
@@ -108,7 +110,8 @@ func Fig1(o Options) *Report {
 
 // Fig3a regenerates the loaded-latency curves: average latency vs
 // achieved bandwidth as the injected traffic delay decreases.
-func Fig3a(o Options) *Report {
+func Fig3a(ec *ExperimentContext) *Report {
+	o := ec.Opts
 	r := &Report{ID: "fig3a", Title: "Loaded latency vs bandwidth (read-only traffic)"}
 	cfg := mlc.DefaultConfig()
 	cfg.DurationNs = o.durationNs()
@@ -128,7 +131,8 @@ func Fig3a(o Options) *Report {
 
 // Fig3b regenerates the pointer-chase latency distributions with
 // prefetchers off, for 1-32 co-located chasers.
-func Fig3b(o Options) *Report {
+func Fig3b(ec *ExperimentContext) *Report {
+	o := ec.Opts
 	r := &Report{ID: "fig3b", Title: "Pointer-chase latency CDFs (prefetchers off)"}
 	for _, d := range deviceSet(o.seed()) {
 		r.Printf("%s:", d.Name)
@@ -149,7 +153,8 @@ func Fig3b(o Options) *Report {
 
 // Fig3c regenerates the tail-gap-vs-utilization curves: p99.9-p50 of a
 // foreground chase as background read threads push utilization up.
-func Fig3c(o Options) *Report {
+func Fig3c(ec *ExperimentContext) *Report {
+	o := ec.Opts
 	r := &Report{ID: "fig3c", Title: "p99.9 - p50 latency gap vs bandwidth utilization"}
 	peaks := map[string]float64{"Local": 218, "NUMA": 97, "CXL-A": 24, "CXL-B": 22, "CXL-C": 18, "CXL-D": 52}
 	for _, d := range deviceSet(o.seed()) {
@@ -173,7 +178,8 @@ func Fig3c(o Options) *Report {
 
 // Fig4 regenerates the latency distributions under mixed read/write
 // noise threads.
-func Fig4(o Options) *Report {
+func Fig4(ec *ExperimentContext) *Report {
+	o := ec.Opts
 	r := &Report{ID: "fig4", Title: "Latency CDFs under read/write noise"}
 	for _, d := range deviceSet(o.seed()) {
 		r.Printf("%s:", d.Name)
@@ -196,7 +202,8 @@ func Fig4(o Options) *Report {
 
 // Fig5 regenerates the latency-bandwidth curves across read:write
 // ratios, exposing each device's peak-bandwidth mix.
-func Fig5(o Options) *Report {
+func Fig5(ec *ExperimentContext) *Report {
+	o := ec.Opts
 	r := &Report{ID: "fig5", Title: "Latency-bandwidth curves across R:W ratios"}
 	cfg := mlc.DefaultConfig()
 	cfg.DurationNs = o.durationNs()
@@ -229,7 +236,8 @@ func Fig5(o Options) *Report {
 
 // Fig6 regenerates the prefetchers-on latency distributions: strided
 // chases whose lines a prefetcher fetches ahead.
-func Fig6(o Options) *Report {
+func Fig6(ec *ExperimentContext) *Report {
+	o := ec.Opts
 	r := &Report{ID: "fig6", Title: "Latency CDFs with prefetchers on (strided chase)"}
 	for _, d := range deviceSet(o.seed()) {
 		r.Printf("%s:", d.Name)
@@ -251,7 +259,8 @@ func Fig6(o Options) *Report {
 // Fig7 regenerates the real-workload tail evidence: (a/b) a namd-like
 // low-bandwidth phase stream shows latency spikes on CXL-C; (c) Redis
 // YCSB-C request-latency percentiles propagate device tails.
-func Fig7(o Options) *Report {
+func Fig7(ec *ExperimentContext) *Report {
+	o := ec.Opts
 	r := &Report{ID: "fig7", Title: "Tail latencies in real workloads"}
 
 	// (a/b) 1 us-sampled probe latency while a low-rate phased stream

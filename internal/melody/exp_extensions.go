@@ -16,11 +16,12 @@ import (
 // "Performance prediction and metric"): calibrate each workload on
 // CXL-A, predict its slowdown on NUMA, CXL-B and CXL-D from latency
 // alone, and compare with measurement.
-func Predict(o Options) *Report {
+func Predict(ec *ExperimentContext) *Report {
+	o := ec.Opts
 	r := &Report{ID: "predict", Title: "Spa-based slowdown prediction at unseen latencies"}
 	specs := selectWorkloads(o.MaxWorkloads)
 	emr := platform.EMR2S()
-	run := runnerFor(emr, o)
+	run := ec.Runner(emr)
 
 	l0 := emr.RefLocalLat
 	calCfg := CXL(emr, cxl.ProfileA())
@@ -31,6 +32,7 @@ func Predict(o Options) *Report {
 		{NUMA(emr), emr.RefRemoteLat},
 		{CXL(emr, cxl.ProfileB()), 271},
 	}
+	ec.Declare(run, Cells(specs, Local(emr), calCfg, NUMA(emr), CXL(emr, cxl.ProfileB())))
 
 	var errs []float64
 	for _, s := range specs {
@@ -55,7 +57,8 @@ func Predict(o Options) *Report {
 // CPMUExp demonstrates the white-box tail analysis the paper proposes
 // via the CXL 3.0 performance monitoring unit: per-component latency
 // attribution inside each device, pinpointing *where* tails originate.
-func CPMUExp(o Options) *Report {
+func CPMUExp(ec *ExperimentContext) *Report {
+	o := ec.Opts
 	r := &Report{ID: "cpmu", Title: "White-box device latency attribution (CXL 3.0 CPMU)"}
 	r.Printf("  %-7s %9s %9s %9s %9s %9s %9s %8s %8s", "device",
 		"linkReq", "sched", "media", "linkRsp", "p50", "p99.9", "hiccups", "thermal")
@@ -82,7 +85,8 @@ func CPMUExp(o Options) *Report {
 // conventional access-count policy vs the Spa stall-metric policy, with
 // static all-local / all-CXL endpoints (§5.7 "smarter tiering policy
 // designs").
-func TieringExp(o Options) *Report {
+func TieringExp(ec *ExperimentContext) *Report {
+	o := ec.Opts
 	r := &Report{ID: "tiering", Title: "Spa-metric vs access-count tiering policies"}
 	RegisterWorkloads()
 	// SKX2S: its 13.8 MB LLC does not shield a 32 MB hot set, so the

@@ -12,7 +12,7 @@ import (
 )
 
 // Table2 documents the nine Spa counters.
-func Table2(o Options) *Report {
+func Table2(ec *ExperimentContext) *Report {
 	r := &Report{ID: "table2", Title: "CPU counters for Spa"}
 	descs := []string{
 		"#c while mem subsys has >=1 outstanding load",
@@ -33,12 +33,14 @@ func Table2(o Options) *Report {
 
 // Fig11 regenerates the Spa accuracy CDFs: |estimate - actual| for the
 // three estimators, across the catalog on NUMA, CXL-A, and CXL-B.
-func Fig11(o Options) *Report {
+func Fig11(ec *ExperimentContext) *Report {
 	r := &Report{ID: "fig11", Title: "Spa estimator accuracy (|estimated - actual| slowdown)"}
-	specs := selectWorkloads(o.MaxWorkloads)
+	specs := selectWorkloads(ec.Opts.MaxWorkloads)
 	emr := platform.EMR2S()
-	run := runnerFor(emr, o)
-	for _, mc := range []MemConfig{NUMA(emr), CXL(emr, cxl.ProfileA()), CXL(emr, cxl.ProfileB())} {
+	run := ec.Runner(emr)
+	targets := []MemConfig{NUMA(emr), CXL(emr, cxl.ProfileA()), CXL(emr, cxl.ProfileB())}
+	ec.Declare(run, Cells(specs, append([]MemConfig{Local(emr)}, targets...)...))
+	for _, mc := range targets {
 		var errTotal, errBackend, errMemory []float64
 		for _, s := range specs {
 			base := run.Run(s, Local(emr))
@@ -81,15 +83,16 @@ func pfSensitive(max int) []workload.Spec {
 // Fig12a regenerates the L1PF/L2PF miss-shift scatter: under CXL the
 // decrease in L2PF-L3-misses is matched by an increase in
 // L1PF-L3-misses (y=x, Pearson ~0.99).
-func Fig12a(o Options) *Report {
+func Fig12a(ec *ExperimentContext) *Report {
 	r := &Report{ID: "fig12a", Title: "L1PF-L3-miss increase vs L2PF-L3-miss decrease"}
-	max := o.MaxWorkloads
+	max := ec.Opts.MaxWorkloads
 	if max == 0 {
 		max = 24
 	}
 	specs := pfSensitive(max)
 	emr := platform.EMR2S()
-	run := runnerFor(emr, o)
+	run := ec.Runner(emr)
+	ec.Declare(run, Cells(specs, Local(emr), CXL(emr, cxl.ProfileB())))
 	var dec, inc []float64
 	for _, s := range specs {
 		base := run.Run(s, Local(emr))
@@ -112,15 +115,16 @@ func Fig12a(o Options) *Report {
 
 // Fig12b regenerates the per-workload link between L2 cache slowdown
 // and L2 prefetcher coverage loss.
-func Fig12b(o Options) *Report {
+func Fig12b(ec *ExperimentContext) *Report {
 	r := &Report{ID: "fig12b", Title: "L2 slowdown vs L2PF coverage decrease"}
-	max := o.MaxWorkloads
+	max := ec.Opts.MaxWorkloads
 	if max == 0 {
 		max = 20
 	}
 	specs := pfSensitive(max)
 	emr := platform.EMR2S()
-	run := runnerFor(emr, o)
+	run := ec.Runner(emr)
+	ec.Declare(run, Cells(specs, Local(emr), CXL(emr, cxl.ProfileB())))
 	coverage := func(c counters.Snapshot) float64 {
 		covered := c[counters.L2PFL3Miss] + c[counters.L2PFL3Hit]
 		all := covered + c[counters.L1PFL3Miss] + c[counters.DemandL3Miss]
@@ -147,12 +151,14 @@ func Fig12b(o Options) *Report {
 
 // Fig14 regenerates the per-workload slowdown breakdown for NUMA,
 // CXL-A, and CXL-B across the suites.
-func Fig14(o Options) *Report {
+func Fig14(ec *ExperimentContext) *Report {
 	r := &Report{ID: "fig14", Title: "Spa slowdown breakdown per workload"}
-	specs := selectWorkloads(o.MaxWorkloads)
+	specs := selectWorkloads(ec.Opts.MaxWorkloads)
 	emr := platform.EMR2S()
-	run := runnerFor(emr, o)
-	for _, mc := range []MemConfig{NUMA(emr), CXL(emr, cxl.ProfileA()), CXL(emr, cxl.ProfileB())} {
+	run := ec.Runner(emr)
+	targets := []MemConfig{NUMA(emr), CXL(emr, cxl.ProfileA()), CXL(emr, cxl.ProfileB())}
+	ec.Declare(run, Cells(specs, append([]MemConfig{Local(emr)}, targets...)...))
+	for _, mc := range targets {
 		r.Printf("[%s]", mc.Name)
 		r.Printf("  %-26s %7s %7s %6s %6s %6s %6s %6s %6s", "workload",
 			"total", "DRAM", "L3", "L2", "L1", "store", "core", "other")
@@ -171,11 +177,12 @@ func Fig14(o Options) *Report {
 
 // Fig15 regenerates the CDFs of per-component slowdowns across the
 // catalog.
-func Fig15(o Options) *Report {
+func Fig15(ec *ExperimentContext) *Report {
 	r := &Report{ID: "fig15", Title: "Slowdown-component CDFs (CXL-B)"}
-	specs := selectWorkloads(o.MaxWorkloads)
+	specs := selectWorkloads(ec.Opts.MaxWorkloads)
 	emr := platform.EMR2S()
-	run := runnerFor(emr, o)
+	run := ec.Runner(emr)
+	ec.Declare(run, Cells(specs, Local(emr), CXL(emr, cxl.ProfileB())))
 	comp := map[string][]float64{}
 	for _, s := range specs {
 		base := run.Run(s, Local(emr))
@@ -198,8 +205,10 @@ func Fig15(o Options) *Report {
 }
 
 // Fig16 regenerates the period-based breakdown time series for the
-// paper's three phased SPEC workloads on CXL-B.
-func Fig16(o Options) *Report {
+// paper's three phased SPEC workloads on CXL-B. Time sampling is a
+// runner-level knob, so it runs on an isolated runner rather than
+// mutating the shared one.
+func Fig16(ec *ExperimentContext) *Report {
 	r := &Report{ID: "fig16", Title: "Period-based slowdown breakdown (CXL-B)"}
 	RegisterWorkloads()
 	emr := platform.EMR2S()
@@ -208,8 +217,9 @@ func Fig16(o Options) *Report {
 		if !ok {
 			continue
 		}
-		run := runnerFor(emr, o)
+		run := ec.IsolatedRunner(emr)
 		run.SampleIntervalNs = 2_000 // "1 ms" sampling scaled to sim windows
+		ec.Declare(run, Cells([]workload.Spec{spec}, Local(emr), CXL(emr, cxl.ProfileB())))
 		base := run.Run(spec, Local(emr))
 		tgt := run.Run(spec, CXL(emr, cxl.ProfileB()))
 		period := run.Instructions / 12
@@ -228,13 +238,14 @@ func Fig16(o Options) *Report {
 // Tuning regenerates the §5.7 placement use case: identify a
 // latency-critical object with Spa attribution and relocate it to local
 // DRAM, collapsing the slowdown.
-func Tuning(o Options) *Report {
+func Tuning(ec *ExperimentContext) *Report {
 	r := &Report{ID: "tuning", Title: "Spa-guided object placement (mcf-style workload)"}
 	RegisterWorkloads()
 	emr := platform.EMR2S()
 	spec, _ := workload.ByName("605.mcf_s")
-	run := runnerFor(emr, o)
+	run := ec.Runner(emr)
 	cxlCfg := CXL(emr, cxl.ProfileA())
+	ec.Declare(run, Cells([]workload.Spec{spec}, Local(emr), cxlCfg))
 
 	base := run.Run(spec, Local(emr))
 	all := run.Run(spec, cxlCfg)
@@ -249,7 +260,8 @@ func Tuning(o Options) *Report {
 	top := spa.TopObjects(advice, 0.55)
 	r.Printf("  relocating %v to local DRAM...", top)
 
-	// Rebuild the workload to learn its object addresses, then place the
+	// Rebuild the workload to learn its object addresses (the arena
+	// layout depends only on the profile, not the seed), then place the
 	// advised objects on local DRAM and the rest on CXL.
 	w := spec.Build(run.Seed).(*workload.Synthetic)
 	var regions []topology.Region

@@ -27,19 +27,6 @@ func selectWorkloads(max int) []workload.Spec {
 	return out
 }
 
-// runnerFor builds a Runner honouring the options.
-func runnerFor(p platform.Platform, o Options) *Runner {
-	r := NewRunner(p)
-	r.Seed = o.seed()
-	if o.Instructions > 0 {
-		r.Instructions = o.Instructions
-	}
-	if o.Warmup > 0 {
-		r.Warmup = o.Warmup
-	}
-	return r
-}
-
 // cdfSummary prints the slowdown CDF highlights the paper quotes.
 func cdfSummary(r *Report, name string, slowdowns []float64) {
 	sorted := sortedCopy(slowdowns)
@@ -54,24 +41,29 @@ func cdfSummary(r *Report, name string, slowdowns []float64) {
 
 // Fig8a regenerates the slowdown CDFs over the catalog for NUMA and the
 // four CXL devices on EMR (Figures 8a and 8b).
-func Fig8a(o Options) *Report {
+func Fig8a(ec *ExperimentContext) *Report {
 	r := &Report{ID: "fig8a", Title: "Slowdown CDFs across devices (EMR host)"}
-	specs := selectWorkloads(o.MaxWorkloads)
+	specs := selectWorkloads(ec.Opts.MaxWorkloads)
 	emr := platform.EMR2S()
 	emrP := platform.EMR2SPrime()
-	run := runnerFor(emr, o)
-	runP := runnerFor(emrP, o)
+	run := ec.Runner(emr)
+	runP := ec.Runner(emrP)
+
+	// The paper evaluates only 60 workloads on CXL-C (16 GB capacity).
+	small := specs
+	if len(small) > 60 {
+		small = small[:60]
+	}
+	cells := Cells(specs, Local(emr), NUMA(emr), CXL(emr, cxl.ProfileA()), CXL(emr, cxl.ProfileB()))
+	cells = append(cells, Cells(small, CXL(emr, cxl.ProfileC()))...)
+	ec.Declare(run, cells)
+	ec.Declare(runP, Cells(specs, Local(emrP), CXL(emrP, cxl.ProfileD())))
 
 	r.Printf("%d workloads:", len(specs))
 	cdfSummary(r, "NUMA", run.Slowdowns(specs, NUMA(emr)))
 	cdfSummary(r, "CXL-D", runP.Slowdowns(specs, CXL(emrP, cxl.ProfileD())))
 	cdfSummary(r, "CXL-A", run.Slowdowns(specs, CXL(emr, cxl.ProfileA())))
 	cdfSummary(r, "CXL-B", run.Slowdowns(specs, CXL(emr, cxl.ProfileB())))
-	// The paper evaluates only 60 workloads on CXL-C (16 GB capacity).
-	small := specs
-	if len(small) > 60 {
-		small = small[:60]
-	}
 	cdfSummary(r, "CXL-C", run.Slowdowns(small, CXL(emr, cxl.ProfileC())))
 	r.Note("ordering NUMA <= CXL-D <= CXL-A <= CXL-B <= CXL-C across the CDF")
 	r.Note("many workloads tolerate CXL: tens of percent of the catalog under 10%% slowdown on D/A")
@@ -82,9 +74,9 @@ func Fig8a(o Options) *Report {
 // Fig8c regenerates the CXL+NUMA vs 2-hop-NUMA comparison: despite
 // better nominal latency/bandwidth, CXL+NUMA behaves worse for many
 // workloads because of tail pathologies.
-func Fig8c(o Options) *Report {
+func Fig8c(ec *ExperimentContext) *Report {
 	r := &Report{ID: "fig8c", Title: "CXL+NUMA vs 2-hop NUMA (SKX8S-410ns)"}
-	specs := selectWorkloads(o.MaxWorkloads)
+	specs := selectWorkloads(ec.Opts.MaxWorkloads)
 	// The paper uses the 121 workloads runnable on both setups; we use
 	// the non-bandwidth classes (the comparison is about latency).
 	var subset []workload.Spec
@@ -95,8 +87,10 @@ func Fig8c(o Options) *Report {
 	}
 	emr := platform.EMR2S()
 	skx8 := platform.SKX8S()
-	runEMR := runnerFor(emr, o)
-	runSKX := runnerFor(skx8, o)
+	runEMR := ec.Runner(emr)
+	runSKX := ec.Runner(skx8)
+	ec.Declare(runEMR, Cells(subset, Local(emr), CXL(emr, cxl.ProfileA()), CXLNUMA(emr, cxl.ProfileA())))
+	ec.Declare(runSKX, Cells(subset, Local(skx8), NUMA(skx8)))
 
 	r.Printf("%d workloads:", len(subset))
 	cdfSummary(r, "CXL-A", runEMR.Slowdowns(subset, CXL(emr, cxl.ProfileA())))
@@ -125,7 +119,10 @@ func (d *recordingDevice) Access(now float64, addr uint64, kind mem.Kind) float6
 
 // Fig8d regenerates the omnetpp deep-dive: memory-latency distributions
 // under CXL-A vs CXL-A+NUMA at full, half, and quarter intensity.
-func Fig8d(o Options) *Report {
+// Its configs are latency-recording wrappers (impure by design) and its
+// specs are intensity-scaled variants sharing the catalog name, so each
+// intensity runs on an isolated runner rather than the shared cache.
+func Fig8d(ec *ExperimentContext) *Report {
 	r := &Report{ID: "fig8d", Title: "520.omnetpp latency CDFs and load scaling"}
 	RegisterWorkloads()
 	emr := platform.EMR2S()
@@ -145,7 +142,7 @@ func Fig8d(o Options) *Report {
 		if in.scale > 0 {
 			s.Siblings.DelayNs /= in.scale
 		}
-		run := runnerFor(emr, o)
+		run := ec.IsolatedRunner(emr)
 		base := run.Run(s, Local(emr))
 		for _, mc := range []MemConfig{CXL(emr, cxl.ProfileA()), CXLNUMA(emr, cxl.ProfileA())} {
 			// Record device-level latencies during the run.
@@ -168,11 +165,13 @@ func Fig8d(o Options) *Report {
 
 // Fig8e contrasts SPR and EMR: the bigger LLC alone does not change the
 // slowdown picture.
-func Fig8e(o Options) *Report {
+func Fig8e(ec *ExperimentContext) *Report {
 	r := &Report{ID: "fig8e", Title: "SPR vs EMR slowdown CDFs (CXL-A/B)"}
-	specs := selectWorkloads(o.MaxWorkloads)
+	specs := selectWorkloads(ec.Opts.MaxWorkloads)
 	spr, emr := platform.SPR2S(), platform.EMR2S()
-	runSPR, runEMR := runnerFor(spr, o), runnerFor(emr, o)
+	runSPR, runEMR := ec.Runner(spr), ec.Runner(emr)
+	ec.Declare(runSPR, Cells(specs, Local(spr), CXL(spr, cxl.ProfileA()), CXL(spr, cxl.ProfileB())))
+	ec.Declare(runEMR, Cells(specs, Local(emr), CXL(emr, cxl.ProfileA()), CXL(emr, cxl.ProfileB())))
 	cdfSummary(r, "SPR:CXL-A", runSPR.Slowdowns(specs, CXL(spr, cxl.ProfileA())))
 	cdfSummary(r, "EMR:CXL-A", runEMR.Slowdowns(specs, CXL(emr, cxl.ProfileA())))
 	cdfSummary(r, "SPR:CXL-B", runSPR.Slowdowns(specs, CXL(spr, cxl.ProfileB())))
@@ -183,15 +182,17 @@ func Fig8e(o Options) *Report {
 
 // Fig8f compares NUMA vs one and two hardware-interleaved CXL-D devices
 // over the SPEC suite: matching bandwidth closes most of the gap.
-func Fig8f(o Options) *Report {
+func Fig8f(ec *ExperimentContext) *Report {
 	r := &Report{ID: "fig8f", Title: "NUMA vs CXL-D x1/x2 (SPEC CPU 2017 on EMR')"}
 	RegisterWorkloads()
 	specs := workload.BySuite("SPEC CPU 2017")
-	if o.MaxWorkloads > 0 && o.MaxWorkloads < len(specs) {
-		specs = specs[:o.MaxWorkloads]
+	if ec.Opts.MaxWorkloads > 0 && ec.Opts.MaxWorkloads < len(specs) {
+		specs = specs[:ec.Opts.MaxWorkloads]
 	}
 	emrP := platform.EMR2SPrime()
-	run := runnerFor(emrP, o)
+	run := ec.Runner(emrP)
+	ec.Declare(run, Cells(specs, Local(emrP), NUMA(emrP),
+		CXLInterleave(emrP, cxl.ProfileD(), 2), CXL(emrP, cxl.ProfileD())))
 	cdfSummary(r, "NUMA*", run.Slowdowns(specs, NUMA(emrP)))
 	cdfSummary(r, "CXL-D x2", run.Slowdowns(specs, CXLInterleave(emrP, cxl.ProfileD(), 2)))
 	cdfSummary(r, "CXL-D x1", run.Slowdowns(specs, CXL(emrP, cxl.ProfileD())))
@@ -201,13 +202,13 @@ func Fig8f(o Options) *Report {
 
 // Fig9a regenerates the violin plot data: slowdown distributions for
 // the catalog across all 11 latency setups.
-func Fig9a(o Options) *Report {
+func Fig9a(ec *ExperimentContext) *Report {
 	r := &Report{ID: "fig9a", Title: "Slowdown distributions across 11 setups (140-410 ns)"}
-	specs := selectWorkloads(o.MaxWorkloads)
+	specs := selectWorkloads(ec.Opts.MaxWorkloads)
 	for _, setup := range platform.LatencySetups() {
-		run := runnerFor(setup.Platform, o)
+		run := ec.Runner(setup.Platform)
 		mc := MemConfig{Name: setup.Name, Build: setup.Build}
-		s := run.Slowdowns(specs, mc)
+		s := ec.Slowdowns(run, specs, mc)
 		sum := stats.Summarize(s)
 		r.Printf("  %-12s (ref %3.0f ns): p25 %6.1f%%  p50 %6.1f%%  p75 %6.1f%%  p90 %7.1f%%  max %8.1f%%  [<10%%: %3.0f%%, <50%%: %3.0f%%]",
 			setup.Name, setup.RefLatencyNs,
@@ -220,24 +221,27 @@ func Fig9a(o Options) *Report {
 
 // Fig9b regenerates the YCSB slowdowns on the Redis-like and
 // VoltDB-like stores under NUMA, CXL-A, CXL-B.
-func Fig9b(o Options) *Report {
+func Fig9b(ec *ExperimentContext) *Report {
 	r := &Report{ID: "fig9b", Title: "YCSB A-F slowdowns on Redis and VoltDB"}
 	RegisterWorkloads()
 	emr := platform.EMR2S()
-	run := runnerFor(emr, o)
+	run := ec.Runner(emr)
 	configs := []MemConfig{NUMA(emr), CXL(emr, cxl.ProfileA()), CXL(emr, cxl.ProfileB())}
+	var specs []workload.Spec
 	for _, store := range []string{"redis-ycsb-", "voltdb-ycsb-"} {
 		for _, wl := range []string{"A", "B", "C", "D", "E", "F"} {
-			spec, ok := workload.ByName(store + wl)
-			if !ok {
-				continue
+			if spec, ok := workload.ByName(store + wl); ok {
+				specs = append(specs, spec)
 			}
-			line := "  " + spec.Name + ":"
-			for _, mc := range configs {
-				line += "  " + mc.Name + " " + percent(run.Slowdown(spec, mc))
-			}
-			r.Printf("%s", line)
 		}
+	}
+	ec.Declare(run, Cells(specs, append([]MemConfig{Local(emr)}, configs...)...))
+	for _, spec := range specs {
+		line := "  " + spec.Name + ":"
+		for _, mc := range configs {
+			line += "  " + mc.Name + " " + percent(run.Slowdown(spec, mc))
+		}
+		r.Printf("%s", line)
 	}
 	r.Note("slowdowns grow super-linearly from NUMA to CXL-A to CXL-B")
 	r.Note("both stores degrade super-linearly; the SQL-heavy table store dilutes memory time slightly")

@@ -77,11 +77,13 @@ func (o Options) durationNs() float64 {
 	return o.DurationNs
 }
 
-// Experiment is a registered reproduction.
+// Experiment is a registered reproduction. Run receives the
+// ExperimentContext carrying the options, the engine's shared runners,
+// and the batch-submission API (see Engine).
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(Options) *Report
+	Run   func(*ExperimentContext) *Report
 }
 
 // Experiments returns the full registry in paper order.

@@ -7,7 +7,7 @@ import (
 )
 
 func TestCPMUExpShowsSchedulerTails(t *testing.T) {
-	rep := CPMUExp(Options{Seed: 1, DurationNs: 60_000})
+	rep := CPMUExp(testCtx(Options{Seed: 1, DurationNs: 60_000}))
 	if len(rep.Lines) < 5 {
 		t.Fatalf("cpmu report too short: %v", rep.Lines)
 	}
@@ -20,7 +20,7 @@ func TestCPMUExpShowsSchedulerTails(t *testing.T) {
 }
 
 func TestPredictSmoke(t *testing.T) {
-	rep := Predict(Options{MaxWorkloads: 8, Instructions: 300_000, Warmup: 80_000, Seed: 1})
+	rep := Predict(testCtx(Options{MaxWorkloads: 8, Instructions: 300_000, Warmup: 80_000, Seed: 1}))
 	joined := strings.Join(rep.Lines, "\n")
 	if !strings.Contains(joined, "predictions") {
 		t.Fatalf("predict report malformed:\n%s", joined)
@@ -33,7 +33,7 @@ func TestPredictSmoke(t *testing.T) {
 }
 
 func TestTieringBetweenEndpoints(t *testing.T) {
-	rep := TieringExp(Options{Seed: 1, Instructions: 700_000})
+	rep := TieringExp(testCtx(Options{Seed: 1, Instructions: 700_000}))
 	var local, all, spaP float64
 	for _, l := range rep.Lines {
 		switch {

@@ -1,6 +1,7 @@
 package melody
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -12,6 +13,13 @@ import (
 	"github.com/moatlab/melody/internal/stats"
 	"github.com/moatlab/melody/internal/workload"
 )
+
+// testCtx builds a one-shot ExperimentContext for calling experiment
+// functions directly in tests.
+func testCtx(o Options) *ExperimentContext {
+	RegisterWorkloads()
+	return NewEngine(o).context(context.Background(), "test")
+}
 
 // fastRunner returns a runner with small windows for test speed.
 func fastRunner(p platform.Platform) *Runner {
@@ -190,7 +198,7 @@ func TestSpaAccuracyAcrossCatalog(t *testing.T) {
 // TestFig12Shift asserts the prefetcher miss-shift correlation.
 func TestFig12Shift(t *testing.T) {
 	o := Options{MaxWorkloads: 10, Instructions: 400_000, Warmup: 100_000, Seed: 1}
-	rep := Fig12a(o)
+	rep := Fig12a(testCtx(o))
 	joined := strings.Join(rep.Lines, "\n")
 	if !strings.Contains(joined, "Pearson") {
 		t.Fatal("fig12a produced no correlation line")
@@ -236,7 +244,7 @@ func TestYCSBSuperlinear(t *testing.T) {
 // TestTuningUseCase asserts the §5.7 outcome: placement collapses the
 // slowdown by at least 3x.
 func TestTuningUseCase(t *testing.T) {
-	rep := Tuning(Options{Instructions: 400_000, Warmup: 100_000, Seed: 1})
+	rep := Tuning(testCtx(Options{Instructions: 400_000, Warmup: 100_000, Seed: 1}))
 	joined := strings.Join(rep.Lines, "\n")
 	if !strings.Contains(joined, "relocating") {
 		t.Fatalf("tuning report incomplete:\n%s", joined)
@@ -273,7 +281,7 @@ func sscanfLast(line string, out *float64) (int, error) {
 
 // TestFig16Phases asserts the period analysis exposes gcc's phases.
 func TestFig16Phases(t *testing.T) {
-	rep := Fig16(Options{Instructions: 600_000, Warmup: 100_000, Seed: 1})
+	rep := Fig16(testCtx(Options{Instructions: 600_000, Warmup: 100_000, Seed: 1}))
 	if len(rep.Lines) < 10 {
 		t.Fatalf("fig16 produced %d lines", len(rep.Lines))
 	}

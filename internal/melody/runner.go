@@ -6,7 +6,10 @@
 package melody
 
 import (
+	"context"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"github.com/moatlab/melody/internal/apps/graph"
 	"github.com/moatlab/melody/internal/apps/kvstore"
@@ -20,7 +23,8 @@ import (
 )
 
 // RegisterWorkloads installs the app-backed workloads (GAPBS, Redis,
-// VoltDB, memcached) into the catalog exactly once.
+// VoltDB, memcached) into the catalog exactly once. Safe for concurrent
+// use.
 func RegisterWorkloads() {
 	registerOnce.Do(func() {
 		graph.Register()
@@ -29,20 +33,17 @@ func RegisterWorkloads() {
 	})
 }
 
-var registerOnce doOnce
-
-// doOnce is a tiny sync.Once replacement that keeps this file's imports
-// minimal and the zero value useful.
-type doOnce struct{ done bool }
-
-func (o *doOnce) Do(f func()) {
-	if !o.done {
-		o.done = true
-		f()
-	}
-}
+var registerOnce sync.Once
 
 // MemConfig names a buildable memory configuration.
+//
+// Contract: Build must be a pure function of seed — given the same seed
+// it returns a freshly constructed, behaviourally identical device, with
+// no dependence on call order or shared mutable state. The Runner caches
+// results by Name alone, so two MemConfigs with the same Name handed to
+// the same Runner must describe the same configuration; instrumented or
+// otherwise impure configs (e.g. latency-recording wrappers) need a
+// Runner of their own and a Name not shared with a pure config.
 type MemConfig struct {
 	Name  string
 	Build func(seed uint64) mem.Device
@@ -81,6 +82,25 @@ func CXLInterleave(p platform.Platform, prof cxl.Profile, n int) MemConfig {
 		Build: func(seed uint64) mem.Device { return p.CXLInterleaveDevice(prof, n, seed) }}
 }
 
+// RunRequest names one experiment cell: a workload on a memory config.
+type RunRequest struct {
+	Spec   workload.Spec
+	Config MemConfig
+}
+
+// Cells builds the (workload, config) cross product, the unit of batch
+// submission: experiments declare their full cell set up front and the
+// runner executes it across the worker pool.
+func Cells(specs []workload.Spec, configs ...MemConfig) []RunRequest {
+	out := make([]RunRequest, 0, len(specs)*len(configs))
+	for _, mc := range configs {
+		for _, s := range specs {
+			out = append(out, RunRequest{Spec: s, Config: mc})
+		}
+	}
+	return out
+}
+
 // Result is one workload execution's measurement.
 type Result struct {
 	Workload string
@@ -97,7 +117,12 @@ type Result struct {
 func (r Result) Cycles() float64 { return r.Delta[counters.Cycles] }
 
 // Runner executes workloads with memoization: the local-DRAM baseline
-// of a workload is shared by every figure that needs its slowdown.
+// of a workload is shared by every figure that needs its slowdown. The
+// cache is a sharded singleflight, so concurrent requests for the same
+// cell compute it exactly once, and bulk submissions (RunAll, Slowdowns)
+// fan out across a worker pool. Every cell's seed is derived from its
+// cache identity (workload, config, base seed), so results are
+// bit-identical regardless of scheduling order or worker count.
 type Runner struct {
 	Platform platform.Platform
 
@@ -113,7 +138,10 @@ type Runner struct {
 
 	Seed uint64
 
-	cache map[string]Result
+	// Workers bounds bulk-submission concurrency (0 = NumCPU).
+	Workers int
+
+	cache resultCache
 }
 
 // NewRunner returns a Runner with the defaults used across experiments.
@@ -123,8 +151,14 @@ func NewRunner(p platform.Platform) *Runner {
 		Instructions: 1_200_000,
 		Warmup:       250_000,
 		Seed:         1,
-		cache:        map[string]Result{},
 	}
+}
+
+func (r *Runner) workers() int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	return runtime.NumCPU()
 }
 
 func (r *Runner) key(spec workload.Spec, mc MemConfig) string {
@@ -133,28 +167,149 @@ func (r *Runner) key(spec workload.Spec, mc MemConfig) string {
 		r.SampleIntervalNs, r.PrefetchersOff, r.Seed)
 }
 
-// Run executes (or returns the cached) measurement of spec on mc.
-func (r *Runner) Run(spec workload.Spec, mc MemConfig) Result {
-	k := r.key(spec, mc)
-	if res, ok := r.cache[k]; ok {
-		return res
+// splitmix64 is the finalizer the per-cell seed derivation uses (the
+// same mixer behind sim.Rand).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// fnv1a hashes a cell identity string.
+func fnv1a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
 	}
-	res := r.runOnce(spec, mc)
-	r.cache[k] = res
+	return h
+}
+
+// deriveSeed maps a cell identity onto an independent seed stream:
+// splitmix64 of the hashed "workload|config" identity mixed with the
+// base seed. Because the derivation depends only on the cache key —
+// never on execution order — parallel and sequential schedules produce
+// bit-identical results.
+//
+// The workload instruction stream is seeded from the workload identity
+// alone (config ""): Spa's differential analysis subtracts counters of
+// the same workload on two configs, which is only meaningful when both
+// runs execute the same instruction stream. Device and sibling-traffic
+// state, which the differential is designed to expose, get the full
+// per-cell seed.
+func deriveSeed(workloadName, configName string, base uint64) uint64 {
+	return splitmix64(fnv1a(workloadName+"|"+configName) ^ splitmix64(base))
+}
+
+// Run executes (or returns the cached) measurement of spec on mc.
+// It is safe for concurrent use; equal cells are computed exactly once.
+func (r *Runner) Run(spec workload.Spec, mc MemConfig) Result {
+	res, _ := r.RunCtx(context.Background(), RunRequest{Spec: spec, Config: mc})
 	return res
 }
 
-func (r *Runner) runOnce(spec workload.Spec, mc MemConfig) Result {
-	dev := mc.Build(r.Seed)
+// RunCtx executes (or returns the cached) measurement of one cell. If
+// another goroutine is already computing the same cell, it waits for
+// that computation instead of duplicating it; ctx cancels the wait (and
+// refuses to start new work) but never aborts a simulation mid-run.
+func (r *Runner) RunCtx(ctx context.Context, req RunRequest) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	return r.cache.get(ctx, r.key(req.Spec, req.Config), func() Result {
+		return r.runOnce(req)
+	})
+}
+
+// RunAll executes a batch of cells across the worker pool and returns
+// results in request order. It is the bulk primitive behind Slowdowns
+// and the experiment engine's cell submission.
+func (r *Runner) RunAll(ctx context.Context, reqs []RunRequest) ([]Result, error) {
+	return r.runAll(ctx, reqs, nil)
+}
+
+// runAll fans reqs out over min(workers, len(reqs)) goroutines; onDone
+// (optional) observes completions for progress reporting.
+func (r *Runner) runAll(ctx context.Context, reqs []RunRequest, onDone func()) ([]Result, error) {
+	results := make([]Result, len(reqs))
+	workers := r.workers()
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	if workers <= 1 {
+		for i, req := range reqs {
+			res, err := r.RunCtx(ctx, req)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = res
+			if onDone != nil {
+				onDone()
+			}
+		}
+		return results, nil
+	}
+
+	var (
+		wg      sync.WaitGroup
+		errMu   sync.Mutex
+		firstEr error
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				res, err := r.RunCtx(ctx, reqs[i])
+				if err != nil {
+					errMu.Lock()
+					if firstEr == nil {
+						firstEr = err
+					}
+					errMu.Unlock()
+					continue
+				}
+				results[i] = res
+				if onDone != nil {
+					onDone()
+				}
+			}
+		}()
+	}
+	for i := range reqs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	if firstEr != nil {
+		return nil, firstEr
+	}
+	return results, nil
+}
+
+// buildDevice is the single call site for MemConfig.Build: every device
+// a Runner measures against is constructed here, from the cell-derived
+// seed, under the purity contract documented on MemConfig.
+func (r *Runner) buildDevice(mc MemConfig, seed uint64) mem.Device {
+	return mc.Build(seed)
+}
+
+func (r *Runner) runOnce(req RunRequest) Result {
+	spec, mc := req.Spec, req.Config
+	cell := deriveSeed(spec.Name, mc.Name, r.Seed)
+	stream := deriveSeed(spec.Name, "", r.Seed)
+	dev := r.buildDevice(mc, cell)
 	var machineDev mem.Device = dev
-	if threads := spec.Siblings.BuildThreads(dev, r.Seed+101); threads != nil {
+	if threads := spec.Siblings.BuildThreads(dev, cell+101); threads != nil {
 		machineDev = core.NewContendedDevice(dev, threads)
 	}
 	instr := r.Instructions
 	if spec.Instructions > 0 {
 		instr = spec.Instructions
 	}
-	w := spec.Build(r.Seed)
+	w := spec.Build(stream)
 	m := core.New(core.Config{
 		CPU:              r.Platform.CPU,
 		Device:           machineDev,
@@ -197,11 +352,74 @@ func (r *Runner) Slowdown(spec workload.Spec, target MemConfig) float64 {
 	return (tgt.Cycles() - c) / c
 }
 
-// Slowdowns evaluates a workload set against one target config.
+// Slowdowns evaluates a workload set against one target config, fanning
+// the baseline and target cells out across the worker pool.
 func (r *Runner) Slowdowns(specs []workload.Spec, target MemConfig) []float64 {
-	out := make([]float64, len(specs))
-	for i, s := range specs {
-		out[i] = r.Slowdown(s, target)
-	}
+	out, _ := r.SlowdownsCtx(context.Background(), specs, target)
 	return out
+}
+
+// SlowdownsCtx is Slowdowns with cancellation: it submits the full
+// baseline + target cell set as one batch and derives the slowdowns
+// from the results.
+func (r *Runner) SlowdownsCtx(ctx context.Context, specs []workload.Spec, target MemConfig) ([]float64, error) {
+	reqs := append(Cells(specs, Local(r.Platform)), Cells(specs, target)...)
+	results, err := r.RunAll(ctx, reqs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(specs))
+	for i := range specs {
+		base, tgt := results[i], results[len(specs)+i]
+		if c := base.Cycles(); c > 0 {
+			out[i] = (tgt.Cycles() - c) / c
+		}
+	}
+	return out, nil
+}
+
+// resultCache is a sharded singleflight result store: the shard map
+// bounds lock contention and the per-entry done channel lets concurrent
+// requesters of one cell wait on a single computation.
+type resultCache struct {
+	shards [cacheShards]cacheShard
+}
+
+const cacheShards = 32
+
+type cacheShard struct {
+	mu sync.Mutex
+	m  map[string]*cacheEntry
+}
+
+type cacheEntry struct {
+	done chan struct{}
+	res  Result
+}
+
+func (c *resultCache) get(ctx context.Context, key string, compute func() Result) (Result, error) {
+	sh := &c.shards[fnv1a(key)%cacheShards]
+	sh.mu.Lock()
+	e, ok := sh.m[key]
+	if !ok {
+		e = &cacheEntry{done: make(chan struct{})}
+		if sh.m == nil {
+			sh.m = map[string]*cacheEntry{}
+		}
+		sh.m[key] = e
+		sh.mu.Unlock()
+		// Leader: compute outside the shard lock, then publish. The
+		// computation is never aborted mid-run so waiters always get a
+		// completed result.
+		e.res = compute()
+		close(e.done)
+		return e.res, nil
+	}
+	sh.mu.Unlock()
+	select {
+	case <-e.done:
+		return e.res, nil
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
 }
