@@ -15,6 +15,9 @@
 //
 //	go test -bench=Sweep48 -benchtime=3x
 //
+// Sweep48JMax vs Sweep48JMaxMetrics bounds the telemetry overhead (the
+// -metrics/-trace machinery; expect low single-digit percent).
+//
 // The options below subsample the 265-workload catalog for tractable
 // runtimes; pass -full to sweep the entire catalog (minutes per figure).
 package bench
@@ -26,6 +29,7 @@ import (
 	"testing"
 
 	"github.com/moatlab/melody/internal/melody"
+	"github.com/moatlab/melody/internal/obs"
 )
 
 var full = flag.Bool("full", false, "run figures over the full 265-workload catalog")
@@ -69,22 +73,35 @@ func runExperiment(b *testing.B, id string) {
 
 // benchmarkSweep measures the wall-clock of a 48-workload Figure 8a
 // sweep at a fixed worker count — the acceptance comparison for the
-// parallel experiment engine (run Sweep48J1 vs Sweep48JMax).
-func benchmarkSweep(b *testing.B, workers int) {
+// parallel experiment engine (run Sweep48J1 vs Sweep48JMax). When
+// observed is set, full telemetry (metrics registry + trace) is
+// attached, so Sweep48JMax vs Sweep48JMaxMetrics bounds the
+// observability overhead.
+func benchmarkSweep(b *testing.B, workers int, observed bool) {
 	b.Helper()
 	melody.RegisterWorkloads()
 	o := benchOptions()
 	o.MaxWorkloads = 48
 	for i := 0; i < b.N; i++ {
-		rep, ok := melody.RunExperiment(context.Background(), "fig8a", o, workers)
+		g := melody.NewEngine(o)
+		g.Workers = workers
+		if observed {
+			g.Obs = melody.NewTelemetry()
+			g.Obs.Trace = obs.NewTrace()
+		}
+		rep, ok := g.RunByID(context.Background(), "fig8a")
 		if !ok || len(rep.Lines) == 0 {
 			b.Fatal("fig8a sweep produced no output")
+		}
+		if observed && g.Obs.Registry.Counter("runner/cells_run").Value() == 0 {
+			b.Fatal("telemetry attached but no cells recorded")
 		}
 	}
 }
 
-func BenchmarkSweep48J1(b *testing.B)   { benchmarkSweep(b, 1) }
-func BenchmarkSweep48JMax(b *testing.B) { benchmarkSweep(b, runtime.NumCPU()) }
+func BenchmarkSweep48J1(b *testing.B)          { benchmarkSweep(b, 1, false) }
+func BenchmarkSweep48JMax(b *testing.B)        { benchmarkSweep(b, runtime.NumCPU(), false) }
+func BenchmarkSweep48JMaxMetrics(b *testing.B) { benchmarkSweep(b, runtime.NumCPU(), true) }
 
 func BenchmarkTable1(b *testing.B)    { runExperiment(b, "table1") }
 func BenchmarkTable2(b *testing.B)    { runExperiment(b, "table2") }

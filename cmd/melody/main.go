@@ -17,18 +17,31 @@
 //	-j N              parallel (workload, config) cells (0 = NumCPU)
 //	-quiet            suppress live progress lines on stderr
 //	-out DIR          also write each report to DIR/<id>.txt
+//
+// Observability flags (reports are byte-identical with or without them):
+//
+//	-metrics FILE     write the run manifest JSON: versions, seed,
+//	                  per-experiment and per-cell wall times, and the
+//	                  telemetry registry (cache outcomes, device latency
+//	                  histograms with the CPMU-style breakdown)
+//	-trace FILE       write Chrome trace-event JSON (experiment phases +
+//	                  worker occupancy); open in https://ui.perfetto.dev
+//	-pprof ADDR       serve net/http/pprof on ADDR (e.g. localhost:6060)
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"strings"
 	"time"
 
 	"github.com/moatlab/melody/internal/melody"
+	"github.com/moatlab/melody/internal/obs"
 )
 
 func main() {
@@ -84,6 +97,9 @@ func runCmd(args []string) {
 	jobs := fs.Int("j", 0, "parallel (workload, config) cells (0 = NumCPU)")
 	quiet := fs.Bool("quiet", false, "suppress live progress lines")
 	outDir := fs.String("out", "", "also write each report to <dir>/<id>.txt")
+	metricsPath := fs.String("metrics", "", "write the run-manifest/metrics JSON to <file>")
+	tracePath := fs.String("trace", "", "write Chrome trace-event JSON (Perfetto) to <file>")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on <addr> (e.g. localhost:6060)")
 
 	ids, err := parseRunArgs(fs, args)
 	if err != nil {
@@ -100,6 +116,15 @@ func runCmd(args []string) {
 		}
 	}
 
+	if *pprofAddr != "" {
+		go func() {
+			fmt.Fprintf(os.Stderr, "melody: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "melody: pprof:", err)
+			}
+		}()
+	}
+
 	eng := melody.NewEngine(melody.Options{
 		MaxWorkloads: *workloads,
 		Instructions: *instructions,
@@ -108,6 +133,15 @@ func runCmd(args []string) {
 		Seed:         *seed,
 	})
 	eng.Workers = *jobs
+
+	var tel *melody.Telemetry
+	if *metricsPath != "" || *tracePath != "" {
+		tel = melody.NewTelemetry()
+		if *tracePath != "" {
+			tel.Trace = obs.NewTrace()
+		}
+		eng.Obs = tel
+	}
 	progressing := false
 	if !*quiet {
 		eng.Progress = func(id string, done, total int) {
@@ -124,6 +158,7 @@ func runCmd(args []string) {
 
 	melody.RegisterWorkloads()
 	ctx := context.Background()
+	var expTimings []experimentTiming
 	for _, id := range ids {
 		e, ok := melody.ExperimentByID(id)
 		if !ok {
@@ -135,6 +170,7 @@ func runCmd(args []string) {
 		clearProgress()
 		fmt.Println(rep.String())
 		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		expTimings = append(expTimings, experimentTiming{ID: e.ID, WallS: time.Since(start).Seconds()})
 		if *outDir != "" {
 			if err := os.MkdirAll(*outDir, 0o755); err != nil {
 				fmt.Fprintln(os.Stderr, "melody:", err)
@@ -145,6 +181,20 @@ func runCmd(args []string) {
 				fmt.Fprintln(os.Stderr, "melody:", err)
 				os.Exit(1)
 			}
+		}
+	}
+
+	if *metricsPath != "" {
+		m := buildManifest(*seed, *jobs, *workloads, expTimings, tel)
+		if err := writeMetrics(*metricsPath, m); err != nil {
+			fmt.Fprintln(os.Stderr, "melody: metrics:", err)
+			os.Exit(1)
+		}
+	}
+	if *tracePath != "" {
+		if err := writeTrace(*tracePath, tel.Trace); err != nil {
+			fmt.Fprintln(os.Stderr, "melody: trace:", err)
+			os.Exit(1)
 		}
 	}
 }

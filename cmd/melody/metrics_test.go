@@ -1,0 +1,125 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/moatlab/melody/internal/melody"
+	"github.com/moatlab/melody/internal/obs"
+)
+
+// runSmallObserved executes one cheap experiment with full telemetry.
+func runSmallObserved(t *testing.T) *melody.Telemetry {
+	t.Helper()
+	tel := melody.NewTelemetry()
+	tel.Trace = obs.NewTrace()
+	eng := melody.NewEngine(melody.Options{
+		MaxWorkloads: 6, Instructions: 150_000, Warmup: 40_000, Seed: 1,
+	})
+	eng.Workers = 2
+	eng.Obs = tel
+	if _, ok := eng.RunByID(context.Background(), "fig8f"); !ok {
+		t.Fatal("fig8f not registered")
+	}
+	return tel
+}
+
+func TestWriteMetricsManifest(t *testing.T) {
+	tel := runSmallObserved(t)
+	exps := []experimentTiming{{ID: "fig8f", WallS: 1.5}}
+	m := buildManifest(42, 2, 6, exps, tel)
+
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	if err := writeMetrics(path, m); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal(raw, &parsed); err != nil {
+		t.Fatalf("metrics JSON does not parse: %v", err)
+	}
+	for _, key := range []string{"tool", "go_version", "os", "arch", "num_cpu",
+		"seed", "workers", "workloads", "experiments", "cells", "registry"} {
+		if _, ok := parsed[key]; !ok {
+			t.Fatalf("manifest missing %q:\n%s", key, raw)
+		}
+	}
+	if parsed["tool"] != "melody" || parsed["seed"].(float64) != 42 {
+		t.Fatalf("manifest header wrong: tool=%v seed=%v", parsed["tool"], parsed["seed"])
+	}
+	cells := parsed["cells"].([]any)
+	if len(cells) == 0 {
+		t.Fatal("manifest has no cells")
+	}
+	reg := parsed["registry"].(map[string]any)
+	counters := reg["counters"].(map[string]any)
+	if counters["runner/cells_run"].(float64) != float64(len(cells)) {
+		t.Fatalf("cells_run %v != %d cells", counters["runner/cells_run"], len(cells))
+	}
+}
+
+func TestWriteMetricsEmptyRun(t *testing.T) {
+	// A run that executed nothing still writes a valid manifest with
+	// empty arrays, not nulls.
+	m := buildManifest(1, 0, 0, nil, melody.NewTelemetry())
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	if err := writeMetrics(path, m); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		Experiments []any `json:"experiments"`
+		Cells       []any `json:"cells"`
+	}
+	if err := json.Unmarshal(raw, &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Experiments == nil || parsed.Cells == nil {
+		t.Fatalf("empty manifest uses null instead of []:\n%s", raw)
+	}
+}
+
+func TestWriteTraceIsValidChromeTrace(t *testing.T) {
+	tel := runSmallObserved(t)
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := writeTrace(path, tel.Trace); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Pid  *int   `json:"pid"`
+			Tid  *int   `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &f); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	if len(f.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	for i, e := range f.TraceEvents {
+		if e.Name == "" || e.Pid == nil || e.Tid == nil {
+			t.Fatalf("event %d malformed", i)
+		}
+		switch e.Ph {
+		case "X", "i", "M":
+		default:
+			t.Fatalf("event %d has phase %q", i, e.Ph)
+		}
+	}
+}

@@ -75,3 +75,27 @@ func TestIPC(t *testing.T) {
 		t.Fatalf("IPC = %v", got)
 	}
 }
+
+// TestNamesCoverAllCounters guards the names table against drifting out
+// of sync with the ID list: every ID below NumCounters must render a
+// non-empty, unique name (an ID added without a name would silently
+// print as "" in reports and metrics).
+func TestNamesCoverAllCounters(t *testing.T) {
+	seen := make(map[string]ID, NumCounters)
+	for id := ID(0); id < NumCounters; id++ {
+		name := id.String()
+		if name == "" {
+			t.Fatalf("counter %d has an empty name", int(id))
+		}
+		if strings.HasPrefix(name, "counter(") {
+			t.Fatalf("counter %d falls through to the placeholder name %q", int(id), name)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Fatalf("counters %d and %d share the name %q", int(prev), int(id), name)
+		}
+		seen[name] = id
+	}
+	if len(seen) != int(NumCounters) {
+		t.Fatalf("%d unique names for %d counters", len(seen), int(NumCounters))
+	}
+}

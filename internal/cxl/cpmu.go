@@ -3,7 +3,8 @@ package cxl
 import (
 	"fmt"
 	"math"
-	"sort"
+
+	"github.com/moatlab/melody/internal/obs"
 )
 
 // CPMU models the CXL Performance Monitoring Unit introduced in CXL 3.0
@@ -31,24 +32,36 @@ type CPMU struct {
 	ThermalStalls uint64
 
 	// hist collects end-to-end request latencies for percentile
-	// queries, capped to bound memory.
-	hist []float64
+	// queries. The log-bucketed histogram has bounded memory at any
+	// request count, so — unlike the raw sample slice it replaced,
+	// which stopped at 262144 samples and skewed percentiles toward
+	// warmup-phase requests — it never truncates.
+	hist *obs.Histogram
 }
-
-// cpmuMaxSamples bounds the latency histogram.
-const cpmuMaxSamples = 262144
 
 // Enable turns the monitoring unit on (off by default: a real CPMU is
 // programmed explicitly, and sampling costs memory).
-func (c *CPMU) Enable() { c.enabled = true }
+func (c *CPMU) Enable() {
+	c.enabled = true
+	if c.hist == nil {
+		c.hist = obs.NewHistogram()
+	}
+}
 
 // Enabled reports the monitoring state.
 func (c *CPMU) Enabled() bool { return c.enabled }
+
+// LatencyHistogram exposes the full end-to-end latency distribution
+// (nil until Enable).
+func (c *CPMU) LatencyHistogram() *obs.Histogram { return c.hist }
 
 // reset clears all counters.
 func (c *CPMU) reset() {
 	on := c.enabled
 	*c = CPMU{enabled: on}
+	if on {
+		c.hist = obs.NewHistogram()
+	}
 }
 
 // record attributes one request's component times.
@@ -67,9 +80,7 @@ func (c *CPMU) record(linkReq, schedWait, media, linkRsp float64, hiccup, therma
 	if thermal {
 		c.ThermalStalls++
 	}
-	if len(c.hist) < cpmuMaxSamples {
-		c.hist = append(c.hist, linkReq+schedWait+media+linkRsp)
-	}
+	c.hist.Record(linkReq + schedWait + media + linkRsp)
 }
 
 // Breakdown returns the average per-request nanoseconds spent in each
@@ -83,26 +94,14 @@ func (c *CPMU) Breakdown() (linkReq, schedWait, media, linkRsp float64) {
 }
 
 // Percentile returns the p-th percentile of device-internal request
-// latency (excluding CPU-side overheads).
+// latency (excluding CPU-side overheads), NaN before any request is
+// recorded. Percentiles come from the log-bucketed histogram, so they
+// carry its ~2% bucket-width resolution but reflect the complete run.
 func (c *CPMU) Percentile(p float64) float64 {
-	if len(c.hist) == 0 {
+	if c.hist == nil || c.hist.Count() == 0 {
 		return math.NaN()
 	}
-	sorted := append([]float64(nil), c.hist...)
-	sort.Float64s(sorted)
-	if p <= 0 {
-		return sorted[0]
-	}
-	if p >= 100 {
-		return sorted[len(sorted)-1]
-	}
-	rank := p / 100 * float64(len(sorted)-1)
-	lo := int(rank)
-	frac := rank - float64(lo)
-	if lo+1 >= len(sorted) {
-		return sorted[lo]
-	}
-	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+	return c.hist.Percentile(p)
 }
 
 // String renders the white-box summary.

@@ -85,9 +85,13 @@ type Device struct {
 
 	stats mem.DeviceStats
 	pmu   CPMU
+	obs   mem.Observer
 }
 
-var _ mem.Device = (*Device)(nil)
+var (
+	_ mem.Device     = (*Device)(nil)
+	_ mem.Observable = (*Device)(nil)
+)
 
 // New constructs a Device from a profile. The seed drives CRC errors and
 // hiccup phase randomization.
@@ -125,6 +129,14 @@ func (d *Device) Reset() {
 // PMU exposes the device's CXL 3.0-style performance monitoring unit.
 // Call Enable on it before the measurement of interest.
 func (d *Device) PMU() *CPMU { return &d.pmu }
+
+// SetObserver implements mem.Observable: o receives every completed
+// access with full component attribution (the same breakdown the CPMU
+// accumulates). Observation happens after the access's timing is
+// committed and never changes simulated behaviour; the nil (detached)
+// path costs a nil check and zero allocations. The observer survives
+// Reset, mirroring the CPMU enable bit.
+func (d *Device) SetObserver(o mem.Observer) { d.obs = o }
 
 // updateUtil folds one request's bytes into the utilization EWMA.
 func (d *Device) updateUtil(now, bytes float64) {
@@ -209,17 +221,27 @@ func (d *Device) Access(now float64, addr uint64, kind mem.Kind) float64 {
 	start, done := d.mod.Access(t, addr, isWrite)
 
 	var completion float64
+	var mediaNs, linkRspNs float64
 	if isWrite {
 		// Posted write: absorbed when the media transfer is scheduled;
 		// the completion flit still loads the response direction.
 		d.lnk.Send(start, link.Rsp, ackBytes)
 		completion = start
 		d.stats.Writes++
-		d.pmu.record(tArrive-now, t-tArrive, start-t, 0, hiccuped, throttled)
+		mediaNs, linkRspNs = start-t, 0
 	} else {
 		completion = d.lnk.Send(done+mc.PipelineNs/2, link.Rsp, dataBytes)
 		d.stats.Reads++
-		d.pmu.record(tArrive-now, t-tArrive, done-t, completion-done, hiccuped, throttled)
+		mediaNs, linkRspNs = done-t, completion-done
+	}
+	d.pmu.record(tArrive-now, t-tArrive, mediaNs, linkRspNs, hiccuped, throttled)
+	if d.obs != nil {
+		d.obs.ObserveAccess(mem.AccessObservation{
+			Kind: kind, Start: now, Done: completion,
+			LinkReqNs: tArrive - now, SchedWaitNs: t - tArrive,
+			MediaNs: mediaNs, LinkRspNs: linkRspNs,
+			Attributed: true, Hiccup: hiccuped, Thermal: throttled,
+		})
 	}
 
 	d.updateUtil(now, reqBytes)

@@ -27,6 +27,11 @@ type Engine struct {
 	// serialized by the engine.
 	Progress func(experimentID string, done, total int)
 
+	// Obs, when set, collects run telemetry (metrics registry, trace
+	// spans, per-cell timings) across every runner the engine creates.
+	// Set it before the first Run; observation never changes results.
+	Obs *Telemetry
+
 	mu         sync.Mutex
 	runners    map[string]*Runner
 	progressMu sync.Mutex
@@ -40,7 +45,13 @@ func NewEngine(o Options) *Engine {
 // Run executes one experiment to completion.
 func (g *Engine) Run(ctx context.Context, e Experiment) *Report {
 	RegisterWorkloads()
-	return e.Run(g.context(ctx, e.ID))
+	sp := g.Obs.experimentSpan(e.ID, e.Title)
+	rep := e.Run(g.context(ctx, e.ID))
+	sp.End()
+	if g.Obs != nil {
+		g.Obs.Registry.Counter("engine/experiments_run").Inc()
+	}
+	return rep
 }
 
 // RunByID executes a registered experiment.
@@ -75,6 +86,7 @@ func (g *Engine) newRunner(p platform.Platform) *Runner {
 	r := NewRunner(p)
 	r.Seed = o.seed()
 	r.Workers = g.Workers
+	r.Obs = g.Obs
 	if o.Instructions > 0 {
 		r.Instructions = o.Instructions
 	}

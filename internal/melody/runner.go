@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"github.com/moatlab/melody/internal/apps/graph"
 	"github.com/moatlab/melody/internal/apps/kvstore"
@@ -18,6 +19,7 @@ import (
 	"github.com/moatlab/melody/internal/counters"
 	"github.com/moatlab/melody/internal/cxl"
 	"github.com/moatlab/melody/internal/mem"
+	"github.com/moatlab/melody/internal/obs"
 	"github.com/moatlab/melody/internal/platform"
 	"github.com/moatlab/melody/internal/workload"
 )
@@ -141,6 +143,13 @@ type Runner struct {
 	// Workers bounds bulk-submission concurrency (0 = NumCPU).
 	Workers int
 
+	// Obs, when set, collects engine telemetry: cache-outcome counters,
+	// per-cell wall times, per-config device latency histograms, and
+	// worker-occupancy trace spans. Observation is strictly passive —
+	// results are byte-identical with Obs set or nil — and a nil Obs
+	// costs a nil check per cell, nothing per simulated access.
+	Obs *Telemetry
+
 	cache resultCache
 }
 
@@ -214,12 +223,23 @@ func (r *Runner) Run(spec workload.Spec, mc MemConfig) Result {
 // that computation instead of duplicating it; ctx cancels the wait (and
 // refuses to start new work) but never aborts a simulation mid-run.
 func (r *Runner) RunCtx(ctx context.Context, req RunRequest) (Result, error) {
+	res, _, err := r.runCtx(ctx, req)
+	return res, err
+}
+
+// runCtx is RunCtx plus the cache outcome, which telemetry and the
+// worker-span instrumentation consume.
+func (r *Runner) runCtx(ctx context.Context, req RunRequest) (Result, cacheOutcome, error) {
 	if err := ctx.Err(); err != nil {
-		return Result{}, err
+		return Result{}, cacheHit, err
 	}
-	return r.cache.get(ctx, r.key(req.Spec, req.Config), func() Result {
+	res, oc, err := r.cache.get(ctx, r.key(req.Spec, req.Config), func() Result {
 		return r.runOnce(req)
 	})
+	if err == nil {
+		r.Obs.countCache(oc)
+	}
+	return res, oc, err
 }
 
 // RunAll executes a batch of cells across the worker pool and returns
@@ -239,7 +259,9 @@ func (r *Runner) runAll(ctx context.Context, reqs []RunRequest, onDone func()) (
 	}
 	if workers <= 1 {
 		for i, req := range reqs {
-			res, err := r.RunCtx(ctx, req)
+			sp := r.Obs.cellSpan(0, req)
+			res, oc, err := r.runCtx(ctx, req)
+			endCellSpan(sp, oc)
 			if err != nil {
 				return nil, err
 			}
@@ -259,10 +281,12 @@ func (r *Runner) runAll(ctx context.Context, reqs []RunRequest, onDone func()) (
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for i := range next {
-				res, err := r.RunCtx(ctx, reqs[i])
+				sp := r.Obs.cellSpan(worker, reqs[i])
+				res, oc, err := r.runCtx(ctx, reqs[i])
+				endCellSpan(sp, oc)
 				if err != nil {
 					errMu.Lock()
 					if firstEr == nil {
@@ -276,7 +300,7 @@ func (r *Runner) runAll(ctx context.Context, reqs []RunRequest, onDone func()) (
 					onDone()
 				}
 			}
-		}()
+		}(w)
 	}
 	for i := range reqs {
 		next <- i
@@ -301,6 +325,18 @@ func (r *Runner) runOnce(req RunRequest) Result {
 	cell := deriveSeed(spec.Name, mc.Name, r.Seed)
 	stream := deriveSeed(spec.Name, "", r.Seed)
 	dev := r.buildDevice(mc, cell)
+
+	// Telemetry: observe the device path and time the cell. The observer
+	// sees completed accesses only — it cannot change their timing — so
+	// the measured Result is identical with telemetry on or off.
+	var devObs *obs.DeviceObserver
+	var wallStart time.Time
+	if r.Obs != nil {
+		devObs = obs.NewDeviceObserver()
+		dev = mem.Observe(dev, devObs)
+		wallStart = time.Now()
+	}
+
 	var machineDev mem.Device = dev
 	if threads := spec.Siblings.BuildThreads(dev, cell+101); threads != nil {
 		machineDev = core.NewContendedDevice(dev, threads)
@@ -330,6 +366,16 @@ func (r *Runner) runOnce(req RunRequest) Result {
 	m.SetMaxInstructions(r.Warmup + instr)
 	w.Run(m)
 	after := m.Counters()
+
+	if r.Obs != nil {
+		r.Obs.cellDone(CellTiming{
+			Workload: spec.Name,
+			Config:   mc.Name,
+			Platform: r.Platform.CPU.Name,
+			Seed:     cell,
+			WallMs:   float64(time.Since(wallStart)) / float64(time.Millisecond),
+		}, devObs)
+	}
 
 	return Result{
 		Workload: spec.Name,
@@ -397,7 +443,31 @@ type cacheEntry struct {
 	res  Result
 }
 
-func (c *resultCache) get(ctx context.Context, key string, compute func() Result) (Result, error) {
+// cacheOutcome classifies one cache lookup for telemetry: the requester
+// computed the cell, found it complete, or waited on another computer.
+type cacheOutcome uint8
+
+const (
+	cacheComputed cacheOutcome = iota
+	cacheHit
+	cacheWaited
+)
+
+// String implements fmt.Stringer.
+func (o cacheOutcome) String() string {
+	switch o {
+	case cacheComputed:
+		return "computed"
+	case cacheHit:
+		return "hit"
+	case cacheWaited:
+		return "waited"
+	default:
+		return fmt.Sprintf("outcome(%d)", uint8(o))
+	}
+}
+
+func (c *resultCache) get(ctx context.Context, key string, compute func() Result) (Result, cacheOutcome, error) {
 	sh := &c.shards[fnv1a(key)%cacheShards]
 	sh.mu.Lock()
 	e, ok := sh.m[key]
@@ -413,13 +483,18 @@ func (c *resultCache) get(ctx context.Context, key string, compute func() Result
 		// completed result.
 		e.res = compute()
 		close(e.done)
-		return e.res, nil
+		return e.res, cacheComputed, nil
 	}
 	sh.mu.Unlock()
 	select {
 	case <-e.done:
-		return e.res, nil
+		return e.res, cacheHit, nil
+	default:
+	}
+	select {
+	case <-e.done:
+		return e.res, cacheWaited, nil
 	case <-ctx.Done():
-		return Result{}, ctx.Err()
+		return Result{}, cacheWaited, ctx.Err()
 	}
 }

@@ -1,0 +1,135 @@
+package melody
+
+import (
+	"sync"
+
+	"github.com/moatlab/melody/internal/obs"
+)
+
+// Trace track layout: the engine's experiment phases render as one
+// process, the runner's worker pool as another (one track per worker,
+// showing occupancy over time).
+const (
+	tracePidEngine  = 1
+	tracePidWorkers = 2
+)
+
+// CellTiming is one executed cell's engine-side cost, collected for the
+// -metrics run manifest. WallMs is host wall time, not simulated time.
+type CellTiming struct {
+	Workload string  `json:"workload"`
+	Config   string  `json:"config"`
+	Platform string  `json:"platform"`
+	Seed     uint64  `json:"seed"`
+	WallMs   float64 `json:"wall_ms"`
+}
+
+// Telemetry aggregates engine observability: a Registry of counters and
+// histograms (cache outcomes, per-cell wall times, per-config device
+// latency breakdowns), an optional Trace of spans (experiment phases,
+// worker occupancy), and the per-cell timing log. Attach one to an
+// Engine (or Runner) to enable collection; a nil *Telemetry disables
+// everything at the cost of a nil check.
+//
+// Telemetry observes the engine, it never steers it: results — and the
+// reports rendered from them — are byte-identical with and without a
+// Telemetry attached, which TestTelemetryDoesNotPerturbReport pins.
+type Telemetry struct {
+	Registry *obs.Registry
+	// Trace, when non-nil, records spans. Set it before running.
+	Trace *obs.Trace
+
+	cacheMiss *obs.Counter
+	cacheHit  *obs.Counter
+	cacheWait *obs.Counter
+	cellsRun  *obs.Counter
+	cellWall  *obs.Histogram
+
+	mu    sync.Mutex
+	cells []CellTiming
+}
+
+// NewTelemetry returns a Telemetry with a fresh Registry and no Trace.
+func NewTelemetry() *Telemetry {
+	reg := obs.NewRegistry()
+	return &Telemetry{
+		Registry:  reg,
+		cacheMiss: reg.Counter("runner/cache_miss"),
+		cacheHit:  reg.Counter("runner/cache_hit"),
+		cacheWait: reg.Counter("runner/cache_wait"),
+		cellsRun:  reg.Counter("runner/cells_run"),
+		cellWall:  reg.Histogram("runner/cell_wall_ms"),
+	}
+}
+
+// Cells returns a copy of the per-cell timing log.
+func (t *Telemetry) Cells() []CellTiming {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]CellTiming(nil), t.cells...)
+}
+
+// countCache records one cache lookup's outcome.
+func (t *Telemetry) countCache(oc cacheOutcome) {
+	if t == nil {
+		return
+	}
+	switch oc {
+	case cacheComputed:
+		t.cacheMiss.Inc()
+	case cacheHit:
+		t.cacheHit.Inc()
+	case cacheWaited:
+		t.cacheWait.Inc()
+	}
+}
+
+// cellDone logs one computed cell: its wall time and, when a device
+// observer ran, its latency breakdown merged into the registry under
+// "device/<platform>/<config>/...".
+func (t *Telemetry) cellDone(ct CellTiming, do *obs.DeviceObserver) {
+	if t == nil {
+		return
+	}
+	t.cellsRun.Inc()
+	t.cellWall.Record(ct.WallMs)
+	do.MergeInto(t.Registry, "device/"+ct.Platform+"/"+ct.Config)
+	t.mu.Lock()
+	t.cells = append(t.cells, ct)
+	t.mu.Unlock()
+}
+
+// cellSpan opens a trace span on the worker's track covering one cell
+// submission (compute, cache hit, or wait on another worker's compute).
+func (t *Telemetry) cellSpan(worker int, req RunRequest) obs.Span {
+	if t == nil || t.Trace == nil {
+		return obs.Span{}
+	}
+	t.Trace.SetProcessName(tracePidWorkers, "runner workers")
+	t.Trace.SetThreadName(tracePidWorkers, worker, "worker")
+	return t.Trace.Begin(tracePidWorkers, worker, req.Spec.Name+" @ "+req.Config.Name, "cell")
+}
+
+// endCellSpan completes a cell span, attaching the cache outcome. The
+// inactive (telemetry-off) path builds no args and allocates nothing.
+func endCellSpan(sp obs.Span, oc cacheOutcome) {
+	if !sp.Active() {
+		return
+	}
+	sp.EndWith(map[string]any{"outcome": oc.String()})
+}
+
+// experimentSpan opens a trace span covering one experiment phase.
+func (t *Telemetry) experimentSpan(id, title string) obs.Span {
+	if t == nil || t.Trace == nil {
+		return obs.Span{}
+	}
+	t.Trace.SetProcessName(tracePidEngine, "melody engine")
+	t.Trace.SetThreadName(tracePidEngine, 0, "experiments")
+	sp := t.Trace.Begin(tracePidEngine, 0, id, "experiment")
+	t.Trace.Instant(tracePidEngine, 0, title, "experiment", nil)
+	return sp
+}

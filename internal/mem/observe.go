@@ -1,0 +1,75 @@
+package mem
+
+// AccessObservation describes one completed device access for telemetry
+// consumers. Observation is strictly read-only: observers see completed
+// requests after the device has committed their timing, so attaching
+// one never changes simulated results.
+type AccessObservation struct {
+	Kind  Kind
+	Start float64 // request arrival, simulated ns
+	Done  float64 // completion, simulated ns
+
+	// Component attribution (the CPMU-style breakdown): valid only when
+	// Attributed is set — devices that cannot split their latency leave
+	// the components zero and observers fall back to Latency().
+	LinkReqNs   float64 // request flit transmission + propagation
+	SchedWaitNs float64 // transaction layer, hiccup, and thermal waits
+	MediaNs     float64 // DRAM bank/bus service
+	LinkRspNs   float64 // response flit transmission + propagation
+	Attributed  bool
+
+	// Hiccup/Thermal flag requests delayed by each governor.
+	Hiccup  bool
+	Thermal bool
+}
+
+// Latency returns the end-to-end request latency in simulated ns.
+func (a AccessObservation) Latency() float64 { return a.Done - a.Start }
+
+// Observer receives one observation per completed access. Implementations
+// used from the experiment engine are called from a single goroutine per
+// device instance.
+type Observer interface {
+	ObserveAccess(AccessObservation)
+}
+
+// Observable is implemented by devices that can stream natively
+// attributed observations (e.g. the CXL expander, whose controller
+// pipeline knows each request's component times). SetObserver(nil)
+// detaches; the detached path must cost a nil check and no allocations.
+type Observable interface {
+	SetObserver(Observer)
+}
+
+// Observe attaches o to dev. Devices implementing Observable report with
+// full component attribution; any other device is wrapped in a
+// transparent timing shim that observes end-to-end latency only. Either
+// way the returned device has identical simulated behaviour to dev —
+// same completion times, same internal state evolution — because
+// observation happens strictly after each access completes.
+func Observe(dev Device, o Observer) Device {
+	if o == nil {
+		return dev
+	}
+	if ob, ok := dev.(Observable); ok {
+		ob.SetObserver(o)
+		return dev
+	}
+	return &observed{dev: dev, obs: o}
+}
+
+// observed is the generic timing shim for non-Observable devices.
+type observed struct {
+	dev Device
+	obs Observer
+}
+
+func (d *observed) Access(now float64, addr uint64, kind Kind) float64 {
+	done := d.dev.Access(now, addr, kind)
+	d.obs.ObserveAccess(AccessObservation{Kind: kind, Start: now, Done: done})
+	return done
+}
+
+func (d *observed) Name() string       { return d.dev.Name() }
+func (d *observed) Reset()             { d.dev.Reset() }
+func (d *observed) Stats() DeviceStats { return d.dev.Stats() }

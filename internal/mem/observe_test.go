@@ -1,0 +1,93 @@
+package mem
+
+import "testing"
+
+// fakeDevice is a fixed-latency Device for shim tests.
+type fakeDevice struct {
+	latency float64
+	stats   DeviceStats
+	resets  int
+}
+
+func (d *fakeDevice) Access(now float64, addr uint64, kind Kind) float64 {
+	if kind == Write {
+		d.stats.Writes++
+	} else {
+		d.stats.Reads++
+	}
+	return now + d.latency
+}
+
+func (d *fakeDevice) Name() string       { return "fake" }
+func (d *fakeDevice) Reset()             { d.resets++; d.stats = DeviceStats{} }
+func (d *fakeDevice) Stats() DeviceStats { return d.stats }
+
+// fakeObservable is a fakeDevice that accepts an observer natively.
+type fakeObservable struct {
+	fakeDevice
+	obs Observer
+}
+
+func (d *fakeObservable) SetObserver(o Observer) { d.obs = o }
+
+// recorder collects observations.
+type recorder struct {
+	got []AccessObservation
+}
+
+func (r *recorder) ObserveAccess(a AccessObservation) { r.got = append(r.got, a) }
+
+func TestObserveNilObserverReturnsDevice(t *testing.T) {
+	d := &fakeDevice{latency: 100}
+	if Observe(d, nil) != Device(d) {
+		t.Fatal("nil observer must return the device unchanged")
+	}
+}
+
+func TestObserveObservableAttachesNatively(t *testing.T) {
+	d := &fakeObservable{fakeDevice: fakeDevice{latency: 100}}
+	r := &recorder{}
+	if Observe(d, r) != Device(d) {
+		t.Fatal("Observable device must be returned unwrapped")
+	}
+	if d.obs != Observer(r) {
+		t.Fatal("observer was not attached via SetObserver")
+	}
+}
+
+func TestObservedShimForwardsAndObserves(t *testing.T) {
+	d := &fakeDevice{latency: 95}
+	r := &recorder{}
+	w := Observe(d, r)
+	if w == Device(d) {
+		t.Fatal("non-Observable device should be wrapped")
+	}
+
+	done := w.Access(1000, 0x40, DemandRead)
+	if done != 1095 {
+		t.Fatalf("wrapped Access returned %v, want 1095 (timing must be unperturbed)", done)
+	}
+	w.Access(2000, 0x80, Write)
+
+	if len(r.got) != 2 {
+		t.Fatalf("observed %d accesses, want 2", len(r.got))
+	}
+	a := r.got[0]
+	if a.Kind != DemandRead || a.Start != 1000 || a.Done != 1095 || a.Latency() != 95 {
+		t.Fatalf("observation wrong: %+v", a)
+	}
+	if a.Attributed {
+		t.Fatal("generic shim must not claim component attribution")
+	}
+
+	if w.Name() != "fake" {
+		t.Fatalf("Name not forwarded: %q", w.Name())
+	}
+	if s := w.Stats(); s.Reads != 1 || s.Writes != 1 {
+		t.Fatalf("Stats not forwarded: %+v", s)
+	}
+	w.Reset()
+	if d.resets != 1 {
+		t.Fatal("Reset not forwarded")
+	}
+}

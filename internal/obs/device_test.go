@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"testing"
+
+	"github.com/moatlab/melody/internal/mem"
+)
+
+func TestDeviceObserverAttributed(t *testing.T) {
+	o := NewDeviceObserver()
+	o.ObserveAccess(mem.AccessObservation{
+		Kind: mem.DemandRead, Start: 100, Done: 420,
+		LinkReqNs: 40, SchedWaitNs: 80, MediaNs: 150, LinkRspNs: 50,
+		Attributed: true, Hiccup: true,
+	})
+	o.ObserveAccess(mem.AccessObservation{
+		Kind: mem.Write, Start: 500, Done: 900,
+		LinkReqNs: 40, SchedWaitNs: 160, MediaNs: 150, LinkRspNs: 50,
+		Attributed: true, Thermal: true,
+	})
+	if o.Latency.Count() != 2 {
+		t.Fatalf("latency count = %d", o.Latency.Count())
+	}
+	if o.Media.Count() != 2 || o.SchedWait.Count() != 2 {
+		t.Fatal("component histograms not populated for attributed accesses")
+	}
+
+	reg := NewRegistry()
+	o.MergeInto(reg, "device/EMR2S/CXL-A")
+	s := reg.Snapshot()
+	for _, name := range []string{
+		"device/EMR2S/CXL-A/latency_ns",
+		"device/EMR2S/CXL-A/link_req_ns",
+		"device/EMR2S/CXL-A/sched_wait_ns",
+		"device/EMR2S/CXL-A/media_ns",
+		"device/EMR2S/CXL-A/link_rsp_ns",
+	} {
+		if _, ok := s.Histograms[name]; !ok {
+			t.Fatalf("registry missing histogram %q", name)
+		}
+	}
+	if s.Counters["device/EMR2S/CXL-A/reads"] != 1 || s.Counters["device/EMR2S/CXL-A/writes"] != 1 {
+		t.Fatalf("read/write counters wrong: %v", s.Counters)
+	}
+	if s.Counters["device/EMR2S/CXL-A/hiccup_stalls"] != 1 || s.Counters["device/EMR2S/CXL-A/thermal_stalls"] != 1 {
+		t.Fatalf("stall counters wrong: %v", s.Counters)
+	}
+}
+
+func TestDeviceObserverUnattributed(t *testing.T) {
+	o := NewDeviceObserver()
+	for i := 0; i < 10; i++ {
+		o.ObserveAccess(mem.AccessObservation{Kind: mem.DemandRead, Start: 0, Done: 95})
+	}
+	if o.Latency.Count() != 10 {
+		t.Fatalf("latency count = %d", o.Latency.Count())
+	}
+	if o.LinkReq.Count() != 0 {
+		t.Fatal("unattributed access leaked into component histogram")
+	}
+	reg := NewRegistry()
+	o.MergeInto(reg, "device/EMR2S/Local")
+	s := reg.Snapshot()
+	if _, ok := s.Histograms["device/EMR2S/Local/latency_ns"]; !ok {
+		t.Fatal("latency histogram missing")
+	}
+	if _, ok := s.Histograms["device/EMR2S/Local/link_req_ns"]; ok {
+		t.Fatal("component histogram created for a device with no attribution")
+	}
+	if _, ok := s.Counters["device/EMR2S/Local/hiccup_stalls"]; ok {
+		t.Fatal("stall counter created for a device with no attribution")
+	}
+}
+
+func TestDeviceObserverNilMerge(t *testing.T) {
+	var o *DeviceObserver
+	o.MergeInto(NewRegistry(), "x") // no-op, no panic
+	NewDeviceObserver().MergeInto(nil, "x")
+}

@@ -1,0 +1,229 @@
+// Package obs is the simulator's telemetry core: log-bucketed latency
+// histograms with percentile queries, named counters and gauges in a
+// Registry, and span/trace recording that emits Chrome trace-event JSON
+// viewable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+//
+// The package exists because the paper's central complaint is opacity —
+// "no tools exist to pinpoint tail latencies" until CPMU-style counters
+// ship (§3.2) — and a simulated stack can expose exactly that
+// visibility. Everything here is observation-only: recording never
+// feeds back into simulated time, so a run instrumented with obs is
+// behaviourally identical to an uninstrumented one. Disabled paths are
+// allocation-free; nil *Trace, *Counter and *Gauge receivers are
+// no-ops, so call sites need no guards.
+package obs
+
+import (
+	"math"
+	"sync"
+)
+
+// Histogram bucket geometry: histSubBuckets buckets per power of two
+// gives a worst-case relative error of 2^(1/histSubBuckets)-1 (~2.2%)
+// on percentile queries, with bounded memory and no sample truncation —
+// unlike a raw sample slice, a histogram never has to stop recording.
+// The covered range [2^histMinExp, 2^histMaxExp) spans sub-nanosecond
+// component times up to multi-hour wall times; values outside clamp to
+// the edge buckets.
+const (
+	histSubBuckets = 32
+	histMinExp     = -16
+	histMaxExp     = 48
+	histBuckets    = (histMaxExp - histMinExp) * histSubBuckets
+)
+
+// Histogram is a log-bucketed distribution of non-negative values
+// (latencies in ns, wall times in ms — any one unit per histogram).
+// Memory is a fixed bucket array: recording never allocates and never
+// truncates, however many samples arrive. All methods are safe for
+// concurrent use.
+type Histogram struct {
+	mu     sync.Mutex
+	counts [histBuckets]uint64
+	n      uint64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// NewHistogram returns an empty histogram. This is the only allocation
+// a histogram ever performs.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// bucketIndex maps a value onto its bucket, clamping to the edges.
+func bucketIndex(v float64) int {
+	if !(v > 0) { // also catches NaN
+		return 0
+	}
+	idx := int(math.Floor(math.Log2(v)*histSubBuckets)) - histMinExp*histSubBuckets
+	if idx < 0 {
+		return 0
+	}
+	if idx >= histBuckets {
+		return histBuckets - 1
+	}
+	return idx
+}
+
+// bucketValue returns the geometric midpoint of bucket i, the value
+// percentile queries report for samples landing in it.
+func bucketValue(i int) float64 {
+	return math.Exp2((float64(i)+0.5)/histSubBuckets + histMinExp)
+}
+
+// Record adds one sample.
+func (h *Histogram) Record(v float64) {
+	h.mu.Lock()
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if h.n == 0 || v > h.max {
+		h.max = v
+	}
+	h.n++
+	h.sum += v
+	h.counts[bucketIndex(v)]++
+	h.mu.Unlock()
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Sum returns the sum of recorded samples (exact, not bucketed).
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Mean returns the exact mean of recorded samples (0 when empty).
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Min returns the smallest recorded sample (exact; 0 when empty).
+func (h *Histogram) Min() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.min
+}
+
+// Max returns the largest recorded sample (exact; 0 when empty).
+func (h *Histogram) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Percentile returns the p-th percentile (0-100) of recorded samples,
+// NaN when empty. The answer is a bucket midpoint clamped to the exact
+// observed [min, max], so the relative error is bounded by the bucket
+// width and p=0 / p=100 are exact.
+func (h *Histogram) Percentile(p float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.percentileLocked(p)
+}
+
+func (h *Histogram) percentileLocked(p float64) float64 {
+	if h.n == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return h.min
+	}
+	if p >= 100 {
+		return h.max
+	}
+	rank := uint64(math.Ceil(p / 100 * float64(h.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i]
+		if cum >= rank {
+			v := bucketValue(i)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Merge folds o's samples into h. Merging a histogram into itself is a
+// no-op; a nil o is ignored.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o == h {
+		return
+	}
+	o.mu.Lock()
+	counts := o.counts
+	n, sum, min, max := o.n, o.sum, o.min, o.max
+	o.mu.Unlock()
+	if n == 0 {
+		return
+	}
+	h.mu.Lock()
+	if h.n == 0 || min < h.min {
+		h.min = min
+	}
+	if h.n == 0 || max > h.max {
+		h.max = max
+	}
+	h.n += n
+	h.sum += sum
+	for i := range counts {
+		h.counts[i] += counts[i]
+	}
+	h.mu.Unlock()
+}
+
+// Summary is the JSON-friendly digest of a histogram. Percentile fields
+// are zero (not NaN) when the histogram is empty so the struct always
+// marshals.
+type Summary struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	Mean  float64 `json:"mean"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	P999  float64 `json:"p999"`
+}
+
+// Summarize returns the histogram's digest.
+func (h *Histogram) Summarize() Summary {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return Summary{}
+	}
+	return Summary{
+		Count: h.n,
+		Sum:   h.sum,
+		Mean:  h.sum / float64(h.n),
+		Min:   h.min,
+		Max:   h.max,
+		P50:   h.percentileLocked(50),
+		P90:   h.percentileLocked(90),
+		P99:   h.percentileLocked(99),
+		P999:  h.percentileLocked(99.9),
+	}
+}

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"testing"
+
+	"github.com/moatlab/melody/internal/sim"
+)
+
+// exactPercentile computes the reference percentile by full sort.
+func exactPercentile(xs []float64, p float64) float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram has non-zero stats")
+	}
+	if !math.IsNaN(h.Percentile(50)) {
+		t.Fatal("empty histogram percentile should be NaN")
+	}
+	if s := h.Summarize(); s != (Summary{}) {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestHistogramPercentileAccuracy(t *testing.T) {
+	// Log-normal-ish latencies spanning 3 decades, the CPMU's regime.
+	r := sim.NewRand(7)
+	h := NewHistogram()
+	var xs []float64
+	for i := 0; i < 200_000; i++ {
+		v := 80 + 400*r.Float64()*r.Float64()
+		if r.Float64() < 0.01 {
+			v += 5000 * r.Float64() // tail events
+		}
+		xs = append(xs, v)
+		h.Record(v)
+	}
+	if h.Count() != uint64(len(xs)) {
+		t.Fatalf("count = %d, want %d (histograms must not truncate)", h.Count(), len(xs))
+	}
+	for _, p := range []float64{10, 50, 90, 99, 99.9} {
+		got, want := h.Percentile(p), exactPercentile(xs, p)
+		if rel := math.Abs(got-want) / want; rel > 0.04 {
+			t.Fatalf("p%v = %.1f, exact %.1f (rel err %.1f%% > 4%%)", p, got, want, rel*100)
+		}
+	}
+	// Extremes are exact.
+	if h.Percentile(0) != h.Min() || h.Percentile(100) != h.Max() {
+		t.Fatal("p0/p100 not exact min/max")
+	}
+}
+
+func TestHistogramMonotonePercentiles(t *testing.T) {
+	r := sim.NewRand(11)
+	h := NewHistogram()
+	for i := 0; i < 10_000; i++ {
+		h.Record(r.Float64() * 1e6)
+	}
+	prev := math.Inf(-1)
+	for p := 0.0; p <= 100; p += 0.5 {
+		v := h.Percentile(p)
+		if v < prev {
+			t.Fatalf("percentiles not monotone: p%v = %v < %v", p, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistogramEdgeValues(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []float64{0, -5, math.NaN(), 1e-30, 1e30} {
+		h.Record(v) // must not panic; clamps to edge buckets
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := 1; i <= 100; i++ {
+		a.Record(float64(i))
+	}
+	for i := 101; i <= 200; i++ {
+		b.Record(float64(i))
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Min() != 1 || a.Max() != 200 {
+		t.Fatalf("merged min/max = %v/%v", a.Min(), a.Max())
+	}
+	if got := a.Percentile(50); math.Abs(got-100)/100 > 0.05 {
+		t.Fatalf("merged p50 = %v, want ~100", got)
+	}
+	a.Merge(nil) // no-op
+	a.Merge(a)   // self-merge no-op, must not deadlock
+	if a.Count() != 200 {
+		t.Fatal("nil/self merge changed the histogram")
+	}
+	empty := NewHistogram()
+	empty.Merge(a)
+	if empty.Count() != 200 || empty.Min() != 1 {
+		t.Fatal("merge into empty lost state")
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := sim.NewRand(uint64(g) + 1)
+			for i := 0; i < 10_000; i++ {
+				h.Record(r.Float64() * 100)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != 80_000 {
+		t.Fatalf("concurrent count = %d, want 80000", h.Count())
+	}
+}
+
+func TestBucketIndexValueRoundTrip(t *testing.T) {
+	// Every bucket's representative value must map back to that bucket.
+	for i := 0; i < histBuckets; i++ {
+		if got := bucketIndex(bucketValue(i)); got != i {
+			t.Fatalf("bucketIndex(bucketValue(%d)) = %d", i, got)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Trace records wall-clock spans and instants in the Chrome trace-event
+// format (the JSON-object flavour: {"traceEvents": [...]}), which loads
+// directly in Perfetto (ui.perfetto.dev) and chrome://tracing. All
+// methods are safe for concurrent use, and every method on a nil *Trace
+// is a no-op, so call sites record unconditionally.
+//
+// Timestamps are microseconds of wall time since the trace was created.
+// Traces observe the engine, not the simulation: simulated nanoseconds
+// never appear here, and recording never feeds back into results.
+type Trace struct {
+	mu      sync.Mutex
+	t0      time.Time
+	events  []Event
+	procs   map[int]string
+	threads map[[2]int]string
+}
+
+// Event is one Chrome trace event. Ph "X" is a complete span (Ts+Dur),
+// "i" an instant, "M" metadata (process/thread names).
+type Event struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// NewTrace returns a trace whose timestamps count from now.
+func NewTrace() *Trace {
+	return &Trace{
+		t0:      time.Now(),
+		procs:   map[int]string{},
+		threads: map[[2]int]string{},
+	}
+}
+
+// sinceUs returns the current trace timestamp in microseconds.
+func (t *Trace) sinceUs() float64 {
+	return float64(time.Since(t.t0)) / float64(time.Microsecond)
+}
+
+func (t *Trace) add(e Event) {
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+// SetProcessName names a pid's track group. Idempotent.
+func (t *Trace) SetProcessName(pid int, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.procs[pid] = name
+	t.mu.Unlock()
+}
+
+// SetThreadName names a (pid, tid) track. Idempotent.
+func (t *Trace) SetThreadName(pid, tid int, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.threads[[2]int{pid, tid}] = name
+	t.mu.Unlock()
+}
+
+// Span is an in-progress interval started by Begin. The zero value
+// (from a nil trace) ends as a no-op.
+type Span struct {
+	t     *Trace
+	pid   int
+	tid   int
+	name  string
+	cat   string
+	start float64
+}
+
+// Begin starts a span on the (pid, tid) track.
+func (t *Trace) Begin(pid, tid int, name, cat string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, pid: pid, tid: tid, name: name, cat: cat, start: t.sinceUs()}
+}
+
+// Active reports whether the span records anywhere — false for spans
+// from a nil trace, letting callers skip building args.
+func (s Span) Active() bool { return s.t != nil }
+
+// End completes the span.
+func (s Span) End() { s.EndWith(nil) }
+
+// EndWith completes the span with event args (shown in the Perfetto
+// detail pane).
+func (s Span) EndWith(args map[string]any) {
+	if s.t == nil {
+		return
+	}
+	end := s.t.sinceUs()
+	s.t.add(Event{Name: s.name, Cat: s.cat, Ph: "X", Ts: s.start,
+		Dur: end - s.start, Pid: s.pid, Tid: s.tid, Args: args})
+}
+
+// Instant records a point event on the (pid, tid) track.
+func (t *Trace) Instant(pid, tid int, name, cat string, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.add(Event{Name: name, Cat: cat, Ph: "i", Ts: t.sinceUs(), Pid: pid, Tid: tid, Args: args})
+}
+
+// Len returns the number of recorded events (metadata excluded).
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// tracePayload is the emitted top-level object.
+type tracePayload struct {
+	TraceEvents     []Event `json:"traceEvents"`
+	DisplayTimeUnit string  `json:"displayTimeUnit"`
+}
+
+// snapshot assembles the full event list: name metadata first (sorted
+// for determinism), then events in recording order.
+func (t *Trace) snapshot() tracePayload {
+	p := tracePayload{TraceEvents: []Event{}, DisplayTimeUnit: "ms"}
+	if t == nil {
+		return p
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	pids := make([]int, 0, len(t.procs))
+	for pid := range t.procs {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	for _, pid := range pids {
+		p.TraceEvents = append(p.TraceEvents, Event{Name: "process_name", Ph: "M",
+			Pid: pid, Args: map[string]any{"name": t.procs[pid]}})
+	}
+	keys := make([][2]int, 0, len(t.threads))
+	for k := range t.threads {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, k := range keys {
+		p.TraceEvents = append(p.TraceEvents, Event{Name: "thread_name", Ph: "M",
+			Pid: k[0], Tid: k[1], Args: map[string]any{"name": t.threads[k]}})
+	}
+	p.TraceEvents = append(p.TraceEvents, t.events...)
+	return p
+}
+
+// MarshalJSON emits the Chrome trace-event JSON object.
+func (t *Trace) MarshalJSON() ([]byte, error) {
+	return json.Marshal(t.snapshot())
+}
+
+// WriteJSON writes the trace to w as indented JSON.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(t.snapshot())
+}

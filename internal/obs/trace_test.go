@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// chromeTraceFile is the strict schema of the Chrome trace-event JSON
+// object format — what Perfetto's legacy-trace importer accepts. The
+// schema test below is the acceptance gate: every emitted trace must
+// unmarshal into this shape with valid phases and timestamps.
+type chromeTraceFile struct {
+	TraceEvents     []chromeTraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string             `json:"displayTimeUnit"`
+}
+
+type chromeTraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   *float64       `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  *int           `json:"pid"`
+	Tid  *int           `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+// validateChromeTrace asserts raw is a loadable Chrome trace-event file.
+func validateChromeTrace(t *testing.T, raw []byte) chromeTraceFile {
+	t.Helper()
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	var f chromeTraceFile
+	if err := dec.Decode(&f); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	if f.TraceEvents == nil {
+		t.Fatal("trace has no traceEvents array")
+	}
+	for i, e := range f.TraceEvents {
+		if e.Name == "" {
+			t.Fatalf("event %d has no name", i)
+		}
+		switch e.Ph {
+		case "X":
+			if e.Ts == nil || *e.Ts < 0 || e.Dur < 0 {
+				t.Fatalf("complete event %d has invalid ts/dur", i)
+			}
+		case "i", "M":
+			// instants carry ts; metadata events need name+args only
+		default:
+			t.Fatalf("event %d has unsupported phase %q", i, e.Ph)
+		}
+		if e.Pid == nil || e.Tid == nil {
+			t.Fatalf("event %d missing pid/tid", i)
+		}
+		if e.Ph == "M" {
+			if s, ok := e.Args["name"].(string); !ok || s == "" {
+				t.Fatalf("metadata event %d has no name arg", i)
+			}
+		}
+	}
+	return f
+}
+
+func TestTraceSchemaValid(t *testing.T) {
+	tr := NewTrace()
+	tr.SetProcessName(1, "engine")
+	tr.SetThreadName(1, 0, "experiments")
+	tr.SetProcessName(2, "workers")
+	tr.SetThreadName(2, 3, "worker")
+	sp := tr.Begin(1, 0, "fig8a", "experiment")
+	inner := tr.Begin(2, 3, "605.mcf_s @ CXL-A", "cell")
+	inner.EndWith(map[string]any{"outcome": "computed"})
+	tr.Instant(1, 0, "marker", "note", nil)
+	sp.End()
+
+	raw, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := validateChromeTrace(t, raw)
+	// 4 metadata + 2 spans + 1 instant.
+	if len(f.TraceEvents) != 7 {
+		t.Fatalf("trace has %d events, want 7", len(f.TraceEvents))
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	validateChromeTrace(t, buf.Bytes())
+}
+
+func TestTraceNilSafe(t *testing.T) {
+	var tr *Trace
+	sp := tr.Begin(0, 0, "x", "y")
+	if sp.Active() {
+		t.Fatal("span from nil trace is active")
+	}
+	sp.End()
+	sp.EndWith(map[string]any{"k": "v"})
+	tr.Instant(0, 0, "i", "", nil)
+	tr.SetProcessName(0, "p")
+	tr.SetThreadName(0, 0, "t")
+	if tr.Len() != 0 {
+		t.Fatal("nil trace recorded events")
+	}
+}
+
+func TestTraceSpanOrdering(t *testing.T) {
+	tr := NewTrace()
+	sp := tr.Begin(1, 1, "work", "")
+	sp.End()
+	raw, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := validateChromeTrace(t, raw)
+	if len(f.TraceEvents) != 1 {
+		t.Fatalf("got %d events", len(f.TraceEvents))
+	}
+	e := f.TraceEvents[0]
+	if e.Ph != "X" || e.Name != "work" || *e.Pid != 1 || *e.Tid != 1 {
+		t.Fatalf("span event wrong: %+v", e)
+	}
+}
