@@ -76,12 +76,15 @@ func runExperiment(b *testing.B, id string) {
 // parallel experiment engine (run Sweep48J1 vs Sweep48JMax). When
 // observed is set, full telemetry (metrics registry + trace) is
 // attached, so Sweep48JMax vs Sweep48JMaxMetrics bounds the
-// observability overhead.
-func benchmarkSweep(b *testing.B, workers int, observed bool) {
+// observability overhead. A non-zero sampleEvery additionally turns on
+// the cycle sampler in every cell, so Sweep48JMaxMetrics vs
+// Sweep48JMaxSampling bounds the cost of the time-resolved streams.
+func benchmarkSweep(b *testing.B, workers int, observed bool, sampleEvery uint64) {
 	b.Helper()
 	melody.RegisterWorkloads()
 	o := benchOptions()
 	o.MaxWorkloads = 48
+	o.SampleEveryCycles = sampleEvery
 	for i := 0; i < b.N; i++ {
 		g := melody.NewEngine(o)
 		g.Workers = workers
@@ -96,12 +99,16 @@ func benchmarkSweep(b *testing.B, workers int, observed bool) {
 		if observed && g.Obs.Registry.Counter("runner/cells_run").Value() == 0 {
 			b.Fatal("telemetry attached but no cells recorded")
 		}
+		if sampleEvery > 0 && observed && g.Obs.Registry.Counter("runner/cells_sampled").Value() == 0 {
+			b.Fatal("sampling enabled but no cells sampled")
+		}
 	}
 }
 
-func BenchmarkSweep48J1(b *testing.B)          { benchmarkSweep(b, 1, false) }
-func BenchmarkSweep48JMax(b *testing.B)        { benchmarkSweep(b, runtime.NumCPU(), false) }
-func BenchmarkSweep48JMaxMetrics(b *testing.B) { benchmarkSweep(b, runtime.NumCPU(), true) }
+func BenchmarkSweep48J1(b *testing.B)           { benchmarkSweep(b, 1, false, 0) }
+func BenchmarkSweep48JMax(b *testing.B)         { benchmarkSweep(b, runtime.NumCPU(), false, 0) }
+func BenchmarkSweep48JMaxMetrics(b *testing.B)  { benchmarkSweep(b, runtime.NumCPU(), true, 0) }
+func BenchmarkSweep48JMaxSampling(b *testing.B) { benchmarkSweep(b, runtime.NumCPU(), true, 20_000) }
 
 func BenchmarkTable1(b *testing.B)    { runExperiment(b, "table1") }
 func BenchmarkTable2(b *testing.B)    { runExperiment(b, "table2") }

@@ -26,6 +26,10 @@
 //	                  histograms with the CPMU-style breakdown)
 //	-trace FILE       write Chrome trace-event JSON (experiment phases +
 //	                  worker occupancy); open in https://ui.perfetto.dev
+//	-sample-every N   sample CPU counters + CXL CPMU state every N
+//	                  simulated cycles per cell; the streams land in the
+//	                  -metrics manifest (timeseries) and as Perfetto
+//	                  counter tracks in the -trace output
 //	-pprof ADDR       serve net/http/pprof on ADDR (e.g. localhost:6060)
 package main
 
@@ -99,6 +103,7 @@ func runCmd(args []string) {
 	outDir := fs.String("out", "", "also write each report to <dir>/<id>.txt")
 	metricsPath := fs.String("metrics", "", "write the run-manifest/metrics JSON to <file>")
 	tracePath := fs.String("trace", "", "write Chrome trace-event JSON (Perfetto) to <file>")
+	sampleEvery := fs.Uint64("sample-every", 0, "sample counters + CPMU state every N simulated cycles (0 = off)")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on <addr> (e.g. localhost:6060)")
 
 	ids, err := parseRunArgs(fs, args)
@@ -126,11 +131,12 @@ func runCmd(args []string) {
 	}
 
 	eng := melody.NewEngine(melody.Options{
-		MaxWorkloads: *workloads,
-		Instructions: *instructions,
-		Warmup:       *warmup,
-		DurationNs:   *duration,
-		Seed:         *seed,
+		MaxWorkloads:      *workloads,
+		Instructions:      *instructions,
+		Warmup:            *warmup,
+		DurationNs:        *duration,
+		SampleEveryCycles: *sampleEvery,
+		Seed:              *seed,
 	})
 	eng.Workers = *jobs
 

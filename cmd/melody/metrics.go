@@ -31,7 +31,10 @@ type manifest struct {
 	Workloads   int                 `json:"workloads"`
 	Experiments []experimentTiming  `json:"experiments"`
 	Cells       []melody.CellTiming `json:"cells"`
-	Registry    obs.Snapshot        `json:"registry"`
+	// Timeseries holds the per-cell sampled streams when -sample-every
+	// was set (sorted by workload then config).
+	Timeseries []melody.SampledSeries `json:"timeseries"`
+	Registry   obs.Snapshot           `json:"registry"`
 }
 
 // buildManifest assembles the manifest from a finished run.
@@ -47,6 +50,7 @@ func buildManifest(seed uint64, workers, workloads int, exps []experimentTiming,
 		Workloads:   workloads,
 		Experiments: exps,
 		Cells:       tel.Cells(),
+		Timeseries:  tel.SampledSeries(),
 		Registry:    tel.Registry.Snapshot(),
 	}
 	if m.Experiments == nil {
@@ -54,6 +58,9 @@ func buildManifest(seed uint64, workers, workloads int, exps []experimentTiming,
 	}
 	if m.Cells == nil {
 		m.Cells = []melody.CellTiming{}
+	}
+	if m.Timeseries == nil {
+		m.Timeseries = []melody.SampledSeries{}
 	}
 	if bi, ok := debug.ReadBuildInfo(); ok {
 		m.Module = bi.Main.Path

@@ -18,6 +18,7 @@ func runSmallObserved(t *testing.T) *melody.Telemetry {
 	tel.Trace = obs.NewTrace()
 	eng := melody.NewEngine(melody.Options{
 		MaxWorkloads: 6, Instructions: 150_000, Warmup: 40_000, Seed: 1,
+		SampleEveryCycles: 50_000,
 	})
 	eng.Workers = 2
 	eng.Obs = tel
@@ -45,7 +46,7 @@ func TestWriteMetricsManifest(t *testing.T) {
 		t.Fatalf("metrics JSON does not parse: %v", err)
 	}
 	for _, key := range []string{"tool", "go_version", "os", "arch", "num_cpu",
-		"seed", "workers", "workloads", "experiments", "cells", "registry"} {
+		"seed", "workers", "workloads", "experiments", "cells", "timeseries", "registry"} {
 		if _, ok := parsed[key]; !ok {
 			t.Fatalf("manifest missing %q:\n%s", key, raw)
 		}
@@ -61,6 +62,15 @@ func TestWriteMetricsManifest(t *testing.T) {
 	counters := reg["counters"].(map[string]any)
 	if counters["runner/cells_run"].(float64) != float64(len(cells)) {
 		t.Fatalf("cells_run %v != %d cells", counters["runner/cells_run"], len(cells))
+	}
+	// The sampled run exports its time series.
+	series := parsed["timeseries"].([]any)
+	if len(series) == 0 {
+		t.Fatal("sampled run exported no timeseries")
+	}
+	first := series[0].(map[string]any)
+	if first["workload"] == "" || len(first["samples"].([]any)) == 0 {
+		t.Fatalf("malformed timeseries entry: %v", first)
 	}
 }
 
@@ -79,11 +89,12 @@ func TestWriteMetricsEmptyRun(t *testing.T) {
 	var parsed struct {
 		Experiments []any `json:"experiments"`
 		Cells       []any `json:"cells"`
+		Timeseries  []any `json:"timeseries"`
 	}
 	if err := json.Unmarshal(raw, &parsed); err != nil {
 		t.Fatal(err)
 	}
-	if parsed.Experiments == nil || parsed.Cells == nil {
+	if parsed.Experiments == nil || parsed.Cells == nil || parsed.Timeseries == nil {
 		t.Fatalf("empty manifest uses null instead of []:\n%s", raw)
 	}
 }
@@ -100,10 +111,11 @@ func TestWriteTraceIsValidChromeTrace(t *testing.T) {
 	}
 	var f struct {
 		TraceEvents []struct {
-			Name string `json:"name"`
-			Ph   string `json:"ph"`
-			Pid  *int   `json:"pid"`
-			Tid  *int   `json:"tid"`
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  *int           `json:"pid"`
+			Tid  *int           `json:"tid"`
+			Args map[string]any `json:"args"`
 		} `json:"traceEvents"`
 	}
 	if err := json.Unmarshal(raw, &f); err != nil {
@@ -112,14 +124,23 @@ func TestWriteTraceIsValidChromeTrace(t *testing.T) {
 	if len(f.TraceEvents) == 0 {
 		t.Fatal("trace has no events")
 	}
+	sawCounter := false
 	for i, e := range f.TraceEvents {
 		if e.Name == "" || e.Pid == nil || e.Tid == nil {
 			t.Fatalf("event %d malformed", i)
 		}
 		switch e.Ph {
 		case "X", "i", "M":
+		case "C":
+			sawCounter = true
+			if _, ok := e.Args["value"].(float64); !ok {
+				t.Fatalf("counter event %d (%s) has no numeric value", i, e.Name)
+			}
 		default:
 			t.Fatalf("event %d has phase %q", i, e.Ph)
 		}
+	}
+	if !sawCounter {
+		t.Fatal("sampled run emitted no counter-track events")
 	}
 }

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"github.com/moatlab/melody/internal/cxl"
@@ -37,20 +38,26 @@ func buildDevice(name string, seed uint64) (mem.Device, bool) {
 	return nil, false
 }
 
-func main() {
-	device := flag.String("device", "CXL-B", "device: Local, NUMA, CXL-A..CXL-D")
-	threads := flag.Int("threads", 1, "co-located pointer-chase threads")
-	noise := flag.String("noise", "", "background noise: read or rw")
-	noiseThreads := flag.Int("noisethreads", 4, "noise threads")
-	prefetch := flag.Bool("prefetch", false, "strided chase with prefetching (Figure 6 mode)")
-	duration := flag.Float64("duration", 400_000, "measurement duration (simulated ns)")
-	seed := flag.Uint64("seed", 1, "simulation seed")
-	flag.Parse()
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mio", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	device := fs.String("device", "CXL-B", "device: Local, NUMA, CXL-A..CXL-D")
+	threads := fs.Int("threads", 1, "co-located pointer-chase threads")
+	noise := fs.String("noise", "", "background noise: read or rw")
+	noiseThreads := fs.Int("noisethreads", 4, "noise threads")
+	prefetch := fs.Bool("prefetch", false, "strided chase with prefetching (Figure 6 mode)")
+	duration := fs.Float64("duration", 400_000, "measurement duration (simulated ns)")
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	dev, ok := buildDevice(*device, *seed)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "mio: unknown device %q\n", *device)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "mio: unknown device %q\n", *device)
+		return 1
 	}
 
 	if *prefetch {
@@ -58,8 +65,8 @@ func main() {
 		cfg.Chasers = *threads
 		cfg.Seed = *seed
 		res := mio.RunPrefetched(dev, cfg)
-		fmt.Printf("%s (prefetched, %d chasers): %s\n", *device, *threads, res.Summary)
-		return
+		fmt.Fprintf(stdout, "%s (prefetched, %d chasers): %s\n", *device, *threads, res.Summary)
+		return 0
 	}
 
 	cfg := mio.DefaultConfig()
@@ -77,10 +84,11 @@ func main() {
 		cfg.NoiseDelayNs = 200
 	case "":
 	default:
-		fmt.Fprintf(os.Stderr, "mio: unknown noise %q\n", *noise)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "mio: unknown noise %q\n", *noise)
+		return 2
 	}
 	res := mio.Run(dev, cfg)
-	fmt.Printf("%s (%d chasers, noise=%q): %s\n", *device, *threads, *noise, res.Summary)
-	fmt.Printf("p99.9-p50 gap: %.0f ns, bandwidth %.1f GB/s\n", res.TailGap(), res.BandwidthGBs)
+	fmt.Fprintf(stdout, "%s (%d chasers, noise=%q): %s\n", *device, *threads, *noise, res.Summary)
+	fmt.Fprintf(stdout, "p99.9-p50 gap: %.0f ns, bandwidth %.1f GB/s\n", res.TailGap(), res.BandwidthGBs)
+	return 0
 }

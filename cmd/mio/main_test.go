@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunBadInputs(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-nope"}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown flag: exit %d, want 2", code)
+	}
+	if code := run([]string{"-device", "bogus"}, &out, &errOut); code != 1 {
+		t.Fatalf("unknown device: exit %d, want 1", code)
+	}
+	if code := run([]string{"-noise", "scream"}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown noise: exit %d, want 2", code)
+	}
+}
+
+func TestBuildDeviceNames(t *testing.T) {
+	for _, name := range []string{"Local", "NUMA", "CXL-A", "CXL-B", "CXL-C", "CXL-D"} {
+		if _, ok := buildDevice(name, 1); !ok {
+			t.Fatalf("device %q not recognized", name)
+		}
+	}
+	if _, ok := buildDevice("DDR9", 1); ok {
+		t.Fatal("bogus device accepted")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-device", "CXL-B", "-duration", "20000"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "p99.9-p50 gap") {
+		t.Fatalf("output missing tail-gap line:\n%s", out.String())
+	}
+}
+
+func TestRunNoiseAndPrefetchEndToEnd(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-device", "CXL-A", "-duration", "20000", "-noise", "rw"}, &out, &errOut); code != 0 {
+		t.Fatalf("noise run: exit %d, stderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), `noise="rw"`) {
+		t.Fatalf("noise run output:\n%s", out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-device", "CXL-B", "-prefetch"}, &out, &errOut); code != 0 {
+		t.Fatalf("prefetch run: exit %d, stderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "prefetched") {
+		t.Fatalf("prefetch run output:\n%s", out.String())
+	}
+}

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"github.com/moatlab/melody/internal/cxl"
@@ -37,15 +38,21 @@ func buildDevice(name string, seed uint64) (mem.Device, float64, bool) {
 	return nil, 0, false
 }
 
-func main() {
-	device := flag.String("device", "Local", "device: Local, NUMA, CXL-A..CXL-D")
-	duration := flag.Float64("duration", 200_000, "measurement duration (simulated ns)")
-	seed := flag.Uint64("seed", 1, "simulation seed")
-	flag.Parse()
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mlc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	device := fs.String("device", "Local", "device: Local, NUMA, CXL-A..CXL-D")
+	duration := fs.Float64("duration", 200_000, "measurement duration (simulated ns)")
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	mode := "matrix"
-	if flag.NArg() > 0 {
-		mode = flag.Arg(0)
+	if fs.NArg() > 0 {
+		mode = fs.Arg(0)
 	}
 
 	cfg := mlc.DefaultConfig()
@@ -54,29 +61,30 @@ func main() {
 
 	dev, overhead, ok := buildDevice(*device, *seed)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "mlc: unknown device %q\n", *device)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "mlc: unknown device %q\n", *device)
+		return 1
 	}
 
 	switch mode {
 	case "idle":
-		fmt.Printf("%s idle latency: %.0f ns\n", *device, overhead+mlc.IdleLatency(dev, cfg))
+		fmt.Fprintf(stdout, "%s idle latency: %.0f ns\n", *device, overhead+mlc.IdleLatency(dev, cfg))
 	case "bandwidth":
-		fmt.Printf("%s read bandwidth: %.1f GB/s\n", *device, mlc.Bandwidth(dev, 1.0, cfg))
+		fmt.Fprintf(stdout, "%s read bandwidth: %.1f GB/s\n", *device, mlc.Bandwidth(dev, 1.0, cfg))
 	case "loaded":
-		fmt.Printf("%s loaded latency (read-only):\n", *device)
+		fmt.Fprintf(stdout, "%s loaded latency (read-only):\n", *device)
 		for _, p := range mlc.LoadedLatency(dev, 1.0, mlc.StandardDelays(), cfg) {
-			fmt.Printf("  delay %6.0f ns: %7.1f GB/s  avg %7.0f ns\n",
+			fmt.Fprintf(stdout, "  delay %6.0f ns: %7.1f GB/s  avg %7.0f ns\n",
 				p.InjectDelayNs, p.BandwidthGBs, p.AvgLatencyNs+overhead)
 		}
 	case "matrix":
-		fmt.Printf("%s:\n", *device)
-		fmt.Printf("  idle latency  %8.0f ns\n", overhead+mlc.IdleLatency(dev, cfg))
+		fmt.Fprintf(stdout, "%s:\n", *device)
+		fmt.Fprintf(stdout, "  idle latency  %8.0f ns\n", overhead+mlc.IdleLatency(dev, cfg))
 		for _, ratio := range mlc.RWRatios() {
-			fmt.Printf("  bandwidth R:W %-4s %7.1f GB/s\n", ratio.Name, mlc.Bandwidth(dev, ratio.ReadFrac, cfg))
+			fmt.Fprintf(stdout, "  bandwidth R:W %-4s %7.1f GB/s\n", ratio.Name, mlc.Bandwidth(dev, ratio.ReadFrac, cfg))
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "mlc: unknown mode %q (idle|bandwidth|loaded|matrix)\n", mode)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "mlc: unknown mode %q (idle|bandwidth|loaded|matrix)\n", mode)
+		return 2
 	}
+	return 0
 }

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunBadInputs(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-nope"}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown flag: exit %d, want 2", code)
+	}
+	if code := run([]string{"-device", "bogus"}, &out, &errOut); code != 1 {
+		t.Fatalf("unknown device: exit %d, want 1", code)
+	}
+	if code := run([]string{"-duration", "20000", "warp"}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown mode: exit %d, want 2", code)
+	}
+}
+
+func TestBuildDeviceNames(t *testing.T) {
+	for _, name := range []string{"Local", "NUMA", "CXL-A", "CXL-B", "CXL-C", "CXL-D"} {
+		if _, _, ok := buildDevice(name, 1); !ok {
+			t.Fatalf("device %q not recognized", name)
+		}
+	}
+	if _, _, ok := buildDevice("DDR9", 1); ok {
+		t.Fatal("bogus device accepted")
+	}
+}
+
+func TestRunModesEndToEnd(t *testing.T) {
+	cases := []struct {
+		mode string
+		want string
+	}{
+		{"idle", "idle latency"},
+		{"bandwidth", "read bandwidth"},
+		{"loaded", "loaded latency"},
+		{"matrix", "bandwidth R:W"},
+	}
+	for _, c := range cases {
+		t.Run(c.mode, func(t *testing.T) {
+			var out, errOut bytes.Buffer
+			code := run([]string{"-device", "CXL-B", "-duration", "20000", c.mode}, &out, &errOut)
+			if code != 0 {
+				t.Fatalf("exit %d, stderr:\n%s", code, errOut.String())
+			}
+			if !strings.Contains(out.String(), c.want) {
+				t.Fatalf("output missing %q:\n%s", c.want, out.String())
+			}
+		})
+	}
+}

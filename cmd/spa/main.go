@@ -6,88 +6,148 @@
 //
 //	spa -workload 605.mcf_s [-config CXL-A] [-platform EMR2S]
 //	    [-instructions N] [-periods N]
+//	spa -workload 605.mcf_s -explain [-sample-every N] [-csv FILE]
 //	spa -list
+//
+// -explain drives the period analysis from the cycle-sampled streams
+// (the "simulated perf" layer) instead of the coarse runner samples and
+// prints a phase-resolved narrative: contiguous periods that share a
+// dominant stall source are merged into phases, and each phase's added
+// stalls are attributed to the CXL device's CPMU time split. -csv
+// additionally exports the target run's sampled stream as CSV.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"github.com/moatlab/melody/internal/cxl"
 	"github.com/moatlab/melody/internal/melody"
+	"github.com/moatlab/melody/internal/obs/sampler"
 	"github.com/moatlab/melody/internal/platform"
 	"github.com/moatlab/melody/internal/spa"
 	"github.com/moatlab/melody/internal/workload"
 )
 
-func main() {
-	name := flag.String("workload", "", "catalog workload name")
-	config := flag.String("config", "CXL-A", "target config: NUMA, CXL-A..CXL-D, CXL-A+NUMA")
-	plat := flag.String("platform", "EMR2S", "host platform")
-	instructions := flag.Uint64("instructions", 1_200_000, "measurement window")
-	periods := flag.Int("periods", 10, "instruction periods for the time series")
-	list := flag.Bool("list", false, "list catalog workloads")
-	flag.Parse()
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// parseConfig resolves a -config value against a platform: NUMA, a CXL
+// profile name, or "<profile>+NUMA" for the interleaved placement.
+func parseConfig(p platform.Platform, config string) (melody.MemConfig, bool) {
+	if config == "NUMA" {
+		return melody.NUMA(p), true
+	}
+	if prof, ok := cxl.ProfileByName(config); ok {
+		return melody.CXL(p, prof), true
+	}
+	if len(config) > 5 && config[len(config)-5:] == "+NUMA" {
+		if prof, ok := cxl.ProfileByName(config[:len(config)-5]); ok {
+			return melody.CXLNUMA(p, prof), true
+		}
+	}
+	return melody.MemConfig{}, false
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("spa", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	name := fs.String("workload", "", "catalog workload name")
+	config := fs.String("config", "CXL-A", "target config: NUMA, CXL-A..CXL-D, CXL-A+NUMA")
+	plat := fs.String("platform", "EMR2S", "host platform")
+	instructions := fs.Uint64("instructions", 1_200_000, "measurement window")
+	periods := fs.Int("periods", 10, "instruction periods for the time series")
+	explain := fs.Bool("explain", false, "emit the phase-resolved narrative from cycle-sampled streams")
+	sampleEvery := fs.Uint64("sample-every", 0, "sampling cadence in simulated cycles (0 = auto with -explain)")
+	csvPath := fs.String("csv", "", "write the target run's sampled stream as CSV to <file>")
+	list := fs.Bool("list", false, "list catalog workloads")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	melody.RegisterWorkloads()
 	if *list {
 		for _, s := range workload.Catalog() {
-			fmt.Printf("  %-28s %-14s %s\n", s.Name, s.Suite, s.Class)
+			fmt.Fprintf(stdout, "  %-28s %-14s %s\n", s.Name, s.Suite, s.Class)
 		}
-		return
+		return 0
 	}
 	spec, ok := workload.ByName(*name)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "spa: unknown workload %q (use -list)\n", *name)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "spa: unknown workload %q (use -list)\n", *name)
+		return 1
 	}
 	p, ok := platform.PlatformByName(*plat)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "spa: unknown platform %q\n", *plat)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "spa: unknown platform %q\n", *plat)
+		return 1
+	}
+	target, ok := parseConfig(p, *config)
+	if !ok {
+		fmt.Fprintf(stderr, "spa: unknown config %q\n", *config)
+		return 1
 	}
 
-	var target melody.MemConfig
-	switch *config {
-	case "NUMA":
-		target = melody.NUMA(p)
-	default:
-		if prof, okc := cxl.ProfileByName(*config); okc {
-			target = melody.CXL(p, prof)
-		} else if len(*config) > 5 && (*config)[len(*config)-5:] == "+NUMA" {
-			if prof, okc := cxl.ProfileByName((*config)[:len(*config)-5]); okc {
-				target = melody.CXLNUMA(p, prof)
-			}
-		}
-	}
-	if target.Build == nil {
-		fmt.Fprintf(os.Stderr, "spa: unknown config %q\n", *config)
-		os.Exit(1)
+	// -explain and -csv need the cycle-sampled streams; default to a
+	// cadence fine enough for ~dozens of samples per period.
+	every := *sampleEvery
+	if every == 0 && (*explain || *csvPath != "") {
+		every = 4096
 	}
 
-	run := melody.NewRunner(p)
-	run.Instructions = *instructions
-	run.SampleIntervalNs = 2_000
+	runner := melody.NewRunner(p)
+	runner.Instructions = *instructions
+	runner.SampleIntervalNs = 2_000
+	runner.SampleEveryCycles = every
 
-	base := run.Run(spec, melody.Local(p))
-	tgt := run.Run(spec, target)
+	base := runner.Run(spec, melody.Local(p))
+	tgt := runner.Run(spec, target)
 	b := spa.Analyze(base.Delta, tgt.Delta)
 
-	fmt.Printf("%s on %s vs local DRAM (%s):\n", spec.Name, target.Name, p.CPU.Name)
-	fmt.Printf("  actual slowdown     %7.1f%%\n", b.Actual*100)
-	fmt.Printf("  ds estimate         %7.1f%%   backend %7.1f%%   memory %7.1f%%\n",
+	fmt.Fprintf(stdout, "%s on %s vs local DRAM (%s):\n", spec.Name, target.Name, p.CPU.Name)
+	fmt.Fprintf(stdout, "  actual slowdown     %7.1f%%\n", b.Actual*100)
+	fmt.Fprintf(stdout, "  ds estimate         %7.1f%%   backend %7.1f%%   memory %7.1f%%\n",
 		b.EstTotal*100, b.EstBackend*100, b.EstMemory*100)
-	fmt.Printf("  breakdown: DRAM %6.1f%%  L3 %5.1f%%  L2 %5.1f%%  L1 %5.1f%%  store %5.1f%%  core %5.1f%%  other %5.1f%%\n",
+	fmt.Fprintf(stdout, "  breakdown: DRAM %6.1f%%  L3 %5.1f%%  L2 %5.1f%%  L1 %5.1f%%  store %5.1f%%  core %5.1f%%  other %5.1f%%\n",
 		b.DRAM*100, b.L3*100, b.L2*100, b.L1*100, b.Store*100, b.Core*100, b.Other*100)
 
 	if *periods > 0 {
 		per := *instructions / uint64(*periods)
 		series := spa.AnalyzePeriods(base.Samples, tgt.Samples, per)
-		fmt.Printf("period-based breakdown (%d instructions per period):\n", per)
+		fmt.Fprintf(stdout, "period-based breakdown (%d instructions per period):\n", per)
 		for _, pb := range series {
-			fmt.Printf("  @%10d  total %6.1f%%  DRAM %6.1f%%  cache %6.1f%%  store %6.1f%%\n",
+			fmt.Fprintf(stdout, "  @%10d  total %6.1f%%  DRAM %6.1f%%  cache %6.1f%%  store %6.1f%%\n",
 				pb.StartInstr, pb.Actual*100, pb.DRAM*100, (pb.L1+pb.L2+pb.L3)*100, pb.Store*100)
 		}
 	}
+
+	if *explain {
+		per := *instructions / uint64(max(*periods, 1))
+		periods := spa.AnalyzePeriods(
+			sampler.CoreSamplesOf(base.Sampled),
+			sampler.CoreSamplesOf(tgt.Sampled), per)
+		rep := spa.NewReport(periods, per)
+		rep.AttributeDevice(tgt.Sampled)
+		fmt.Fprintf(stdout, "phase-resolved narrative (sampled every %d cycles):\n", every)
+		rep.Narrative(stdout)
+	}
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "spa: csv:", err)
+			return 1
+		}
+		if err := sampler.WriteCSV(f, tgt.Sampled); err != nil {
+			f.Close()
+			fmt.Fprintln(stderr, "spa: csv:", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(stderr, "spa: csv:", err)
+			return 1
+		}
+	}
+	return 0
 }

@@ -44,9 +44,26 @@ type Config struct {
 	// samples every 1 ms for period-based Spa analysis).
 	SampleIntervalNs float64
 
+	// Sampler, together with SampleEveryCycles, enables deterministic
+	// cycle-based sampling: the hook receives a counter snapshot every
+	// SampleEveryCycles simulated cycles, derived purely from the sim
+	// clock (never wall time), so sampled streams are bit-identical
+	// across runs and worker schedules. Sampling is observation-only:
+	// the hook cannot change machine state, and the detached path
+	// (Sampler nil) costs one branch and zero allocations per retire.
+	Sampler           Sampler
+	SampleEveryCycles uint64
+
 	// L2PFMaxInflight is the L2 streamer's in-flight budget (issue
 	// slots). 0 selects the default.
 	L2PFMaxInflight int
+}
+
+// Sampler receives periodic counter snapshots from the machine loop.
+// Implementations must treat the snapshot as read-only truth about the
+// machine at timeNs; they are called on the simulation goroutine.
+type Sampler interface {
+	Sample(timeNs float64, c counters.Snapshot)
 }
 
 // Sample is one time-based counter reading.
@@ -96,6 +113,10 @@ type Machine struct {
 	samples      []Sample
 	nextSampleNs float64
 
+	hook       Sampler
+	hookStepNs float64
+	nextHookNs float64
+
 	regions   []RegionStat
 	preloaded uint64
 }
@@ -130,6 +151,11 @@ func New(cfg Config) *Machine {
 	m.robRing = make([]float64, cpu.ROB)
 	if cfg.SampleIntervalNs > 0 {
 		m.nextSampleNs = cfg.SampleIntervalNs
+	}
+	if cfg.Sampler != nil && cfg.SampleEveryCycles > 0 {
+		m.hook = cfg.Sampler
+		m.hookStepNs = float64(cfg.SampleEveryCycles) * m.nsPerCycle
+		m.nextHookNs = m.hookStepNs
 	}
 	return m
 }
@@ -170,14 +196,23 @@ func (m *Machine) Samples() []Sample { return m.samples }
 // cycles converts a ns duration to cycles.
 func (m *Machine) cycles(ns float64) float64 { return ns / m.nsPerCycle }
 
-// maybeSample records counter snapshots at the configured cadence.
+// maybeSample records counter snapshots at the configured cadences:
+// the time-based series (SampleIntervalNs) and the cycle-based hook
+// (Sampler + SampleEveryCycles). Both cadences derive from the sim
+// clock, so sampling is deterministic; with neither configured this is
+// two predictable branches and no work.
 func (m *Machine) maybeSample() {
-	if m.nextSampleNs == 0 {
-		return
+	if m.nextSampleNs != 0 {
+		for m.retireNs >= m.nextSampleNs {
+			m.samples = append(m.samples, Sample{TimeNs: m.nextSampleNs, Counters: m.Counters()})
+			m.nextSampleNs += m.cfg.SampleIntervalNs
+		}
 	}
-	for m.retireNs >= m.nextSampleNs {
-		m.samples = append(m.samples, Sample{TimeNs: m.nextSampleNs, Counters: m.Counters()})
-		m.nextSampleNs += m.cfg.SampleIntervalNs
+	if m.hook != nil {
+		for m.retireNs >= m.nextHookNs {
+			m.hook.Sample(m.nextHookNs, m.Counters())
+			m.nextHookNs += m.hookStepNs
+		}
 	}
 }
 

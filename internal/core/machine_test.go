@@ -409,3 +409,88 @@ func TestPreloadRespectsCapacity(t *testing.T) {
 		t.Fatalf("preloaded %d lines, beyond the 85%% cap", m.preloaded)
 	}
 }
+
+// recordingSampler collects every hook invocation.
+type recordingSampler struct {
+	times []float64
+	ctrs  []counters.Snapshot
+}
+
+func (s *recordingSampler) Sample(timeNs float64, c counters.Snapshot) {
+	s.times = append(s.times, timeNs)
+	s.ctrs = append(s.ctrs, c)
+}
+
+func TestCycleSamplerHookCadence(t *testing.T) {
+	const every = 5000
+	rec := &recordingSampler{}
+	m := New(Config{CPU: testCPU(), Device: &fixedDev{lat: 200},
+		Sampler: rec, SampleEveryCycles: every})
+	r := sim.NewRand(7)
+	for i := 0; i < 20000; i++ {
+		m.Load(r.Uint64n((1<<30)/mem.LineSize)*mem.LineSize, true)
+	}
+	if len(rec.times) < 10 {
+		t.Fatalf("only %d hook samples", len(rec.times))
+	}
+	// Hook timestamps sit exactly on the cycle grid: k * every cycles.
+	step := every / testCPU().FreqGHz // ns per sampling period
+	for i, ts := range rec.times {
+		want := float64(i+1) * step
+		if diff := ts - want; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("sample %d at %v ns, want %v", i, ts, want)
+		}
+	}
+	for i := 1; i < len(rec.ctrs); i++ {
+		if rec.ctrs[i][counters.Cycles] < rec.ctrs[i-1][counters.Cycles] {
+			t.Fatal("hook counters not monotone")
+		}
+	}
+}
+
+// TestCycleSamplerObservationOnly pins the invariant the whole sampling
+// subsystem rests on: attaching a Sampler changes nothing about the run.
+func TestCycleSamplerObservationOnly(t *testing.T) {
+	run := func(hook Sampler) counters.Snapshot {
+		cfg := Config{CPU: testCPU(), Device: &fixedDev{lat: 200}}
+		if hook != nil {
+			cfg.Sampler = hook
+			cfg.SampleEveryCycles = 2000
+		}
+		m := New(cfg)
+		r := sim.NewRand(3)
+		for i := 0; i < 15000; i++ {
+			switch i % 3 {
+			case 0:
+				m.Load(r.Uint64n((1<<30)/mem.LineSize)*mem.LineSize, i%6 == 0)
+			case 1:
+				m.Store(r.Uint64n(1<<20) * mem.LineSize)
+			case 2:
+				m.Compute(5)
+			}
+		}
+		return m.Counters()
+	}
+	plain, sampled := run(nil), run(&recordingSampler{})
+	if plain != sampled {
+		t.Fatalf("sampler perturbed the run:\nwithout: %v\nwith:    %v", plain, sampled)
+	}
+}
+
+// TestDetachedSamplerZeroAlloc asserts the no-sampler hot path allocates
+// nothing per access — the "zero overhead when detached" contract.
+func TestDetachedSamplerZeroAlloc(t *testing.T) {
+	m := newMachine(100)
+	// Warm the L1 so steady-state loads stay on the fast path.
+	for i := 0; i < 1024; i++ {
+		m.Load(uint64(i%128)*mem.LineSize, false)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(2000, func() {
+		m.Load(uint64(i%128)*mem.LineSize, false)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("detached load path allocates %.1f bytes-objects per op", allocs)
+	}
+}

@@ -86,6 +86,15 @@ type Device struct {
 	stats mem.DeviceStats
 	pmu   CPMU
 	obs   mem.Observer
+
+	// State-probe tracking (EnableStateProbe): in-flight completion
+	// times plus read/write byte accumulators since the last probe.
+	// All of it is pure observation — Access timing never reads it.
+	probe           bool
+	inflight        sim.TimeHeap
+	probeWinStartNs float64
+	probeReadBytes  float64
+	probeWriteBytes float64
 }
 
 var (
@@ -124,6 +133,8 @@ func (d *Device) Reset() {
 	d.throttleAt = 0
 	d.stats = mem.DeviceStats{}
 	d.pmu.reset()
+	d.inflight = sim.TimeHeap{}
+	d.probeWinStartNs, d.probeReadBytes, d.probeWriteBytes = 0, 0, 0
 }
 
 // PMU exposes the device's CXL 3.0-style performance monitoring unit.
@@ -235,6 +246,17 @@ func (d *Device) Access(now float64, addr uint64, kind mem.Kind) float64 {
 		mediaNs, linkRspNs = done-t, completion-done
 	}
 	d.pmu.record(tArrive-now, t-tArrive, mediaNs, linkRspNs, hiccuped, throttled)
+	if d.probe {
+		for d.inflight.Len() > 0 && d.inflight.Min() <= now {
+			d.inflight.PopMin()
+		}
+		d.inflight.Push(completion)
+		if isWrite {
+			d.probeWriteBytes += mem.LineSize
+		} else {
+			d.probeReadBytes += mem.LineSize
+		}
+	}
 	if d.obs != nil {
 		d.obs.ObserveAccess(mem.AccessObservation{
 			Kind: kind, Start: now, Done: completion,

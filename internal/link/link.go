@@ -177,3 +177,17 @@ func (l *Link) Send(now float64, dir Direction, bytes float64) float64 {
 func (l *Link) BusyUntil(dir Direction) float64 {
 	return l.busy[int(dir)]
 }
+
+// CreditsInFlight counts flow-control credits consumed but not yet
+// returned in dir at time now — the back-pressure state a CPMU-style
+// probe exposes. 0 when flow control is disabled. Pure observation: it
+// never mutates link state.
+func (l *Link) CreditsInFlight(dir Direction, now float64) int {
+	n := 0
+	for _, t := range l.credits[int(dir)] {
+		if t > now {
+			n++
+		}
+	}
+	return n
+}

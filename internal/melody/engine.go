@@ -93,6 +93,7 @@ func (g *Engine) newRunner(p platform.Platform) *Runner {
 	if o.Warmup > 0 {
 		r.Warmup = o.Warmup
 	}
+	r.SampleEveryCycles = o.SampleEveryCycles
 	return r
 }
 

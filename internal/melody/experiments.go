@@ -54,7 +54,10 @@ type Options struct {
 	Warmup       uint64
 	// DurationNs scales device-level measurements (0 = default).
 	DurationNs float64
-	Seed       uint64
+	// SampleEveryCycles enables cycle-driven sampling on every runner
+	// the engine creates (0 = off).
+	SampleEveryCycles uint64
+	Seed              uint64
 }
 
 // DefaultOptions returns a configuration suitable for interactive use:

@@ -20,6 +20,7 @@ import (
 	"github.com/moatlab/melody/internal/cxl"
 	"github.com/moatlab/melody/internal/mem"
 	"github.com/moatlab/melody/internal/obs"
+	"github.com/moatlab/melody/internal/obs/sampler"
 	"github.com/moatlab/melody/internal/platform"
 	"github.com/moatlab/melody/internal/workload"
 )
@@ -111,6 +112,9 @@ type Result struct {
 	Delta counters.Snapshot
 	// Samples covers the whole run (time-based, for period analysis).
 	Samples []core.Sample
+	// Sampled is the cycle-driven "simulated perf" stream (counter
+	// snapshots plus device CPMU state) when SampleEveryCycles is set.
+	Sampled []sampler.Sample
 	// Regions holds per-object attribution when requested.
 	Regions []core.RegionStat
 }
@@ -134,6 +138,14 @@ type Runner struct {
 
 	// SampleIntervalNs enables time sampling (period analysis).
 	SampleIntervalNs float64
+
+	// SampleEveryCycles enables the cycle-driven sampling layer: every
+	// cell gets its own obs/sampler collecting counter snapshots (and,
+	// on CXL devices, CPMU state probes) every N simulated cycles.
+	// Sampling is observation-only — Delta is byte-identical with it on
+	// or off — but it is part of the cache identity, since Results
+	// carry the sampled stream.
+	SampleEveryCycles uint64
 
 	// PrefetchersOff disables HW prefetching (ablations).
 	PrefetchersOff bool
@@ -171,9 +183,9 @@ func (r *Runner) workers() int {
 }
 
 func (r *Runner) key(spec workload.Spec, mc MemConfig) string {
-	return fmt.Sprintf("%s|%s|%s|%d|%d|%g|%v|%d",
+	return fmt.Sprintf("%s|%s|%s|%d|%d|%g|%d|%v|%d",
 		spec.Name, mc.Name, r.Platform.CPU.Name, r.Instructions, r.Warmup,
-		r.SampleIntervalNs, r.PrefetchersOff, r.Seed)
+		r.SampleIntervalNs, r.SampleEveryCycles, r.PrefetchersOff, r.Seed)
 }
 
 // splitmix64 is the finalizer the per-cell seed derivation uses (the
@@ -326,6 +338,16 @@ func (r *Runner) runOnce(req RunRequest) Result {
 	stream := deriveSeed(spec.Name, "", r.Seed)
 	dev := r.buildDevice(mc, cell)
 
+	// Cycle-driven sampling attaches its device probe to the raw device
+	// — before any observation wrapper — so CPMU state reads the
+	// expander itself. Configs whose device is not a bare CXL expander
+	// (Local, NUMA, topology wrappers) sample CPU counters only.
+	var smp *sampler.Sampler
+	if r.SampleEveryCycles > 0 {
+		prober, _ := dev.(cxl.StateProber)
+		smp = sampler.New(prober)
+	}
+
 	// Telemetry: observe the device path and time the cell. The observer
 	// sees completed accesses only — it cannot change their timing — so
 	// the measured Result is identical with telemetry on or off.
@@ -346,13 +368,18 @@ func (r *Runner) runOnce(req RunRequest) Result {
 		instr = spec.Instructions
 	}
 	w := spec.Build(stream)
-	m := core.New(core.Config{
+	cfg := core.Config{
 		CPU:              r.Platform.CPU,
 		Device:           machineDev,
 		PrefetchersOff:   r.PrefetchersOff,
 		MaxInstructions:  r.Warmup,
 		SampleIntervalNs: r.SampleIntervalNs,
-	})
+	}
+	if smp != nil {
+		cfg.Sampler = smp
+		cfg.SampleEveryCycles = r.SampleEveryCycles
+	}
+	m := core.New(cfg)
 	if syn, ok := w.(*workload.Synthetic); ok {
 		m.SetRegions(syn.Arena().Objects())
 	}
@@ -367,14 +394,21 @@ func (r *Runner) runOnce(req RunRequest) Result {
 	w.Run(m)
 	after := m.Counters()
 
+	var sampled []sampler.Sample
+	if smp != nil {
+		sampled = smp.Samples()
+	}
+
 	if r.Obs != nil {
-		r.Obs.cellDone(CellTiming{
+		ct := CellTiming{
 			Workload: spec.Name,
 			Config:   mc.Name,
 			Platform: r.Platform.CPU.Name,
 			Seed:     cell,
 			WallMs:   float64(time.Since(wallStart)) / float64(time.Millisecond),
-		}, devObs)
+		}
+		r.Obs.cellDone(ct, devObs)
+		r.Obs.cellSampled(ct, sampled, wallStart)
 	}
 
 	return Result{
@@ -382,6 +416,7 @@ func (r *Runner) runOnce(req RunRequest) Result {
 		Config:   mc.Name,
 		Delta:    after.Delta(before),
 		Samples:  m.Samples(),
+		Sampled:  sampled,
 		Regions:  m.RegionStats(),
 	}
 }

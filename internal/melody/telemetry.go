@@ -1,17 +1,23 @@
 package melody
 
 import (
+	"sort"
 	"sync"
+	"time"
 
 	"github.com/moatlab/melody/internal/obs"
+	"github.com/moatlab/melody/internal/obs/sampler"
 )
 
 // Trace track layout: the engine's experiment phases render as one
 // process, the runner's worker pool as another (one track per worker,
-// showing occupancy over time).
+// showing occupancy over time). Sampled cells get one process each,
+// numbered upward from tracePidSamples, holding that cell's counter
+// tracks.
 const (
 	tracePidEngine  = 1
 	tracePidWorkers = 2
+	tracePidSamples = 100
 )
 
 // CellTiming is one executed cell's engine-side cost, collected for the
@@ -39,26 +45,37 @@ type Telemetry struct {
 	// Trace, when non-nil, records spans. Set it before running.
 	Trace *obs.Trace
 
-	cacheMiss *obs.Counter
-	cacheHit  *obs.Counter
-	cacheWait *obs.Counter
-	cellsRun  *obs.Counter
-	cellWall  *obs.Histogram
+	cacheMiss    *obs.Counter
+	cacheHit     *obs.Counter
+	cacheWait    *obs.Counter
+	cellsRun     *obs.Counter
+	cellsSampled *obs.Counter
+	cellWall     *obs.Histogram
 
-	mu    sync.Mutex
-	cells []CellTiming
+	mu      sync.Mutex
+	cells   []CellTiming
+	sampled []SampledSeries
+}
+
+// SampledSeries is one cell's cycle-driven sampled stream, kept for the
+// -metrics time-series export.
+type SampledSeries struct {
+	Workload string           `json:"workload"`
+	Config   string           `json:"config"`
+	Samples  []sampler.Sample `json:"samples"`
 }
 
 // NewTelemetry returns a Telemetry with a fresh Registry and no Trace.
 func NewTelemetry() *Telemetry {
 	reg := obs.NewRegistry()
 	return &Telemetry{
-		Registry:  reg,
-		cacheMiss: reg.Counter("runner/cache_miss"),
-		cacheHit:  reg.Counter("runner/cache_hit"),
-		cacheWait: reg.Counter("runner/cache_wait"),
-		cellsRun:  reg.Counter("runner/cells_run"),
-		cellWall:  reg.Histogram("runner/cell_wall_ms"),
+		Registry:     reg,
+		cacheMiss:    reg.Counter("runner/cache_miss"),
+		cacheHit:     reg.Counter("runner/cache_hit"),
+		cacheWait:    reg.Counter("runner/cache_wait"),
+		cellsRun:     reg.Counter("runner/cells_run"),
+		cellsSampled: reg.Counter("runner/cells_sampled"),
+		cellWall:     reg.Histogram("runner/cell_wall_ms"),
 	}
 }
 
@@ -100,6 +117,47 @@ func (t *Telemetry) cellDone(ct CellTiming, do *obs.DeviceObserver) {
 	t.mu.Lock()
 	t.cells = append(t.cells, ct)
 	t.mu.Unlock()
+}
+
+// cellSampled records one cell's sampled stream: into the time-series
+// log for the -metrics export, and — when a trace is attached — as
+// Perfetto counter tracks under a per-cell process, with simulated time
+// mapped onto the cell's wall-clock span so the tracks line up with
+// the worker span that computed them.
+func (t *Telemetry) cellSampled(ct CellTiming, samples []sampler.Sample, wallStart time.Time) {
+	if t == nil || len(samples) == 0 {
+		return
+	}
+	t.cellsSampled.Inc()
+	t.mu.Lock()
+	t.sampled = append(t.sampled, SampledSeries{Workload: ct.Workload, Config: ct.Config, Samples: samples})
+	pid := tracePidSamples + len(t.sampled) - 1
+	t.mu.Unlock()
+	if t.Trace == nil {
+		return
+	}
+	t.Trace.SetProcessName(pid, "samples: "+ct.Workload+" @ "+ct.Config)
+	startUs := t.Trace.StampUs(wallStart)
+	sampler.AppendCounterTracks(t.Trace, pid, samples, startUs, startUs+ct.WallMs*1000)
+}
+
+// SampledSeries returns the collected per-cell streams sorted by
+// (workload, config) — a deterministic order regardless of worker
+// scheduling.
+func (t *Telemetry) SampledSeries() []SampledSeries {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := append([]SampledSeries(nil), t.sampled...)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Workload != out[j].Workload {
+			return out[i].Workload < out[j].Workload
+		}
+		return out[i].Config < out[j].Config
+	})
+	return out
 }
 
 // cellSpan opens a trace span on the worker's track covering one cell

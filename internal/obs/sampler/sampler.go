@@ -1,0 +1,86 @@
+// Package sampler implements the time-resolved "simulated perf" layer:
+// a deterministic, cycle-driven sampling subsystem that periodically
+// snapshots the CPU's full counter state and (when attached) a CXL
+// expander's instantaneous CPMU state.
+//
+// Real perf samples a PMU on a wall-clock or event cadence; here the
+// cadence is simulated cycles (core.Config.SampleEveryCycles), derived
+// purely from the sim clock, so a sampled stream is bit-identical
+// across runs, -j widths, and host machines. Sampling is strictly
+// observation-only: attaching a Sampler never changes simulated
+// timing, and the detached path in the machine loop is one branch.
+//
+// The collected series feeds three sinks (sinks.go): Perfetto counter
+// tracks on an obs.Trace, a CSV time-series export, and — converted
+// via CoreSamples — the period-resolved Spa analysis in package spa.
+package sampler
+
+import (
+	"github.com/moatlab/melody/internal/core"
+	"github.com/moatlab/melody/internal/counters"
+	"github.com/moatlab/melody/internal/cxl"
+)
+
+// Sample is one periodic reading: the cumulative CPU counter snapshot
+// at TimeNs plus, when a device probe is attached, the expander's
+// instantaneous CPMU state at the same simulated instant.
+type Sample struct {
+	TimeNs    float64           `json:"time_ns"`
+	Counters  counters.Snapshot `json:"counters"`
+	Device    cxl.CPMUState     `json:"device"`
+	HasDevice bool              `json:"has_device"`
+}
+
+// Sampler collects Samples at the cadence configured on the machine
+// (core.Config.Sampler + SampleEveryCycles). It implements
+// core.Sampler. Not safe for concurrent use: each simulated cell owns
+// its own Sampler, mirroring per-core perf buffers.
+type Sampler struct {
+	probe   cxl.StateProber
+	samples []Sample
+}
+
+var _ core.Sampler = (*Sampler)(nil)
+
+// New builds a Sampler. probe may be nil (CPU counters only). A
+// non-nil probe is armed immediately so its bandwidth windows align
+// with the sampling cadence from the first period.
+func New(probe cxl.StateProber) *Sampler {
+	s := &Sampler{probe: probe}
+	if probe != nil {
+		probe.EnableStateProbe()
+	}
+	return s
+}
+
+// Sample implements core.Sampler: record the counter snapshot and, if
+// a probe is attached, read the device state at the same sim time.
+func (s *Sampler) Sample(timeNs float64, c counters.Snapshot) {
+	smp := Sample{TimeNs: timeNs, Counters: c}
+	if s.probe != nil {
+		smp.Device = s.probe.ProbeState(timeNs)
+		smp.HasDevice = true
+	}
+	s.samples = append(s.samples, smp)
+}
+
+// Len returns the number of collected samples.
+func (s *Sampler) Len() int { return len(s.samples) }
+
+// Samples returns the collected series in sampling order. The slice is
+// owned by the Sampler; callers must not mutate it.
+func (s *Sampler) Samples() []Sample { return s.samples }
+
+// CoreSamples converts the series to the core.Sample shape consumed by
+// spa.AnalyzePeriods, dropping the device dimension.
+func (s *Sampler) CoreSamples() []core.Sample { return CoreSamplesOf(s.samples) }
+
+// CoreSamplesOf converts any sampled stream (e.g. one carried in a
+// melody.Result) to core.Sample form for period analysis.
+func CoreSamplesOf(samples []Sample) []core.Sample {
+	out := make([]core.Sample, len(samples))
+	for i, smp := range samples {
+		out[i] = core.Sample{TimeNs: smp.TimeNs, Counters: smp.Counters}
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package sampler
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+
+	"github.com/moatlab/melody/internal/counters"
+	"github.com/moatlab/melody/internal/obs"
+)
+
+// CPMUTrackNames lists the device-state counter tracks emitted by
+// AppendCounterTracks, in emission order. Exported so trace validation
+// (tests, CI smoke) can pin the schema.
+var CPMUTrackNames = []string{
+	"cpmu/queue_depth",
+	"cpmu/link_credits",
+	"cpmu/util",
+	"cpmu/read_gbs",
+	"cpmu/write_gbs",
+	"cpmu/thermal",
+}
+
+// SpaTrackName returns the counter-track name for one Spa counter.
+func SpaTrackName(id counters.ID) string { return "spa/" + id.String() }
+
+// SpaTrackNames lists the nine Spa counter tracks in P1..P9 order.
+func SpaTrackNames() []string {
+	set := counters.SpaSet()
+	out := make([]string, len(set))
+	for i, id := range set {
+		out[i] = SpaTrackName(id)
+	}
+	return out
+}
+
+// AppendCounterTracks renders the series as Perfetto counter tracks on
+// pid. Counter samples carry simulated timestamps while the rest of
+// the trace records wall time, so the sim-time axis is mapped linearly
+// onto [startUs, endUs] — the cell's wall-clock span — putting the
+// tracks directly under the worker span that produced them.
+//
+// The nine Spa counters are emitted as per-interval deltas (stall
+// cycles added during each sampling period — the derivative view that
+// makes phase changes visible); CPMU state tracks are instantaneous.
+func AppendCounterTracks(tr *obs.Trace, pid int, samples []Sample, startUs, endUs float64) {
+	if tr == nil || len(samples) == 0 {
+		return
+	}
+	span := samples[len(samples)-1].TimeNs
+	scale := 0.0
+	if span > 0 && endUs > startUs {
+		scale = (endUs - startUs) / span
+	}
+	var prev counters.Snapshot
+	for _, smp := range samples {
+		ts := startUs + smp.TimeNs*scale
+		d := smp.Counters.Delta(prev)
+		prev = smp.Counters
+		for _, id := range counters.SpaSet() {
+			tr.CounterAt(pid, SpaTrackName(id), ts, d[id])
+		}
+		if !smp.HasDevice {
+			continue
+		}
+		dev := smp.Device
+		thermal := 0.0
+		if dev.ThermalActive {
+			thermal = 1
+		}
+		tr.CounterAt(pid, "cpmu/queue_depth", ts, float64(dev.QueueDepth))
+		tr.CounterAt(pid, "cpmu/link_credits", ts, float64(dev.LinkCreditsInFlight))
+		tr.CounterAt(pid, "cpmu/util", ts, dev.UtilFrac)
+		tr.CounterAt(pid, "cpmu/read_gbs", ts, dev.ReadGBs)
+		tr.CounterAt(pid, "cpmu/write_gbs", ts, dev.WriteGBs)
+		tr.CounterAt(pid, "cpmu/thermal", ts, thermal)
+	}
+}
+
+// csvCPMUColumns names the device-state CSV columns after the counter
+// block (zeros when no probe was attached).
+var csvCPMUColumns = []string{
+	"cpmu_queue_depth", "cpmu_link_credits", "cpmu_thermal_active",
+	"cpmu_util_frac", "cpmu_read_gbs", "cpmu_write_gbs",
+	"cpmu_link_req_ns", "cpmu_sched_wait_ns", "cpmu_media_ns",
+	"cpmu_link_rsp_ns", "cpmu_hiccup_stalls", "cpmu_thermal_stalls",
+	"cpmu_requests",
+}
+
+// WriteCSV writes the series as a CSV time series: one row per sample
+// with the full cumulative counter snapshot and the CPMU state
+// columns. Column order is stable: time_ns, the counters in ID order,
+// then csvCPMUColumns.
+func WriteCSV(w io.Writer, samples []Sample) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, 1+int(counters.NumCounters)+len(csvCPMUColumns))
+	header = append(header, "time_ns")
+	for id := counters.ID(0); id < counters.NumCounters; id++ {
+		header = append(header, id.String())
+	}
+	header = append(header, csvCPMUColumns...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
+	row := make([]string, 0, len(header))
+	for _, smp := range samples {
+		row = row[:0]
+		row = append(row, f(smp.TimeNs))
+		for id := counters.ID(0); id < counters.NumCounters; id++ {
+			row = append(row, f(smp.Counters[id]))
+		}
+		dev := smp.Device
+		thermal := "0"
+		if dev.ThermalActive {
+			thermal = "1"
+		}
+		row = append(row,
+			strconv.Itoa(dev.QueueDepth), strconv.Itoa(dev.LinkCreditsInFlight),
+			thermal, f(dev.UtilFrac), f(dev.ReadGBs), f(dev.WriteGBs),
+			f(dev.LinkReqNs), f(dev.SchedWaitNs), f(dev.MediaNs),
+			f(dev.LinkRspNs), u(dev.HiccupStalls), u(dev.ThermalStalls),
+			u(dev.Requests))
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -115,6 +115,30 @@ func (s Span) EndWith(args map[string]any) {
 		Dur: end - s.start, Pid: s.pid, Tid: s.tid, Args: args})
 }
 
+// CounterAt records a counter-track sample at an explicit trace
+// timestamp (microseconds since trace start). Chrome "C" events render
+// in Perfetto as per-process counter tracks: each distinct name under a
+// pid becomes its own plotted series. Unlike spans and instants, the
+// caller supplies the timestamp — counter samples describe simulated
+// time mapped into the trace's clock, not the moment of recording.
+func (t *Trace) CounterAt(pid int, name string, tsUs, value float64) {
+	if t == nil {
+		return
+	}
+	t.add(Event{Name: name, Ph: "C", Ts: tsUs, Pid: pid,
+		Args: map[string]any{"value": value}})
+}
+
+// StampUs converts a wall-clock instant into this trace's timestamp
+// space (microseconds since trace start), letting callers place
+// explicitly-timed events (CounterAt) relative to recorded spans.
+func (t *Trace) StampUs(at time.Time) float64 {
+	if t == nil {
+		return 0
+	}
+	return float64(at.Sub(t.t0)) / float64(time.Microsecond)
+}
+
 // Instant records a point event on the (pid, tid) track.
 func (t *Trace) Instant(pid, tid int, name, cat string, args map[string]any) {
 	if t == nil {

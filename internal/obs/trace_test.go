@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"testing"
+	"time"
 )
 
 // chromeTraceFile is the strict schema of the Chrome trace-event JSON
@@ -48,6 +49,14 @@ func validateChromeTrace(t *testing.T, raw []byte) chromeTraceFile {
 			}
 		case "i", "M":
 			// instants carry ts; metadata events need name+args only
+		case "C":
+			// counter-track samples: explicit ts plus a numeric value arg.
+			if e.Ts == nil || *e.Ts < 0 {
+				t.Fatalf("counter event %d has invalid ts", i)
+			}
+			if _, ok := e.Args["value"].(float64); !ok {
+				t.Fatalf("counter event %d has no numeric value arg", i)
+			}
 		default:
 			t.Fatalf("event %d has unsupported phase %q", i, e.Ph)
 		}
@@ -91,6 +100,43 @@ func TestTraceSchemaValid(t *testing.T) {
 	validateChromeTrace(t, buf.Bytes())
 }
 
+// TestTraceCounterTrackSchema pins the counter-track encoding: ph "C",
+// caller-supplied timestamps, args{"value": v}, one track per name per
+// pid — the shape Perfetto renders as plotted counter series.
+func TestTraceCounterTrackSchema(t *testing.T) {
+	tr := NewTrace()
+	tr.SetProcessName(3, "samples: 605.mcf_s @ CXL-A")
+	tr.CounterAt(3, "spa/BoundOnLoads", 10.5, 4200)
+	tr.CounterAt(3, "spa/BoundOnLoads", 20.5, 3900)
+	tr.CounterAt(3, "cpmu/queue_depth", 10.5, 7)
+	raw, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := validateChromeTrace(t, raw)
+	// 1 metadata + 3 counter samples.
+	if len(f.TraceEvents) != 4 {
+		t.Fatalf("trace has %d events, want 4", len(f.TraceEvents))
+	}
+	counts := map[string]int{}
+	for _, e := range f.TraceEvents[1:] {
+		if e.Ph != "C" {
+			t.Fatalf("sample has phase %q, want C", e.Ph)
+		}
+		if *e.Pid != 3 {
+			t.Fatalf("sample on pid %d, want 3", *e.Pid)
+		}
+		counts[e.Name]++
+	}
+	if counts["spa/BoundOnLoads"] != 2 || counts["cpmu/queue_depth"] != 1 {
+		t.Fatalf("track sample counts wrong: %v", counts)
+	}
+	// Explicit timestamps are preserved verbatim.
+	if ts := *f.TraceEvents[1].Ts; ts != 10.5 {
+		t.Fatalf("counter ts %v, want 10.5", ts)
+	}
+}
+
 func TestTraceNilSafe(t *testing.T) {
 	var tr *Trace
 	sp := tr.Begin(0, 0, "x", "y")
@@ -100,6 +146,10 @@ func TestTraceNilSafe(t *testing.T) {
 	sp.End()
 	sp.EndWith(map[string]any{"k": "v"})
 	tr.Instant(0, 0, "i", "", nil)
+	tr.CounterAt(0, "c", 1, 2)
+	if tr.StampUs(time.Now()) != 0 {
+		t.Fatal("nil trace stamped nonzero")
+	}
 	tr.SetProcessName(0, "p")
 	tr.SetThreadName(0, 0, "t")
 	if tr.Len() != 0 {

@@ -39,7 +39,18 @@ func Advise(stats []core.RegionStat) []Advice {
 		}
 		out = append(out, a)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].StallShare > out[j].StallShare })
+	// Deterministic ranking: stall share, then miss share, then name —
+	// ties (common when many objects contribute nothing) must not
+	// depend on input order or sort instability.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].StallShare != out[j].StallShare {
+			return out[i].StallShare > out[j].StallShare
+		}
+		if out[i].MissShare != out[j].MissShare {
+			return out[i].MissShare > out[j].MissShare
+		}
+		return out[i].Name < out[j].Name
+	})
 	return out
 }
 

@@ -1,0 +1,60 @@
+package spa
+
+import (
+	"math"
+	"testing"
+
+	"github.com/moatlab/melody/internal/core"
+	"github.com/moatlab/melody/internal/vm"
+)
+
+func TestAdviseZeroStallsNoNaN(t *testing.T) {
+	stats := []core.RegionStat{
+		{Object: vm.Object{Name: "a", Base: 0, Size: 100}},
+		{Object: vm.Object{Name: "b", Base: 200, Size: 100}},
+	}
+	advice := Advise(stats)
+	if len(advice) != 2 {
+		t.Fatalf("got %d advices", len(advice))
+	}
+	for _, a := range advice {
+		if math.IsNaN(a.StallShare) || math.IsNaN(a.MissShare) {
+			t.Fatalf("zero-stall division produced NaN: %+v", a)
+		}
+		if a.StallShare != 0 || a.MissShare != 0 {
+			t.Fatalf("zero activity yielded nonzero share: %+v", a)
+		}
+	}
+	// All-zero shares fall through to the name tie-break.
+	if advice[0].Name != "a" || advice[1].Name != "b" {
+		t.Fatalf("zero-stall ordering not by name: %v, %v", advice[0].Name, advice[1].Name)
+	}
+}
+
+func TestAdviseTieOrderingDeterministic(t *testing.T) {
+	mk := func(name string, misses uint64, stalls float64) core.RegionStat {
+		return core.RegionStat{Object: vm.Object{Name: name, Size: 64},
+			DemandMisses: misses, StallCycles: stalls}
+	}
+	// Equal stall shares; "y" and "z" also tie on misses.
+	stats := []core.RegionStat{
+		mk("z", 10, 500), mk("x", 40, 500), mk("y", 10, 500),
+	}
+	want := []string{"x", "y", "z"} // miss share first, then name
+	for perm := 0; perm < 3; perm++ {
+		in := append([]core.RegionStat{}, stats[perm:]...)
+		in = append(in, stats[:perm]...)
+		advice := Advise(in)
+		for i, a := range advice {
+			if a.Name != want[i] {
+				t.Fatalf("perm %d: rank %d = %q, want %q", perm, i, a.Name, want[i])
+			}
+		}
+	}
+}
+
+func TestTopObjectsEmptyAdvice(t *testing.T) {
+	if top := TopObjects(nil, 0.9); top != nil {
+		t.Fatalf("TopObjects(nil) = %v", top)
+	}
+}

@@ -1,0 +1,158 @@
+package spa
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/moatlab/melody/internal/counters"
+	"github.com/moatlab/melody/internal/cxl"
+	"github.com/moatlab/melody/internal/obs/sampler"
+)
+
+// pb builds one period whose breakdown is dominated by the named
+// component with the given magnitude.
+func pb(start uint64, comp string, v float64) PeriodBreakdown {
+	b := Breakdown{Actual: v * 1.25}
+	switch comp {
+	case "DRAM":
+		b.DRAM = v
+	case "L3":
+		b.L3 = v
+	case "Core":
+		b.Core = v
+	case "Store":
+		b.Store = v
+	}
+	b.Other = b.Actual - b.Sum()
+	return PeriodBreakdown{StartInstr: start, Breakdown: b}
+}
+
+func TestNewReportMergesAdjacentPhases(t *testing.T) {
+	const pi = 1000
+	periods := []PeriodBreakdown{
+		pb(0, "DRAM", 0.40),
+		pb(1000, "DRAM", 0.60),
+		pb(2000, "DRAM", 0.50),
+		pb(3000, "Core", 0.30),
+		pb(4000, "Core", 0.20),
+		pb(5000, "Store", 0.80),
+	}
+	r := NewReport(periods, pi)
+	if len(r.Phases) != 3 {
+		t.Fatalf("got %d phases, want 3: %+v", len(r.Phases), r.Phases)
+	}
+	ph := r.Phases[0]
+	if ph.StartInstr != 0 || ph.EndInstr != 3000 || ph.Periods != 3 || ph.Dominant != "DRAM" {
+		t.Fatalf("phase 0 wrong: %+v", ph)
+	}
+	if ph.DRAM != 0.5 {
+		t.Fatalf("phase 0 mean DRAM %v, want 0.5", ph.DRAM)
+	}
+	if ph.DominantShare < 0.75 {
+		t.Fatalf("phase 0 dominant share %v, want >= 0.75", ph.DominantShare)
+	}
+	if r.Phases[1].Dominant != "Core" || r.Phases[1].StartInstr != 3000 || r.Phases[1].EndInstr != 5000 {
+		t.Fatalf("phase 1 wrong: %+v", r.Phases[1])
+	}
+	if r.Phases[2].Dominant != "Store" || r.Phases[2].Periods != 1 {
+		t.Fatalf("phase 2 wrong: %+v", r.Phases[2])
+	}
+}
+
+func TestNewReportSplitsNonContiguousPeriods(t *testing.T) {
+	// A gap in the period sequence breaks a phase even when the
+	// dominant component matches.
+	periods := []PeriodBreakdown{pb(0, "DRAM", 0.5), pb(2000, "DRAM", 0.5)}
+	r := NewReport(periods, 1000)
+	if len(r.Phases) != 2 {
+		t.Fatalf("gap merged across: %+v", r.Phases)
+	}
+}
+
+// devSample builds one sampled point with cumulative device time split
+// across components.
+func devSample(instr, linkReq, sched, media, rsp float64) sampler.Sample {
+	var c counters.Snapshot
+	c[counters.Instructions] = instr
+	return sampler.Sample{
+		TimeNs: instr, Counters: c, HasDevice: true,
+		Device: cxl.CPMUState{LinkReqNs: linkReq, SchedWaitNs: sched,
+			MediaNs: media, LinkRspNs: rsp},
+	}
+}
+
+func TestAttributeDevice(t *testing.T) {
+	r := Report{PeriodInstr: 1000, Phases: []Phase{
+		{StartInstr: 0, EndInstr: 1000, Periods: 1, Dominant: "DRAM"},
+		{StartInstr: 1000, EndInstr: 2000, Periods: 1, Dominant: "DRAM"},
+	}}
+	// Phase 1: scheduler wait grows by 300 of 400 total device ns.
+	target := []sampler.Sample{
+		devSample(0, 0, 0, 0, 0),
+		devSample(1000, 100, 50, 100, 50),  // phase 0 total 300
+		devSample(2000, 150, 350, 150, 50), // phase 1 deltas: 50, 300, 50, 0
+	}
+	r.AttributeDevice(target)
+	ph := r.Phases[1]
+	if !ph.Device.Valid {
+		t.Fatal("device attribution missing")
+	}
+	if ph.Device.SchedWait != 0.75 {
+		t.Fatalf("sched wait share %v, want 0.75", ph.Device.SchedWait)
+	}
+	name, share := ph.Device.Dominant()
+	if name != "CXL scheduler wait" || share != 0.75 {
+		t.Fatalf("dominant = %q %v", name, share)
+	}
+	sum := ph.Device.LinkReq + ph.Device.SchedWait + ph.Device.Media + ph.Device.LinkRsp
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("shares sum to %v", sum)
+	}
+}
+
+func TestAttributeDeviceWithoutStream(t *testing.T) {
+	r := Report{Phases: []Phase{{StartInstr: 0, EndInstr: 1000}}}
+	r.AttributeDevice(nil)
+	if r.Phases[0].Device.Valid {
+		t.Fatal("attribution valid with no samples")
+	}
+	// CPU-only samples (no probe) must not attribute either.
+	var c counters.Snapshot
+	c[counters.Instructions] = 2000
+	r.AttributeDevice([]sampler.Sample{{TimeNs: 1, Counters: c}})
+	if r.Phases[0].Device.Valid {
+		t.Fatal("attribution valid without device state")
+	}
+}
+
+func TestNarrative(t *testing.T) {
+	r := Report{PeriodInstr: 50_000_000, Phases: []Phase{{
+		StartInstr: 0, EndInstr: 50_000_000, Periods: 1,
+		Breakdown: Breakdown{Actual: 0.43, DRAM: 0.31},
+		Dominant:  "DRAM", DominantShare: 0.72,
+		Device: DeviceShare{SchedWait: 0.54, Media: 0.30, LinkReq: 0.10, LinkRsp: 0.06, Valid: true},
+	}}}
+	var buf bytes.Buffer
+	r.Narrative(&buf)
+	got := buf.String()
+	for _, want := range []string{
+		"instructions 0–50M", "slowdown 43%", "72% of added stalls",
+		"loads bound on DRAM/CXL", "attributed to CXL scheduler wait", "54% of device time",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("narrative missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestFmtInstr(t *testing.T) {
+	cases := map[uint64]string{
+		0: "0", 500: "500", 1500: "1.5K", 50_000_000: "50M", 1_200_000_000: "1.2B",
+	}
+	for n, want := range cases {
+		if got := fmtInstr(n); got != want {
+			t.Errorf("fmtInstr(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
