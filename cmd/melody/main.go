@@ -30,13 +30,24 @@
 //	                  simulated cycles per cell; the streams land in the
 //	                  -metrics manifest (timeseries) and as Perfetto
 //	                  counter tracks in the -trace output
-//	-pprof ADDR       serve net/http/pprof on ADDR (e.g. localhost:6060)
+//	-profile DIR      write one simulated-time pprof profile per
+//	                  experiment to DIR/<id>.pb.gz — stall-attributed
+//	                  sim_cycles/sim_ns over synthetic stacks; implies
+//	                  sampling (default cadence 20000 cycles). Inspect
+//	                  with `go tool pprof -top DIR/<id>.pb.gz`
+//	-pprof ADDR       serve net/http/pprof on ADDR (e.g. localhost:6060).
+//	                  This profiles the simulator's *host* time; use
+//	                  -profile for *simulated* time
+//
+// Output paths are validated (and created) at flag-parse time so a
+// typo fails before the simulation runs, not after.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -104,6 +115,7 @@ func runCmd(args []string) {
 	metricsPath := fs.String("metrics", "", "write the run-manifest/metrics JSON to <file>")
 	tracePath := fs.String("trace", "", "write Chrome trace-event JSON (Perfetto) to <file>")
 	sampleEvery := fs.Uint64("sample-every", 0, "sample counters + CPMU state every N simulated cycles (0 = off)")
+	profileDir := fs.String("profile", "", "write per-experiment simulated-time pprof profiles to <dir>")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on <addr> (e.g. localhost:6060)")
 
 	ids, err := parseRunArgs(fs, args)
@@ -120,14 +132,34 @@ func runCmd(args []string) {
 			ids = append(ids, e.ID)
 		}
 	}
+	if err := validateOutputs(*metricsPath, *tracePath, *profileDir, *outDir); err != nil {
+		fmt.Fprintln(os.Stderr, "melody:", err)
+		os.Exit(2)
+	}
 
+	// The -pprof debug server profiles the simulator process itself
+	// (host time). Listen synchronously so a bad address fails now, and
+	// close the server after the run so no listener outlives it.
 	if *pprofAddr != "" {
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "melody: pprof:", err)
+			os.Exit(2)
+		}
+		srv := &http.Server{Handler: http.DefaultServeMux}
+		fmt.Fprintf(os.Stderr, "melody: pprof on http://%s/debug/pprof/\n", ln.Addr())
 		go func() {
-			fmt.Fprintf(os.Stderr, "melody: pprof on http://%s/debug/pprof/\n", *pprofAddr)
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintln(os.Stderr, "melody: pprof:", err)
 			}
 		}()
+		defer srv.Close()
+	}
+
+	// -profile needs the cycle-sampled streams: force telemetry on and
+	// default the cadence. Sampling never changes results.
+	if *profileDir != "" && *sampleEvery == 0 {
+		*sampleEvery = 20_000
 	}
 
 	eng := melody.NewEngine(melody.Options{
@@ -141,7 +173,7 @@ func runCmd(args []string) {
 	eng.Workers = *jobs
 
 	var tel *melody.Telemetry
-	if *metricsPath != "" || *tracePath != "" {
+	if *metricsPath != "" || *tracePath != "" || *profileDir != "" {
 		tel = melody.NewTelemetry()
 		if *tracePath != "" {
 			tel.Trace = obs.NewTrace()
@@ -200,6 +232,12 @@ func runCmd(args []string) {
 	if *tracePath != "" {
 		if err := writeTrace(*tracePath, tel.Trace); err != nil {
 			fmt.Fprintln(os.Stderr, "melody: trace:", err)
+			os.Exit(1)
+		}
+	}
+	if *profileDir != "" {
+		if err := writeProfiles(*profileDir, tel); err != nil {
+			fmt.Fprintln(os.Stderr, "melody: profile:", err)
 			os.Exit(1)
 		}
 	}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/moatlab/melody/internal/melody"
+	"github.com/moatlab/melody/internal/obs"
+)
+
+// validateOutputs fail-fasts every output-path flag at parse time:
+// file destinations must be creatable, directory destinations must
+// exist (they are created) and accept new files. Empty flags are
+// skipped.
+func validateOutputs(metricsPath, tracePath, profileDir, outDir string) error {
+	for _, f := range []struct{ flag, path string }{
+		{"-metrics", metricsPath}, {"-trace", tracePath},
+	} {
+		if f.path == "" {
+			continue
+		}
+		if err := obs.EnsureWritableFile(f.path); err != nil {
+			return fmt.Errorf("%s: %w", f.flag, err)
+		}
+	}
+	for _, d := range []struct{ flag, dir string }{
+		{"-profile", profileDir}, {"-out", outDir},
+	} {
+		if d.dir == "" {
+			continue
+		}
+		if err := obs.EnsureWritableDir(d.dir); err != nil {
+			return fmt.Errorf("%s: %w", d.flag, err)
+		}
+	}
+	return nil
+}
+
+// writeProfiles renders the run's sampled streams into per-experiment
+// simulated-time pprof profiles under dir. Generation is strictly
+// post-completion: it only reads telemetry the finished run collected.
+func writeProfiles(dir string, tel *melody.Telemetry) error {
+	series := tel.SampledSeries()
+	if len(series) == 0 {
+		return fmt.Errorf("no sampled streams collected (is -sample-every set?)")
+	}
+	for id, prof := range melody.ProfilesByExperiment(series) {
+		path := filepath.Join(dir, id+".pb.gz")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := prof.Write(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "melody: profile written to %s\n", path)
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/moatlab/melody/internal/melody"
+)
+
+func TestValidateOutputsCreatesDestinations(t *testing.T) {
+	dir := t.TempDir()
+	metrics := filepath.Join(dir, "m", "metrics.json")
+	trace := filepath.Join(dir, "t", "trace.json")
+	profiles := filepath.Join(dir, "profiles")
+	out := filepath.Join(dir, "reports")
+	if err := validateOutputs(metrics, trace, profiles, out); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{metrics, trace} {
+		if _, err := os.Stat(p); err != nil {
+			t.Fatalf("file flag destination not created: %v", err)
+		}
+	}
+	for _, d := range []string{profiles, out} {
+		st, err := os.Stat(d)
+		if err != nil || !st.IsDir() {
+			t.Fatalf("dir flag destination not created: %v", err)
+		}
+	}
+}
+
+func TestValidateOutputsSkipsEmpty(t *testing.T) {
+	if err := validateOutputs("", "", "", ""); err != nil {
+		t.Fatalf("all-empty flags rejected: %v", err)
+	}
+}
+
+func TestValidateOutputsFailFast(t *testing.T) {
+	blocker := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(blocker, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	under := filepath.Join(blocker, "x")
+	cases := []struct {
+		name                              string
+		metrics, trace, profiles, reports string
+	}{
+		{"metrics under file", under, "", "", ""},
+		{"trace under file", "", under, "", ""},
+		{"profile dir is file", "", "", blocker, ""},
+		{"out dir is file", "", "", "", blocker},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := validateOutputs(c.metrics, c.trace, c.profiles, c.reports); err == nil {
+				t.Fatal("unwritable destination accepted")
+			}
+		})
+	}
+}
+
+func TestWriteProfilesEmptyTelemetry(t *testing.T) {
+	if err := writeProfiles(t.TempDir(), melody.NewTelemetry()); err == nil {
+		t.Fatal("no sampled streams must be an error, not a silent no-op")
+	}
+}

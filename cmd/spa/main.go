@@ -7,6 +7,7 @@
 //	spa -workload 605.mcf_s [-config CXL-A] [-platform EMR2S]
 //	    [-instructions N] [-periods N]
 //	spa -workload 605.mcf_s -explain [-sample-every N] [-csv FILE]
+//	spa -workload 605.mcf_s -profile FILE
 //	spa -list
 //
 // -explain drives the period analysis from the cycle-sampled streams
@@ -15,6 +16,11 @@
 // dominant stall source are merged into phases, and each phase's added
 // stalls are attributed to the CXL device's CPMU time split. -csv
 // additionally exports the target run's sampled stream as CSV.
+//
+// -profile writes the target run's simulated-time pprof profile
+// (stall-attributed sim_cycles/sim_ns over synthetic stacks) to FILE;
+// inspect with `go tool pprof -top FILE`. Output paths are validated at
+// flag-parse time so a typo fails before the simulation runs.
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 
 	"github.com/moatlab/melody/internal/cxl"
 	"github.com/moatlab/melody/internal/melody"
+	"github.com/moatlab/melody/internal/obs"
 	"github.com/moatlab/melody/internal/obs/sampler"
 	"github.com/moatlab/melody/internal/platform"
 	"github.com/moatlab/melody/internal/spa"
@@ -61,9 +68,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	explain := fs.Bool("explain", false, "emit the phase-resolved narrative from cycle-sampled streams")
 	sampleEvery := fs.Uint64("sample-every", 0, "sampling cadence in simulated cycles (0 = auto with -explain)")
 	csvPath := fs.String("csv", "", "write the target run's sampled stream as CSV to <file>")
+	profilePath := fs.String("profile", "", "write the target run's simulated-time pprof profile to <file>")
 	list := fs.Bool("list", false, "list catalog workloads")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	for _, out := range []struct{ flag, path string }{
+		{"-csv", *csvPath}, {"-profile", *profilePath},
+	} {
+		if out.path == "" {
+			continue
+		}
+		if err := obs.EnsureWritableFile(out.path); err != nil {
+			fmt.Fprintf(stderr, "spa: %s: %v\n", out.flag, err)
+			return 2
+		}
 	}
 
 	melody.RegisterWorkloads()
@@ -89,10 +108,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	// -explain and -csv need the cycle-sampled streams; default to a
-	// cadence fine enough for ~dozens of samples per period.
+	// -explain, -csv and -profile need the cycle-sampled streams;
+	// default to a cadence fine enough for ~dozens of samples per period.
 	every := *sampleEvery
-	if every == 0 && (*explain || *csvPath != "") {
+	if every == 0 && (*explain || *csvPath != "" || *profilePath != "") {
 		every = 4096
 	}
 
@@ -146,6 +165,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		if err := f.Close(); err != nil {
 			fmt.Fprintln(stderr, "spa: csv:", err)
+			return 1
+		}
+	}
+
+	if *profilePath != "" {
+		prof := melody.BuildProfile([]melody.SampledSeries{{
+			Workload: spec.Name, Config: target.Name, Platform: p.CPU.Name,
+			Samples: tgt.Sampled,
+		}})
+		f, err := os.Create(*profilePath)
+		if err != nil {
+			fmt.Fprintln(stderr, "spa: profile:", err)
+			return 1
+		}
+		if err := prof.Write(f); err != nil {
+			f.Close()
+			fmt.Fprintln(stderr, "spa: profile:", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(stderr, "spa: profile:", err)
 			return 1
 		}
 	}

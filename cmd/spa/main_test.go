@@ -26,6 +26,48 @@ func TestRunBadFlags(t *testing.T) {
 	}
 }
 
+// TestRunBadOutputPaths: unwritable -csv/-profile destinations must
+// fail at flag-parse time (exit 2), before any simulation runs.
+func TestRunBadOutputPaths(t *testing.T) {
+	blocker := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(blocker, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	under := filepath.Join(blocker, "out")
+	for _, flag := range []string{"-csv", "-profile"} {
+		var out, errOut bytes.Buffer
+		code := run([]string{"-workload", "605.mcf_s", flag, under}, &out, &errOut)
+		if code != 2 {
+			t.Fatalf("%s %s: exit %d, want 2 (fail fast)", flag, under, code)
+		}
+		if !strings.Contains(errOut.String(), flag) {
+			t.Fatalf("%s error does not name the flag: %s", flag, errOut.String())
+		}
+	}
+}
+
+// TestRunProfileEndToEnd: -profile must write a gzipped pprof profile
+// of the target run.
+func TestRunProfileEndToEnd(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spa.pb.gz")
+	var out, errOut bytes.Buffer
+	code := run([]string{
+		"-workload", "micro-chase-256m", "-config", "CXL-B",
+		"-instructions", "80000", "-periods", "0",
+		"-profile", path,
+	}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errOut.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) < 2 || raw[0] != 0x1f || raw[1] != 0x8b {
+		t.Fatalf("profile is not gzipped (leading bytes % x)", raw[:min(len(raw), 2)])
+	}
+}
+
 func TestRunList(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if code := run([]string{"-list"}, &out, &errOut); code != 0 {

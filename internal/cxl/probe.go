@@ -47,6 +47,18 @@ type CPMUState struct {
 	Requests      uint64  `json:"requests"`
 }
 
+// ComponentDelta returns the per-component time the expander
+// accumulated between an earlier probe prev and s: nanoseconds spent
+// in link request transmission, scheduler wait, media service, and
+// link response return. Differencing the cumulative accumulators is
+// how samplers turn two probes into a per-interval attribution — the
+// device-component split behind the phase narrative and the
+// simulated-time profiles' leaf frames.
+func (s CPMUState) ComponentDelta(prev CPMUState) (linkReq, schedWait, media, linkRsp float64) {
+	return s.LinkReqNs - prev.LinkReqNs, s.SchedWaitNs - prev.SchedWaitNs,
+		s.MediaNs - prev.MediaNs, s.LinkRspNs - prev.LinkRspNs
+}
+
 // StateProber is implemented by devices that can report instantaneous
 // CPMU-style state. Probing must be observation-only: enabling the
 // probe and reading state never changes simulated access timing.
@@ -90,7 +102,7 @@ func (d *Device) ProbeState(nowNs float64) CPMUState {
 		Requests:            d.pmu.Requests,
 	}
 	if dt := nowNs - d.probeWinStartNs; dt > 0 {
-		s.ReadGBs = d.probeReadBytes / dt   // bytes/ns == GB/s
+		s.ReadGBs = d.probeReadBytes / dt // bytes/ns == GB/s
 		s.WriteGBs = d.probeWriteBytes / dt
 	}
 	d.probeWinStartNs = nowNs

@@ -111,3 +111,49 @@ func TestProbeSurvivesReset(t *testing.T) {
 		t.Fatal("probe disarmed by Reset")
 	}
 }
+
+// TestComponentDeltaDifferencesAccumulators pins that differencing two
+// probes yields exactly the component time added between them, and
+// that the split covers the interval's total device-resident time.
+func TestComponentDeltaDifferencesAccumulators(t *testing.T) {
+	d := New(ProfileB(), 3)
+	d.EnableStateProbe()
+	r := sim.NewRand(9)
+
+	now := 0.0
+	for i := 0; i < 500; i++ {
+		d.Access(now, r.Uint64n(1<<30), mem.DemandRead)
+		now += 25
+	}
+	a := d.ProbeState(now)
+	for i := 0; i < 500; i++ {
+		d.Access(now, r.Uint64n(1<<30), mem.DemandRead)
+		now += 25
+	}
+	b := d.ProbeState(now)
+
+	lr, sw, md, rs := b.ComponentDelta(a)
+	for name, v := range map[string]float64{"linkReq": lr, "media": md, "linkRsp": rs} {
+		if v <= 0 {
+			t.Fatalf("%s delta = %v, want > 0 after 500 accesses", name, v)
+		}
+	}
+	if sw < 0 {
+		t.Fatalf("schedWait delta = %v, want >= 0", sw)
+	}
+	wantLR := b.LinkReqNs - a.LinkReqNs
+	if lr != wantLR {
+		t.Fatalf("linkReq delta = %v, want %v", lr, wantLR)
+	}
+	wantTotal := (b.LinkReqNs + b.SchedWaitNs + b.MediaNs + b.LinkRspNs) -
+		(a.LinkReqNs + a.SchedWaitNs + a.MediaNs + a.LinkRspNs)
+	if got := lr + sw + md + rs; got != wantTotal {
+		t.Fatalf("component deltas sum to %v, want %v", got, wantTotal)
+	}
+
+	// Differencing against the zero state recovers the cumulative view.
+	zlr, _, _, _ := a.ComponentDelta(CPMUState{})
+	if zlr != a.LinkReqNs {
+		t.Fatalf("delta from zero state = %v, want cumulative %v", zlr, a.LinkReqNs)
+	}
+}

@@ -45,6 +45,7 @@ func NewEngine(o Options) *Engine {
 // Run executes one experiment to completion.
 func (g *Engine) Run(ctx context.Context, e Experiment) *Report {
 	RegisterWorkloads()
+	g.Obs.beginExperiment(e.ID)
 	sp := g.Obs.experimentSpan(e.ID, e.Title)
 	rep := e.Run(g.context(ctx, e.ID))
 	sp.End()

@@ -1,0 +1,142 @@
+package melody
+
+import (
+	"fmt"
+
+	"github.com/moatlab/melody/internal/counters"
+	"github.com/moatlab/melody/internal/obs/profile"
+	"github.com/moatlab/melody/internal/obs/sampler"
+	"github.com/moatlab/melody/internal/spa"
+)
+
+// Simulated-time flame profiles: each cell's cycle-sampled stream is
+// converted to synthetic pprof stacks
+//
+//	workload → platform → stall source (P1-P9) → memory level →
+//	device component (link req / sched wait / media / link rsp)
+//
+// weighted by the sim_cycles / sim_ns each frame absorbed, with the
+// memory config attached as a pprof label (filter with -tagfocus).
+// Per-interval counter deltas go through spa.AttributeCycles (the same
+// counter→frame mapping the phase narrative uses), and DRAM-level
+// stall cycles on CXL cells are split across the expander's internal
+// components in proportion to the interval's CPMU time deltas.
+//
+// Profile generation is strictly post-completion: it reads sampled
+// streams a finished run already carries, so measured results are
+// byte-identical with profiling on or off, and — because the streams
+// and the builder's ordering are deterministic — the emitted profile
+// is byte-identical across -j widths.
+
+// NewProfileBuilder returns a builder with the simulated-time schema:
+// sim_cycles (the default view) and sim_ns.
+func NewProfileBuilder() *profile.Builder {
+	return profile.NewBuilder(
+		profile.ValueType{Type: "sim_cycles", Unit: "cycles"},
+		profile.ValueType{Type: "sim_ns", Unit: "nanoseconds"},
+	)
+}
+
+// AddCellProfile folds one cell's sampled stream into b as synthetic
+// stacks. The stream's first interval is measured from counter zero,
+// so the cell's whole simulated history (warmup included) up to the
+// last sample is attributed; the run's tail past the last sample — at
+// most one sampling interval — is the reconciliation slack quoted in
+// the package docs.
+func AddCellProfile(b *profile.Builder, workloadName, platformName, config string, samples []sampler.Sample) {
+	labels := []profile.Label{{Key: "config", Str: config}}
+	devNames := spa.DeviceComponentNames()
+	var prev sampler.Sample
+	for _, smp := range samples {
+		d := smp.Counters.Delta(prev.Counters)
+		dc := d[counters.Cycles]
+		dt := smp.TimeNs - prev.TimeNs
+		if dc <= 0 || dt <= 0 {
+			prev = smp
+			continue
+		}
+		nsPerCycle := dt / dc
+
+		// Device-component fractions for this interval: how the
+		// expander split its residence time while these stalls
+		// accumulated.
+		var comp [4]float64
+		var compTotal float64
+		if smp.HasDevice {
+			lr, sw, md, rs := smp.Device.ComponentDelta(prev.Device)
+			for i, v := range [4]float64{lr, sw, md, rs} {
+				if v > 0 {
+					comp[i] = v
+					compTotal += v
+				}
+			}
+		}
+
+		for _, fr := range spa.AttributeCycles(d) {
+			stack := make([]string, 0, 5)
+			stack = append(stack, workloadName, platformName, fr.Source)
+			if fr.Level != "" {
+				stack = append(stack, spa.ComponentLabel(fr.Level))
+			}
+			if fr.Level == "DRAM" && compTotal > 0 {
+				// DRAM-bound stall cycles refine to the device's
+				// internal components; fractions sum to 1, so the
+				// split preserves the partition total.
+				for i, c := range comp {
+					if c <= 0 {
+						continue
+					}
+					cyc := fr.Cycles * c / compTotal
+					b.Add(append(stack, devNames[i]), labels, cyc, cyc*nsPerCycle)
+				}
+			} else {
+				b.Add(stack, labels, fr.Cycles, fr.Cycles*nsPerCycle)
+			}
+		}
+		prev = smp
+	}
+}
+
+// BuildProfile merges the per-cell profiles of series into one
+// profile. DurationNanos is the summed simulated span of the streams.
+func BuildProfile(series []SampledSeries) *profile.Profile {
+	b := NewProfileBuilder()
+	var durationNs float64
+	cells := 0
+	for _, s := range series {
+		if len(s.Samples) == 0 {
+			continue
+		}
+		AddCellProfile(b, s.Workload, s.Platform, s.Config, s.Samples)
+		durationNs += s.Samples[len(s.Samples)-1].TimeNs
+		cells++
+	}
+	p := b.Profile()
+	p.DurationNanos = int64(durationNs)
+	p.Comments = []string{
+		fmt.Sprintf("melody simulated-time profile: %d sampled cells", cells),
+		"stacks: workload > platform > stall source (P1-P9) > memory level > device component",
+		"values are simulated cycles/ns, not host time; config is a pprof tag",
+	}
+	return p
+}
+
+// ProfilesByExperiment groups series by the experiment that computed
+// them (empty experiment ids group under "run") and builds one merged
+// profile per group — the per-experiment artifacts cmd/melody's
+// -profile flag writes.
+func ProfilesByExperiment(series []SampledSeries) map[string]*profile.Profile {
+	groups := map[string][]SampledSeries{}
+	for _, s := range series {
+		id := s.Experiment
+		if id == "" {
+			id = "run"
+		}
+		groups[id] = append(groups[id], s)
+	}
+	out := make(map[string]*profile.Profile, len(groups))
+	for id, g := range groups {
+		out[id] = BuildProfile(g)
+	}
+	return out
+}

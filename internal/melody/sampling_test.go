@@ -13,7 +13,6 @@ import (
 	"github.com/moatlab/melody/internal/workload"
 )
 
-
 // samplingSpecs picks a small named subset — sampling tests need only
 // a few representative cells, not the 8+ of testSubset.
 func samplingSpecs(t *testing.T, names ...string) []workload.Spec {

@@ -53,16 +53,22 @@ type Telemetry struct {
 	cellWall     *obs.Histogram
 
 	mu      sync.Mutex
+	exp     string // current experiment id (engine-stamped)
 	cells   []CellTiming
 	sampled []SampledSeries
 }
 
-// SampledSeries is one cell's cycle-driven sampled stream, kept for the
-// -metrics time-series export.
+// SampledSeries is one cell's cycle-driven sampled stream, kept for
+// the -metrics time-series export and the simulated-time profile
+// assembly. Experiment is the experiment that computed the cell; with
+// the engine's cross-experiment cache a cell shared by several
+// experiments is recorded once, under the experiment that ran first.
 type SampledSeries struct {
-	Workload string           `json:"workload"`
-	Config   string           `json:"config"`
-	Samples  []sampler.Sample `json:"samples"`
+	Workload   string           `json:"workload"`
+	Config     string           `json:"config"`
+	Platform   string           `json:"platform"`
+	Experiment string           `json:"experiment,omitempty"`
+	Samples    []sampler.Sample `json:"samples"`
 }
 
 // NewTelemetry returns a Telemetry with a fresh Registry and no Trace.
@@ -130,7 +136,10 @@ func (t *Telemetry) cellSampled(ct CellTiming, samples []sampler.Sample, wallSta
 	}
 	t.cellsSampled.Inc()
 	t.mu.Lock()
-	t.sampled = append(t.sampled, SampledSeries{Workload: ct.Workload, Config: ct.Config, Samples: samples})
+	t.sampled = append(t.sampled, SampledSeries{
+		Workload: ct.Workload, Config: ct.Config, Platform: ct.Platform,
+		Experiment: t.exp, Samples: samples,
+	})
 	pid := tracePidSamples + len(t.sampled) - 1
 	t.mu.Unlock()
 	if t.Trace == nil {
@@ -142,8 +151,8 @@ func (t *Telemetry) cellSampled(ct CellTiming, samples []sampler.Sample, wallSta
 }
 
 // SampledSeries returns the collected per-cell streams sorted by
-// (workload, config) — a deterministic order regardless of worker
-// scheduling.
+// (workload, config, platform, experiment) — a deterministic order
+// regardless of worker scheduling.
 func (t *Telemetry) SampledSeries() []SampledSeries {
 	if t == nil {
 		return nil
@@ -155,9 +164,28 @@ func (t *Telemetry) SampledSeries() []SampledSeries {
 		if out[i].Workload != out[j].Workload {
 			return out[i].Workload < out[j].Workload
 		}
-		return out[i].Config < out[j].Config
+		if out[i].Config != out[j].Config {
+			return out[i].Config < out[j].Config
+		}
+		if out[i].Platform != out[j].Platform {
+			return out[i].Platform < out[j].Platform
+		}
+		return out[i].Experiment < out[j].Experiment
 	})
 	return out
+}
+
+// beginExperiment stamps subsequently sampled cells with the running
+// experiment's id. The engine calls it at the top of each Run;
+// experiments execute sequentially per engine, so the stamp — and the
+// per-experiment profile grouping built on it — is deterministic.
+func (t *Telemetry) beginExperiment(id string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.exp = id
+	t.mu.Unlock()
 }
 
 // cellSpan opens a trace span on the worker's track covering one cell

@@ -117,6 +117,74 @@ func TestHistogramMerge(t *testing.T) {
 	}
 }
 
+// TestHistogramMergeEmptyIntoFull: the reverse direction of the
+// empty-merge case — folding an empty histogram in must leave every
+// statistic untouched, in particular min (an empty histogram's zero
+// min must not leak in as a spurious minimum).
+func TestHistogramMergeEmptyIntoFull(t *testing.T) {
+	h := NewHistogram()
+	h.Record(5)
+	h.Record(10)
+	h.Merge(NewHistogram())
+	if h.Count() != 2 || h.Min() != 5 || h.Max() != 10 || h.Sum() != 15 {
+		t.Fatalf("empty merge perturbed state: count=%d min=%v max=%v sum=%v",
+			h.Count(), h.Min(), h.Max(), h.Sum())
+	}
+}
+
+// TestHistogramMergeEdgeBuckets: samples clamped to the edge buckets
+// (below 2^histMinExp, above 2^histMaxExp, and zero/negative) must
+// survive a merge with exact counts, sums, and min/max — the clamp
+// affects only percentile resolution, never the exact statistics.
+func TestHistogramMergeEdgeBuckets(t *testing.T) {
+	tiny, huge := NewHistogram(), NewHistogram()
+	tiny.Record(1e-30)
+	tiny.Record(0)
+	tiny.Record(-3)
+	huge.Record(1e30)
+	huge.Record(2e30)
+
+	h := NewHistogram()
+	h.Merge(tiny)
+	h.Merge(huge)
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if h.Min() != -3 || h.Max() != 2e30 {
+		t.Fatalf("min/max = %v/%v, want -3/2e30", h.Min(), h.Max())
+	}
+	if want := 1e-30 - 3 + 1e30 + 2e30; math.Abs(h.Sum()-want) > 1e-12*want {
+		t.Fatalf("sum = %v, want %v", h.Sum(), want)
+	}
+	// Percentile extremes stay exact (clamped to observed min/max).
+	if h.Percentile(0) != -3 || h.Percentile(100) != 2e30 {
+		t.Fatalf("p0/p100 = %v/%v", h.Percentile(0), h.Percentile(100))
+	}
+}
+
+// TestHistogramMergeMinMaxInterleaved: when the merged ranges overlap,
+// min/max must come from whichever side holds the extreme, in either
+// merge direction.
+func TestHistogramMergeMinMaxInterleaved(t *testing.T) {
+	mk := func(vals ...float64) *Histogram {
+		h := NewHistogram()
+		for _, v := range vals {
+			h.Record(v)
+		}
+		return h
+	}
+	a := mk(2, 50)
+	a.Merge(mk(1, 40))
+	if a.Min() != 1 || a.Max() != 50 {
+		t.Fatalf("a min/max = %v/%v, want 1/50", a.Min(), a.Max())
+	}
+	b := mk(1, 40)
+	b.Merge(mk(2, 50))
+	if b.Min() != 1 || b.Max() != 50 {
+		t.Fatalf("b min/max = %v/%v, want 1/50", b.Min(), b.Max())
+	}
+}
+
 func TestHistogramConcurrentRecord(t *testing.T) {
 	h := NewHistogram()
 	var wg sync.WaitGroup

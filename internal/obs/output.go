@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Output-destination validation for the observability flags. The
+// artifacts (-metrics manifests, -trace event files, -profile
+// directories, sampled-stream CSVs) are written after runs that can
+// take minutes; a typo'd or unwritable path must fail at flag-parse
+// time, not after the simulation has already burned its wall clock.
+
+// EnsureWritableFile verifies path can be created for writing, making
+// parent directories as needed. The file is created empty (without
+// truncating existing content) so the writability check exercises the
+// same permissions the later write will need.
+func EnsureWritableFile(path string) error {
+	if path == "" {
+		return fmt.Errorf("empty output path")
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("output %s: %w", path, err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("output %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// EnsureWritableDir verifies dir exists (creating it as needed) and
+// accepts new files, by writing and removing a probe file.
+func EnsureWritableDir(dir string) error {
+	if dir == "" {
+		return fmt.Errorf("empty output directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("output dir %s: %w", dir, err)
+	}
+	probe := filepath.Join(dir, ".write-probe")
+	f, err := os.OpenFile(probe, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("output dir %s: %w", dir, err)
+	}
+	f.Close()
+	return os.Remove(probe)
+}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestEnsureWritableFileCreatesParents(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a", "b", "out.json")
+	if err := EnsureWritableFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("file not created: %v", err)
+	}
+}
+
+func TestEnsureWritableFileKeepsContent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := os.WriteFile(path, []byte("existing"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := EnsureWritableFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "existing" {
+		t.Fatalf("probe truncated the file: %q", got)
+	}
+}
+
+func TestEnsureWritableFileErrors(t *testing.T) {
+	if err := EnsureWritableFile(""); err == nil {
+		t.Fatal("empty path accepted")
+	}
+	dir := t.TempDir()
+	// A path whose parent is a regular file cannot be created.
+	blocker := filepath.Join(dir, "file")
+	if err := os.WriteFile(blocker, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := EnsureWritableFile(filepath.Join(blocker, "out.json")); err == nil {
+		t.Fatal("path under a regular file accepted")
+	}
+	if os.Getuid() != 0 { // root ignores permission bits
+		ro := filepath.Join(dir, "ro")
+		if err := os.Mkdir(ro, 0o555); err != nil {
+			t.Fatal(err)
+		}
+		if err := EnsureWritableFile(filepath.Join(ro, "out.json")); err == nil {
+			t.Fatal("read-only directory accepted")
+		}
+	}
+}
+
+func TestEnsureWritableDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "profiles", "nested")
+	if err := EnsureWritableDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(dir)
+	if err != nil || !st.IsDir() {
+		t.Fatalf("dir not created: %v", err)
+	}
+	// The probe file must not linger.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("probe left behind: %v", ents)
+	}
+}
+
+func TestEnsureWritableDirErrors(t *testing.T) {
+	if err := EnsureWritableDir(""); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+	blocker := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(blocker, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := EnsureWritableDir(blocker); err == nil {
+		t.Fatal("regular file accepted as directory")
+	}
+}

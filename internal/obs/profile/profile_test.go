@@ -1,0 +1,356 @@
+package profile
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"math"
+	"testing"
+)
+
+// --- minimal protobuf reader, enough to verify the encoder ---
+
+type field struct {
+	num  int
+	wire int
+	val  uint64 // wire 0
+	data []byte // wire 2
+}
+
+func parseFields(t *testing.T, b []byte) []field {
+	t.Helper()
+	var out []field
+	for len(b) > 0 {
+		tag, n := parseVarint(t, b)
+		b = b[n:]
+		f := field{num: int(tag >> 3), wire: int(tag & 7)}
+		switch f.wire {
+		case 0:
+			f.val, n = parseVarint(t, b)
+			b = b[n:]
+		case 2:
+			l, n := parseVarint(t, b)
+			b = b[n:]
+			if uint64(len(b)) < l {
+				t.Fatalf("truncated length-delimited field %d", f.num)
+			}
+			f.data = b[:l]
+			b = b[l:]
+		default:
+			t.Fatalf("unexpected wire type %d for field %d", f.wire, f.num)
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+func parseVarint(t *testing.T, b []byte) (uint64, int) {
+	t.Helper()
+	var v uint64
+	for i := 0; i < len(b); i++ {
+		v |= uint64(b[i]&0x7f) << (7 * i)
+		if b[i] < 0x80 {
+			return v, i + 1
+		}
+	}
+	t.Fatal("truncated varint")
+	return 0, 0
+}
+
+func parsePacked(t *testing.T, data []byte) []uint64 {
+	t.Helper()
+	var out []uint64
+	for len(data) > 0 {
+		v, n := parseVarint(t, data)
+		out = append(out, v)
+		data = data[n:]
+	}
+	return out
+}
+
+// decoded mirrors the subset of profile.proto the tests verify.
+type decoded struct {
+	strings     []string
+	sampleTypes [][2]string // type, unit
+	samples     []decSample
+	funcNames   map[uint64]string // function id -> name
+	locFunc     map[uint64]uint64 // location id -> function id
+	defaultType string
+}
+
+type decSample struct {
+	locs   []uint64
+	values []uint64
+	labels map[string]string
+}
+
+func decode(t *testing.T, raw []byte) decoded {
+	t.Helper()
+	d := decoded{funcNames: map[uint64]string{}, locFunc: map[uint64]uint64{}}
+	var defaultIdx uint64
+	type vt struct{ typ, unit uint64 }
+	var vts []vt
+	var labelPairs []map[uint64]uint64
+	for _, f := range parseFields(t, raw) {
+		switch f.num {
+		case profStringTable:
+			d.strings = append(d.strings, string(f.data))
+		case profSampleType:
+			var v vt
+			for _, sf := range parseFields(t, f.data) {
+				if sf.num == vtType {
+					v.typ = sf.val
+				}
+				if sf.num == vtUnit {
+					v.unit = sf.val
+				}
+			}
+			vts = append(vts, v)
+		case profSample:
+			var s decSample
+			labels := map[uint64]uint64{}
+			for _, sf := range parseFields(t, f.data) {
+				switch sf.num {
+				case sampleLocationID:
+					s.locs = parsePacked(t, sf.data)
+				case sampleValue:
+					s.values = parsePacked(t, sf.data)
+				case sampleLabel:
+					var k, v uint64
+					for _, lf := range parseFields(t, sf.data) {
+						if lf.num == labelKey {
+							k = lf.val
+						}
+						if lf.num == labelStr {
+							v = lf.val
+						}
+					}
+					labels[k] = v
+				}
+			}
+			d.samples = append(d.samples, s)
+			labelPairs = append(labelPairs, labels)
+		case profLocation:
+			var id, fn uint64
+			for _, lf := range parseFields(t, f.data) {
+				if lf.num == locID {
+					id = lf.val
+				}
+				if lf.num == locLine {
+					for _, ln := range parseFields(t, lf.data) {
+						if ln.num == lineFunctionID {
+							fn = ln.val
+						}
+					}
+				}
+			}
+			d.locFunc[id] = fn
+		case profDefaultType:
+			defaultIdx = f.val
+		}
+	}
+	// Functions reference the string table, which the encoder emits
+	// last; resolve them in a second pass once all strings are read.
+	for _, f := range parseFields(t, raw) {
+		if f.num != profFunction {
+			continue
+		}
+		var id, name uint64
+		for _, ff := range parseFields(t, f.data) {
+			if ff.num == funcID {
+				id = ff.val
+			}
+			if ff.num == funcName {
+				name = ff.val
+			}
+		}
+		d.funcNames[id] = d.strings[name]
+	}
+	for _, v := range vts {
+		d.sampleTypes = append(d.sampleTypes, [2]string{d.strings[v.typ], d.strings[v.unit]})
+	}
+	for i, labels := range labelPairs {
+		d.samples[i].labels = map[string]string{}
+		for k, v := range labels {
+			d.samples[i].labels[d.strings[k]] = d.strings[v]
+		}
+	}
+	if defaultIdx != 0 {
+		d.defaultType = d.strings[defaultIdx]
+	}
+	return d
+}
+
+// stackOf reconstructs a sample's root-first frame names.
+func (d decoded) stackOf(t *testing.T, s decSample) []string {
+	t.Helper()
+	out := make([]string, len(s.locs))
+	for i, loc := range s.locs {
+		fn, ok := d.locFunc[loc]
+		if !ok {
+			t.Fatalf("sample references unknown location %d", loc)
+		}
+		name, ok := d.funcNames[fn]
+		if !ok {
+			t.Fatalf("location %d references unknown function %d", loc, fn)
+		}
+		// locs are leaf-first; build root-first.
+		out[len(s.locs)-1-i] = name
+	}
+	return out
+}
+
+func testTypes() []ValueType {
+	return []ValueType{
+		{Type: "sim_cycles", Unit: "cycles"},
+		{Type: "sim_ns", Unit: "nanoseconds"},
+	}
+}
+
+func TestEncodeRoundTrip(t *testing.T) {
+	b := NewBuilder(testTypes()...)
+	cfg := []Label{{Key: "config", Str: "CXL-A"}}
+	b.Add([]string{"wl", "EMR2S", "bound on loads", "DRAM"}, cfg, 100, 40)
+	b.Add([]string{"wl", "EMR2S", "bound on loads", "DRAM"}, cfg, 23, 9.2)
+	b.Add([]string{"wl", "EMR2S", "retiring"}, cfg, 7.4, 3)
+
+	p := b.Profile()
+	d := decode(t, p.Encode())
+
+	if len(d.strings) == 0 || d.strings[0] != "" {
+		t.Fatalf("string_table[0] = %q, want empty", d.strings[0])
+	}
+	want := [][2]string{{"sim_cycles", "cycles"}, {"sim_ns", "nanoseconds"}}
+	if len(d.sampleTypes) != 2 || d.sampleTypes[0] != want[0] || d.sampleTypes[1] != want[1] {
+		t.Fatalf("sample types = %v, want %v", d.sampleTypes, want)
+	}
+	if d.defaultType != "sim_cycles" {
+		t.Fatalf("default sample type = %q, want sim_cycles", d.defaultType)
+	}
+	if len(d.samples) != 2 {
+		t.Fatalf("got %d samples, want 2 (aggregated)", len(d.samples))
+	}
+	for _, s := range d.samples {
+		stack := d.stackOf(t, s)
+		switch stack[len(stack)-1] {
+		case "DRAM":
+			if s.values[0] != 123 || s.values[1] != 49 {
+				t.Fatalf("DRAM sample values = %v, want [123 49]", s.values)
+			}
+			if len(stack) != 4 || stack[0] != "wl" || stack[2] != "bound on loads" {
+				t.Fatalf("DRAM stack = %v", stack)
+			}
+		case "retiring":
+			if s.values[0] != 7 || s.values[1] != 3 {
+				t.Fatalf("retiring sample values = %v, want [7 3]", s.values)
+			}
+		default:
+			t.Fatalf("unexpected leaf %q", stack[len(stack)-1])
+		}
+		if s.labels["config"] != "CXL-A" {
+			t.Fatalf("labels = %v, want config=CXL-A", s.labels)
+		}
+	}
+}
+
+func TestWriteGzipRoundTrip(t *testing.T) {
+	b := NewBuilder(testTypes()...)
+	b.Add([]string{"wl", "plat", "retiring"}, nil, 10, 5)
+	p := b.Profile()
+
+	var buf bytes.Buffer
+	if err := p.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	zr, err := gzip.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, p.Encode()) {
+		t.Fatal("gzipped payload does not match Encode output")
+	}
+}
+
+// TestDeterministicBytes pins the package contract: the same logical
+// content produces identical bytes regardless of Add order or how the
+// work was split across builders before merging — the property that
+// makes -j1 and -jN profile outputs byte-identical.
+func TestDeterministicBytes(t *testing.T) {
+	stacks := [][]string{
+		{"wl-b", "plat", "bound on loads", "L3"},
+		{"wl-a", "plat", "bound on loads", "DRAM", "media access"},
+		{"wl-a", "plat", "retiring"},
+		{"wl-c", "plat", "bound on stores", "Store"},
+	}
+	build := func(order []int, split bool) []byte {
+		b := NewBuilder(testTypes()...)
+		other := NewBuilder(testTypes()...)
+		for n, i := range order {
+			dst := b
+			if split && n%2 == 1 {
+				dst = other
+			}
+			dst.Add(stacks[i], []Label{{Key: "config", Str: "CXL-B"}}, float64(10*(i+1)), float64(i+1))
+		}
+		if err := b.Merge(other); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := b.Profile().Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	ref := build([]int{0, 1, 2, 3}, false)
+	for _, c := range []struct {
+		name  string
+		order []int
+		split bool
+	}{
+		{"reversed", []int{3, 2, 1, 0}, false},
+		{"shuffled", []int{2, 0, 3, 1}, false},
+		{"merged", []int{1, 3, 0, 2}, true},
+	} {
+		if got := build(c.order, c.split); !bytes.Equal(got, ref) {
+			t.Fatalf("%s build produced different bytes", c.name)
+		}
+	}
+}
+
+func TestMergeSchemaMismatch(t *testing.T) {
+	a := NewBuilder(ValueType{Type: "sim_cycles", Unit: "cycles"})
+	b := NewBuilder(ValueType{Type: "sim_ns", Unit: "nanoseconds"})
+	if err := a.Merge(b); err == nil {
+		t.Fatal("mismatched sample types merged without error")
+	}
+	c := NewBuilder(testTypes()...)
+	if err := a.Merge(c); err == nil {
+		t.Fatal("mismatched sample-type count merged without error")
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Fatalf("nil merge: %v", err)
+	}
+	if err := a.Merge(a); err != nil {
+		t.Fatalf("self merge: %v", err)
+	}
+}
+
+func TestBuilderDropsZeroSamples(t *testing.T) {
+	b := NewBuilder(testTypes()...)
+	b.Add([]string{"wl", "plat", "noise"}, nil, 0.2, 0.1) // rounds to zero
+	b.Add([]string{"wl", "plat", "real"}, nil, 3.6, 1.2)
+	p := b.Profile()
+	if len(p.Samples) != 1 {
+		t.Fatalf("got %d samples, want 1 (zero-rounded dropped)", len(p.Samples))
+	}
+	if p.Samples[0].Values[0] != 4 || p.Samples[0].Values[1] != 1 {
+		t.Fatalf("values = %v, want [4 1]", p.Samples[0].Values)
+	}
+	if got := b.Total(0); math.Abs(got-3.8) > 1e-12 {
+		t.Fatalf("Total(0) = %v, want 3.8", got)
+	}
+}

@@ -1,0 +1,76 @@
+package sampler
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/moatlab/melody/internal/counters"
+	"github.com/moatlab/melody/internal/cxl"
+)
+
+// TestWriteCSVGolden pins the CSV export schema byte-for-byte: header
+// column names and order (time_ns, the 21 counters in ID order, then
+// the CPMU block) and row emission in sample order. Downstream
+// notebooks parse these columns by name — any change here is a
+// breaking schema change and must be deliberate.
+func TestWriteCSVGolden(t *testing.T) {
+	var s1, s2 Sample
+	s1.TimeNs = 1000
+	s2.TimeNs = 2500.5
+	for i := counters.ID(0); i < counters.NumCounters; i++ {
+		s1.Counters[i] = float64(i)
+		s2.Counters[i] = float64(i) * 1.5
+	}
+	s2.HasDevice = true
+	s2.Device = cxl.CPMUState{
+		QueueDepth: 3, LinkCreditsInFlight: 2,
+		ThermalActive: true, UtilFrac: 0.75,
+		ReadGBs: 12.5, WriteGBs: 0.5,
+		LinkReqNs: 100, SchedWaitNs: 200.25, MediaNs: 300, LinkRspNs: 50,
+		HiccupStalls: 7, ThermalStalls: 1, Requests: 42,
+	}
+
+	var sb strings.Builder
+	if err := WriteCSV(&sb, []Sample{s1, s2}); err != nil {
+		t.Fatal(err)
+	}
+
+	const want = "time_ns," +
+		"BOUND_ON_LOADS,BOUND_ON_STORES,STALLS_L1D_MISS,STALLS_L2_MISS,STALLS_L3_MISS," +
+		"RETIRED.STALLS,1_PORTS_UTIL,2_PORTS_UTIL,STALLS.SCOREBD," +
+		"CYCLES,INSTRUCTIONS," +
+		"L1PF_L3_MISS,L2PF_L3_MISS,L2PF_L3_HIT,L1PF_ISSUED,L2PF_ISSUED,L2PF_DROPPED," +
+		"DEMAND_L3_MISS,DEMAND_LOADS,STORE_OPS,DELAYED_HITS," +
+		"cpmu_queue_depth,cpmu_link_credits,cpmu_thermal_active," +
+		"cpmu_util_frac,cpmu_read_gbs,cpmu_write_gbs," +
+		"cpmu_link_req_ns,cpmu_sched_wait_ns,cpmu_media_ns,cpmu_link_rsp_ns," +
+		"cpmu_hiccup_stalls,cpmu_thermal_stalls,cpmu_requests\n" +
+		"1000,0,1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,20," +
+		"0,0,0,0,0,0,0,0,0,0,0,0,0\n" +
+		"2500.5,0,1.5,3,4.5,6,7.5,9,10.5,12,13.5,15,16.5,18,19.5,21,22.5,24,25.5,27,28.5,30," +
+		"3,2,1,0.75,12.5,0.5,100,200.25,300,50,7,1,42\n"
+	if got := sb.String(); got != want {
+		t.Fatalf("CSV schema drifted.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestWriteCSVHeaderTracksCounterSet: the header must have one column
+// per counter — adding a counter without extending the export is the
+// silent-drop failure mode this guards.
+func TestWriteCSVHeaderTracksCounterSet(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteCSV(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	header := strings.TrimSuffix(sb.String(), "\n")
+	cols := strings.Split(header, ",")
+	want := 1 + int(counters.NumCounters) + len(csvCPMUColumns)
+	if len(cols) != want {
+		t.Fatalf("header has %d columns, want %d", len(cols), want)
+	}
+	for i, id := range counters.SpaSet() {
+		if cols[1+i] != id.String() {
+			t.Fatalf("column %d = %q, want %q (P%d)", 1+i, cols[1+i], id.String(), i+1)
+		}
+	}
+}

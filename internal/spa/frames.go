@@ -1,0 +1,98 @@
+package spa
+
+import (
+	"fmt"
+
+	"github.com/moatlab/melody/internal/counters"
+)
+
+// Counter → frame mapping for the simulated-time flame profiles.
+//
+// A pprof profile wants a *partition*: every simulated cycle should
+// appear under exactly one leaf, so flame-graph widths add up to the
+// run. The nine Table-2 counters overlap by construction (P6 counts
+// every no-retire stall; P3-P5 nest inside P1), but the core model
+// accumulates them with exact containment — P6 = P1 + P2 + P9 and
+// P1 ⊇ P3 ⊇ P4 ⊇ P5 — so a clean partition exists:
+//
+//	Cycles = retiring + P7 + P8 + P1 + P2 + P9 + residual
+//	P1     = L1 + L2 + L3 + DRAM           (via MemStalls)
+//
+// where retiring = Cycles − P6 − P7 − P8 (cycles that retired µops at
+// full width) and residual absorbs any P6 stalls the named sources do
+// not cover (zero in the current model; kept so the partition stays
+// total if the core grows new stall paths). Real hardware would not
+// give exact containment; the residual frame is where the slack would
+// land, mirroring Breakdown.Other.
+
+// CycleFrame is one slice of an interval's cycle partition: a Table-2
+// stall source, optionally refined to a memory level (a ComponentNames
+// entry), carrying the simulated cycles it absorbed.
+type CycleFrame struct {
+	// Source is the stall-source frame name, e.g. "BOUND_ON_LOADS (P1)",
+	// or the synthetic "retiring" / "other stalls" frames.
+	Source string
+	// Level refines memory-bound sources ("DRAM", "L3", "L2", "L1",
+	// "Store"); empty for core-bound and non-stall sources. DRAM-level
+	// cycles are the ones a device-component split can refine further.
+	Level string
+	// Cycles is the slice's weight in simulated cycles (>= 0).
+	Cycles float64
+}
+
+// sourceFrame renders a Table-2 counter as its profile frame name.
+func sourceFrame(id counters.ID, p int) string {
+	return fmt.Sprintf("%s (P%d)", id, p)
+}
+
+// FrameRetiring and FrameOtherStalls name the two synthetic frames
+// completing the partition.
+const (
+	FrameRetiring    = "retiring"
+	FrameOtherStalls = "other stalls"
+)
+
+// AttributeCycles partitions one counter delta (an interval's worth of
+// accumulation, or a whole run's) into stall-source frames. Every
+// returned frame has positive weight; the weights sum to the delta's
+// Cycles up to clamping (exact in the current core model). The Level
+// strings are ComponentNames entries, so ComponentLabel renders them
+// with the same phrasing the phase narrative uses.
+func AttributeCycles(d counters.Snapshot) []CycleFrame {
+	pos := func(v float64) float64 {
+		if v > 0 {
+			return v
+		}
+		return 0
+	}
+	out := make([]CycleFrame, 0, 10)
+	add := func(source, level string, cycles float64) {
+		if cycles > 0 {
+			out = append(out, CycleFrame{Source: source, Level: level, Cycles: cycles})
+		}
+	}
+
+	store, l1, l2, l3, dram := MemStalls(d)
+	loads := sourceFrame(counters.BoundOnLoads, 1)
+	add(loads, "L1", pos(l1))
+	add(loads, "L2", pos(l2))
+	add(loads, "L3", pos(l3))
+	add(loads, "DRAM", pos(dram))
+	add(sourceFrame(counters.BoundOnStores, 2), "Store", pos(store))
+	add(sourceFrame(counters.OnePortsUtil, 7), "", pos(d[counters.OnePortsUtil]))
+	add(sourceFrame(counters.TwoPortsUtil, 8), "", pos(d[counters.TwoPortsUtil]))
+	add(sourceFrame(counters.StallsScoreboard, 9), "", pos(d[counters.StallsScoreboard]))
+
+	// Whatever part of the no-retire stalls (P6) the named sources do
+	// not explain; exactly zero under the current core accounting.
+	named := pos(d[counters.BoundOnLoads]) + pos(d[counters.BoundOnStores]) +
+		pos(d[counters.StallsScoreboard])
+	add(FrameOtherStalls, "", pos(d[counters.RetiredStalls])-named)
+
+	// Cycles that retired µops: total minus no-retire stalls minus the
+	// port-underutilization cycles counted by P7/P8.
+	add(FrameRetiring, "",
+		pos(d[counters.Cycles])-pos(d[counters.RetiredStalls])-
+			pos(d[counters.OnePortsUtil])-pos(d[counters.TwoPortsUtil]))
+	return out
+}

@@ -1,0 +1,119 @@
+package spa
+
+import (
+	"math"
+	"testing"
+
+	"github.com/moatlab/melody/internal/counters"
+)
+
+// frameDelta builds a delta snapshot honouring the core model's
+// containment invariants (P6 = P1+P2+P9, P1 ⊇ P3 ⊇ P4 ⊇ P5).
+func frameDelta() counters.Snapshot {
+	var d counters.Snapshot
+	d[counters.BoundOnLoads] = 100
+	d[counters.StallsL1DMiss] = 60
+	d[counters.StallsL2Miss] = 40
+	d[counters.StallsL3Miss] = 30
+	d[counters.BoundOnStores] = 20
+	d[counters.StallsScoreboard] = 10
+	d[counters.RetiredStalls] = 130 // P1 + P2 + P9
+	d[counters.OnePortsUtil] = 5
+	d[counters.TwoPortsUtil] = 3
+	d[counters.Cycles] = 200
+	return d
+}
+
+func TestAttributeCyclesPartitionIsTotal(t *testing.T) {
+	d := frameDelta()
+	frames := AttributeCycles(d)
+	var sum float64
+	for _, fr := range frames {
+		if fr.Cycles <= 0 {
+			t.Fatalf("frame %v has non-positive weight", fr)
+		}
+		sum += fr.Cycles
+	}
+	if math.Abs(sum-d[counters.Cycles]) > 1e-9 {
+		t.Fatalf("partition sums to %v, want %v cycles", sum, d[counters.Cycles])
+	}
+}
+
+func TestAttributeCyclesLevels(t *testing.T) {
+	want := map[string]float64{
+		"BOUND_ON_LOADS (P1)/L1":     40, // P1 - P3
+		"BOUND_ON_LOADS (P1)/L2":     20, // P3 - P4
+		"BOUND_ON_LOADS (P1)/L3":     10, // P4 - P5
+		"BOUND_ON_LOADS (P1)/DRAM":   30, // P5
+		"BOUND_ON_STORES (P2)/Store": 20,
+		"1_PORTS_UTIL (P7)/":         5,
+		"2_PORTS_UTIL (P8)/":         3,
+		"STALLS.SCOREBD (P9)/":       10,
+		FrameRetiring + "/":          62, // 200 - 130 - 5 - 3
+	}
+	got := map[string]float64{}
+	for _, fr := range AttributeCycles(frameDelta()) {
+		got[fr.Source+"/"+fr.Level] = fr.Cycles
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d frames %v, want %d", len(got), got, len(want))
+	}
+	for k, v := range want {
+		if math.Abs(got[k]-v) > 1e-9 {
+			t.Fatalf("frame %q = %v, want %v", k, got[k], v)
+		}
+	}
+}
+
+// TestAttributeCyclesLevelVocabulary pins that levels speak the same
+// language as the Report: every level is a ComponentNames entry and
+// renders through ComponentLabel like the narrative does.
+func TestAttributeCyclesLevelVocabulary(t *testing.T) {
+	names := map[string]bool{}
+	for _, n := range ComponentNames() {
+		names[n] = true
+	}
+	for _, fr := range AttributeCycles(frameDelta()) {
+		if fr.Level == "" {
+			continue
+		}
+		if !names[fr.Level] {
+			t.Fatalf("level %q is not a ComponentNames entry", fr.Level)
+		}
+		if ComponentLabel(fr.Level) == "unattributed stalls" {
+			t.Fatalf("level %q has no narrative label", fr.Level)
+		}
+	}
+}
+
+// TestAttributeCyclesResidual exercises the clamp paths: stalls beyond
+// the named sources land in the residual frame, and inconsistent
+// counters never produce negative frames.
+func TestAttributeCyclesResidual(t *testing.T) {
+	var d counters.Snapshot
+	d[counters.RetiredStalls] = 50
+	d[counters.BoundOnLoads] = 30
+	d[counters.Cycles] = 80
+	got := map[string]float64{}
+	for _, fr := range AttributeCycles(d) {
+		got[fr.Source] += fr.Cycles
+	}
+	if got[FrameOtherStalls] != 20 {
+		t.Fatalf("residual = %v, want 20", got[FrameOtherStalls])
+	}
+	if got[FrameRetiring] != 30 {
+		t.Fatalf("retiring = %v, want 30", got[FrameRetiring])
+	}
+
+	// P6 below the named sources (cannot happen in the model) clamps
+	// the residual rather than going negative.
+	d[counters.RetiredStalls] = 10
+	for _, fr := range AttributeCycles(d) {
+		if fr.Cycles <= 0 {
+			t.Fatalf("clamped input produced non-positive frame %v", fr)
+		}
+		if fr.Source == FrameOtherStalls {
+			t.Fatalf("residual frame emitted for under-attributed P6")
+		}
+	}
+}

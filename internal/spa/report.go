@@ -32,9 +32,17 @@ type DeviceShare struct {
 	Valid bool `json:"valid"`
 }
 
+// DeviceComponentNames returns the expander-internal component labels
+// in CPMU order (link request, scheduler wait, media, link response) —
+// the frame vocabulary shared by the narrative's attribution and the
+// simulated-time profile's device-level stack frames.
+func DeviceComponentNames() []string {
+	return []string{"CXL link request", "CXL scheduler wait", "media access", "CXL link response"}
+}
+
 // Dominant returns the largest device component's label and share.
 func (d DeviceShare) Dominant() (string, float64) {
-	names := []string{"CXL link request", "CXL scheduler wait", "media access", "CXL link response"}
+	names := DeviceComponentNames()
 	vals := []float64{d.LinkReq, d.SchedWait, d.Media, d.LinkRsp}
 	best := 0
 	for i, v := range vals {
@@ -252,8 +260,10 @@ func (r *Report) AttributeDevice(target []sampler.Sample) {
 	}
 }
 
-// componentLabel renders a ComponentNames entry for the narrative.
-func componentLabel(name string) string {
+// ComponentLabel renders a ComponentNames entry as the human-readable
+// phrasing used by both the phase narrative and the simulated-time
+// profile's memory-level stack frames.
+func ComponentLabel(name string) string {
 	switch name {
 	case "DRAM":
 		return "loads bound on DRAM/CXL"
@@ -297,7 +307,7 @@ func (r Report) Narrative(w io.Writer) {
 	for _, ph := range r.Phases {
 		fmt.Fprintf(w, "instructions %s–%s: slowdown %.0f%%; %.0f%% of added stalls are %s",
 			fmtInstr(ph.StartInstr), fmtInstr(ph.EndInstr),
-			ph.Actual*100, ph.DominantShare*100, componentLabel(ph.Dominant))
+			ph.Actual*100, ph.DominantShare*100, ComponentLabel(ph.Dominant))
 		if ph.Device.Valid {
 			name, share := ph.Device.Dominant()
 			fmt.Fprintf(w, ", attributed to %s (%.0f%% of device time)", name, share*100)

@@ -60,8 +60,13 @@ func (b Breakdown) String() string {
 		b.Actual*100, b.DRAM*100, b.L3*100, b.L2*100, b.L1*100, b.Store*100, b.Core*100, b.Other*100)
 }
 
-// memStalls splits a snapshot into the five memory sources.
-func memStalls(c counters.Snapshot) (store, l1, l2, l3, dram float64) {
+// MemStalls splits a snapshot's memory-bound stall cycles into the
+// five memory sources of Equation (8): the store-buffer component and
+// the L1/L2/L3/DRAM levels nested inside BOUND_ON_LOADS. The split is
+// exact — l1+l2+l3+dram equals the snapshot's BoundOnLoads — which is
+// what lets both the Report phases and the simulated-time profiles
+// treat the levels as a partition.
+func MemStalls(c counters.Snapshot) (store, l1, l2, l3, dram float64) {
 	store = c[counters.BoundOnStores]
 	l1 = c[counters.BoundOnLoads] - c[counters.StallsL1DMiss]
 	l2 = c[counters.StallsL1DMiss] - c[counters.StallsL2Miss]
@@ -88,8 +93,8 @@ func Analyze(base, target counters.Snapshot) Breakdown {
 	b.EstBackend = (coreDelta + memDelta) / c
 	b.EstMemory = memDelta / c
 
-	bs, bl1, bl2, bl3, bd := memStalls(base)
-	ts, tl1, tl2, tl3, td := memStalls(target)
+	bs, bl1, bl2, bl3, bd := MemStalls(base)
+	ts, tl1, tl2, tl3, td := MemStalls(target)
 	b.Store = (ts - bs) / c
 	b.L1 = (tl1 - bl1) / c
 	b.L2 = (tl2 - bl2) / c
