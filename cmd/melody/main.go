@@ -38,9 +38,24 @@
 //	-pprof ADDR       serve net/http/pprof on ADDR (e.g. localhost:6060).
 //	                  This profiles the simulator's *host* time; use
 //	                  -profile for *simulated* time
+//	-serve ADDR       serve the live run observatory on ADDR:
+//	                  GET /metrics   Prometheus text exposition of the
+//	                                 telemetry registry (plus the
+//	                                 observatory's own counters under a
+//	                                 separate melody_observatory prefix)
+//	                  GET /progress  JSON per-experiment done/total,
+//	                                 cache hit rates, cell wall summary
+//	                  GET /events    SSE stream of cell and experiment
+//	                                 boundary events (bounded per-client
+//	                                 queues; slow clients drop oldest)
+//	                  GET /healthz   liveness probe
 //
 // Output paths are validated (and created) at flag-parse time so a
 // typo fails before the simulation runs, not after.
+//
+// SIGINT/SIGTERM cancel the run gracefully: in-flight cells finish,
+// no new cells start, and -metrics/-trace artifacts are still flushed
+// with the manifest marked "interrupted": true (exit status 130).
 package main
 
 import (
@@ -51,8 +66,10 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/moatlab/melody/internal/melody"
@@ -70,7 +87,7 @@ func main() {
 			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
 		}
 	case "run":
-		runCmd(os.Args[2:])
+		os.Exit(runCmd(os.Args[2:]))
 	default:
 		usage()
 		os.Exit(2)
@@ -102,7 +119,7 @@ func parseRunArgs(fs *flag.FlagSet, args []string) ([]string, error) {
 	}
 }
 
-func runCmd(args []string) {
+func runCmd(args []string) int {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	workloads := fs.Int("workloads", 48, "catalog subset size (0 = all 265)")
 	instructions := fs.Uint64("instructions", 0, "measurement window per run")
@@ -117,14 +134,15 @@ func runCmd(args []string) {
 	sampleEvery := fs.Uint64("sample-every", 0, "sample counters + CPMU state every N simulated cycles (0 = off)")
 	profileDir := fs.String("profile", "", "write per-experiment simulated-time pprof profiles to <dir>")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on <addr> (e.g. localhost:6060)")
+	serveAddr := fs.String("serve", "", "serve the live observatory (/metrics /progress /events /healthz) on <addr>")
 
 	ids, err := parseRunArgs(fs, args)
 	if err != nil {
-		os.Exit(2)
+		return 2
 	}
 	if len(ids) == 0 {
 		fmt.Fprintln(os.Stderr, "melody run: no experiments given (try `melody list`)")
-		os.Exit(2)
+		return 2
 	}
 	if len(ids) == 1 && ids[0] == "all" {
 		ids = nil
@@ -134,7 +152,7 @@ func runCmd(args []string) {
 	}
 	if err := validateOutputs(*metricsPath, *tracePath, *profileDir, *outDir); err != nil {
 		fmt.Fprintln(os.Stderr, "melody:", err)
-		os.Exit(2)
+		return 2
 	}
 
 	// The -pprof debug server profiles the simulator process itself
@@ -144,7 +162,7 @@ func runCmd(args []string) {
 		ln, err := net.Listen("tcp", *pprofAddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "melody: pprof:", err)
-			os.Exit(2)
+			return 2
 		}
 		srv := &http.Server{Handler: http.DefaultServeMux}
 		fmt.Fprintf(os.Stderr, "melody: pprof on http://%s/debug/pprof/\n", ln.Addr())
@@ -173,16 +191,33 @@ func runCmd(args []string) {
 	eng.Workers = *jobs
 
 	var tel *melody.Telemetry
-	if *metricsPath != "" || *tracePath != "" || *profileDir != "" {
+	if *metricsPath != "" || *tracePath != "" || *profileDir != "" || *serveAddr != "" {
 		tel = melody.NewTelemetry()
 		if *tracePath != "" {
 			tel.Trace = obs.NewTrace()
 		}
 		eng.Obs = tel
 	}
+
+	melody.RegisterWorkloads()
+
+	// The observatory serves live state over HTTP while the engine runs;
+	// it reads observation-side snapshots only, so attaching it cannot
+	// change results or the manifest.
+	var obsv *observatory
+	if *serveAddr != "" {
+		obsv, err = startObservatory(*serveAddr, tel, ids)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "melody: serve:", err)
+			return 2
+		}
+		defer obsv.close()
+	}
+
 	progressing := false
-	if !*quiet {
-		eng.Progress = func(id string, done, total int) {
+	eng.Progress = func(id string, done, total int) {
+		obsv.cell(id, done, total)
+		if !*quiet {
 			fmt.Fprintf(os.Stderr, "\r%-8s %d/%d cells", id, done, total)
 			progressing = true
 		}
@@ -194,51 +229,75 @@ func runCmd(args []string) {
 		}
 	}
 
-	melody.RegisterWorkloads()
-	ctx := context.Background()
-	var expTimings []experimentTiming
+	// SIGINT/SIGTERM cancel the run context: the runner finishes cells
+	// already executing but refuses to start new ones, and the artifact
+	// flush below still happens — a partial manifest marked
+	// "interrupted" beats no manifest after a half-hour run.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	interrupted := false
+	var expTimings []melody.ExperimentTiming
 	for _, id := range ids {
 		e, ok := melody.ExperimentByID(id)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "melody: unknown experiment %q (try `melody list`)\n", id)
-			os.Exit(1)
+			return 1
 		}
+		if ctx.Err() != nil {
+			interrupted = true
+			break
+		}
+		obsv.experimentStart(e.ID, e.Title)
 		start := time.Now()
 		rep := eng.Run(ctx, e)
+		wallS := time.Since(start).Seconds()
+		obsv.experimentEnd(e.ID, wallS)
 		clearProgress()
+		if ctx.Err() != nil {
+			interrupted = true
+			fmt.Fprintf(os.Stderr, "melody: interrupted during %s; flushing partial artifacts\n", e.ID)
+			break
+		}
 		fmt.Println(rep.String())
-		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
-		expTimings = append(expTimings, experimentTiming{ID: e.ID, WallS: time.Since(start).Seconds()})
+		fmt.Printf("(%s in %.1fs)\n\n", e.ID, wallS)
+		expTimings = append(expTimings, melody.ExperimentTiming{ID: e.ID, WallS: wallS})
 		if *outDir != "" {
 			if err := os.MkdirAll(*outDir, 0o755); err != nil {
 				fmt.Fprintln(os.Stderr, "melody:", err)
-				os.Exit(1)
+				return 1
 			}
 			path := filepath.Join(*outDir, e.ID+".txt")
 			if err := os.WriteFile(path, []byte(rep.String()), 0o644); err != nil {
 				fmt.Fprintln(os.Stderr, "melody:", err)
-				os.Exit(1)
+				return 1
 			}
 		}
 	}
+	obsv.finish(interrupted)
 
 	if *metricsPath != "" {
-		m := buildManifest(*seed, *jobs, *workloads, expTimings, tel)
-		if err := writeMetrics(*metricsPath, m); err != nil {
+		m := melody.BuildManifest(*seed, *jobs, *workloads, expTimings, tel)
+		m.Interrupted = interrupted
+		if err := melody.WriteManifest(*metricsPath, m); err != nil {
 			fmt.Fprintln(os.Stderr, "melody: metrics:", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	if *tracePath != "" {
 		if err := writeTrace(*tracePath, tel.Trace); err != nil {
 			fmt.Fprintln(os.Stderr, "melody: trace:", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	if *profileDir != "" {
 		if err := writeProfiles(*profileDir, tel); err != nil {
 			fmt.Fprintln(os.Stderr, "melody: profile:", err)
-			os.Exit(1)
+			return 1
 		}
 	}
+	if interrupted {
+		return 130
+	}
+	return 0
 }

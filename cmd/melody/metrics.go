@@ -1,87 +1,16 @@
 package main
 
 import (
-	"encoding/json"
 	"os"
-	"runtime"
-	"runtime/debug"
 
-	"github.com/moatlab/melody/internal/melody"
 	"github.com/moatlab/melody/internal/obs"
 )
 
-// experimentTiming is one experiment's wall time in the run manifest.
-type experimentTiming struct {
-	ID    string  `json:"id"`
-	WallS float64 `json:"wall_s"`
-}
-
-// manifest is the -metrics output: enough provenance to reproduce the
-// run (versions, seed, parallelism), plus where the time went (per
-// experiment and per cell) and the full telemetry registry dump.
-type manifest struct {
-	Tool        string              `json:"tool"`
-	GoVersion   string              `json:"go_version"`
-	Module      string              `json:"module,omitempty"`
-	OS          string              `json:"os"`
-	Arch        string              `json:"arch"`
-	NumCPU      int                 `json:"num_cpu"`
-	Seed        uint64              `json:"seed"`
-	Workers     int                 `json:"workers"`
-	Workloads   int                 `json:"workloads"`
-	Experiments []experimentTiming  `json:"experiments"`
-	Cells       []melody.CellTiming `json:"cells"`
-	// Timeseries holds the per-cell sampled streams when -sample-every
-	// was set (sorted by workload then config).
-	Timeseries []melody.SampledSeries `json:"timeseries"`
-	Registry   obs.Snapshot           `json:"registry"`
-}
-
-// buildManifest assembles the manifest from a finished run.
-func buildManifest(seed uint64, workers, workloads int, exps []experimentTiming, tel *melody.Telemetry) manifest {
-	m := manifest{
-		Tool:        "melody",
-		GoVersion:   runtime.Version(),
-		OS:          runtime.GOOS,
-		Arch:        runtime.GOARCH,
-		NumCPU:      runtime.NumCPU(),
-		Seed:        seed,
-		Workers:     workers,
-		Workloads:   workloads,
-		Experiments: exps,
-		Cells:       tel.Cells(),
-		Timeseries:  tel.SampledSeries(),
-		Registry:    tel.Registry.Snapshot(),
-	}
-	if m.Experiments == nil {
-		m.Experiments = []experimentTiming{}
-	}
-	if m.Cells == nil {
-		m.Cells = []melody.CellTiming{}
-	}
-	if m.Timeseries == nil {
-		m.Timeseries = []melody.SampledSeries{}
-	}
-	if bi, ok := debug.ReadBuildInfo(); ok {
-		m.Module = bi.Main.Path
-	}
-	return m
-}
-
-// writeMetrics writes the manifest as indented JSON.
-func writeMetrics(path string, m manifest) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", " ")
-	if err := enc.Encode(m); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
-}
+// The run-manifest schema and its writer live in internal/melody
+// (melody.Manifest / melody.BuildManifest / melody.WriteManifest) so
+// the melodydiff regression gate reads exactly what this command
+// writes. This file keeps only the trace writer, which has no reader
+// in-repo.
 
 // writeTrace writes the Chrome trace-event JSON.
 func writeTrace(path string, tr *obs.Trace) error {

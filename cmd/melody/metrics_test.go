@@ -30,11 +30,11 @@ func runSmallObserved(t *testing.T) *melody.Telemetry {
 
 func TestWriteMetricsManifest(t *testing.T) {
 	tel := runSmallObserved(t)
-	exps := []experimentTiming{{ID: "fig8f", WallS: 1.5}}
-	m := buildManifest(42, 2, 6, exps, tel)
+	exps := []melody.ExperimentTiming{{ID: "fig8f", WallS: 1.5}}
+	m := melody.BuildManifest(42, 2, 6, exps, tel)
 
 	path := filepath.Join(t.TempDir(), "metrics.json")
-	if err := writeMetrics(path, m); err != nil {
+	if err := melody.WriteManifest(path, m); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(path)
@@ -77,9 +77,9 @@ func TestWriteMetricsManifest(t *testing.T) {
 func TestWriteMetricsEmptyRun(t *testing.T) {
 	// A run that executed nothing still writes a valid manifest with
 	// empty arrays, not nulls.
-	m := buildManifest(1, 0, 0, nil, melody.NewTelemetry())
+	m := melody.BuildManifest(1, 0, 0, nil, melody.NewTelemetry())
 	path := filepath.Join(t.TempDir(), "metrics.json")
-	if err := writeMetrics(path, m); err != nil {
+	if err := melody.WriteManifest(path, m); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(path)

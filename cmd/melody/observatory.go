@@ -1,0 +1,98 @@
+package main
+
+// -serve wiring: the observatory runs an HTTP server concurrently with
+// the engine, fed entirely from observation-side state (the telemetry
+// registry, a RunStatus board, an event hub). Nothing here has a
+// channel back into the engine, which is how the manifest stays
+// byte-identical with and without -serve — pinned by
+// TestServeDoesNotPerturbManifest.
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/moatlab/melody/internal/melody"
+	"github.com/moatlab/melody/internal/obs/serve"
+)
+
+// observatory bundles the run's live-view state. A nil *observatory is
+// a no-op on every method, so the engine loop calls it unconditionally.
+type observatory struct {
+	status *melody.RunStatus
+	hub    *serve.Hub
+	run    *serve.Running
+	start  time.Time
+}
+
+// startObservatory declares the run plan on a fresh status board and
+// starts the observatory server on addr. Listen errors surface
+// synchronously — a bad -serve address fails before the run starts.
+func startObservatory(addr string, tel *melody.Telemetry, ids []string) (*observatory, error) {
+	status := melody.NewRunStatus(tel)
+	titles := make([]string, len(ids))
+	for i, id := range ids {
+		if e, ok := melody.ExperimentByID(id); ok {
+			titles[i] = e.Title
+		}
+	}
+	status.Declare(ids, titles)
+
+	srv := serve.New(tel.Registry, func() any { return status.Snapshot() })
+	run, err := srv.Start(addr)
+	if err != nil {
+		return nil, err
+	}
+	o := &observatory{status: status, hub: srv.Hub(), run: run, start: time.Now()}
+	fmt.Fprintf(os.Stderr, "melody: observatory on http://%s/ (/metrics /progress /events /healthz)\n", run.Addr())
+	return o, nil
+}
+
+// atMs stamps an event with host milliseconds since the run began.
+func (o *observatory) atMs() int64 { return time.Since(o.start).Milliseconds() }
+
+// experimentStart marks id running and publishes the boundary event.
+func (o *observatory) experimentStart(id, title string) {
+	if o == nil {
+		return
+	}
+	o.status.BeginExperiment(id, title)
+	o.hub.Publish(serve.Event{Type: serve.EventExperimentStart, AtMs: o.atMs(), Experiment: id, Title: title})
+}
+
+// cell records batch progress and publishes a cell event.
+func (o *observatory) cell(id string, done, total int) {
+	if o == nil {
+		return
+	}
+	o.status.CellDone(id, done, total)
+	o.hub.Publish(serve.Event{Type: serve.EventCell, AtMs: o.atMs(), Experiment: id, Done: done, Total: total})
+}
+
+// experimentEnd marks id done with its wall time.
+func (o *observatory) experimentEnd(id string, wallS float64) {
+	if o == nil {
+		return
+	}
+	o.status.EndExperiment(id, wallS)
+	o.hub.Publish(serve.Event{Type: serve.EventExperimentEnd, AtMs: o.atMs(), Experiment: id, WallS: wallS})
+}
+
+// finish marks the run complete (or interrupted) and publishes the
+// final event; /progress keeps serving the terminal snapshot until
+// close, so a dashboard sees the run end rather than a dropped socket.
+func (o *observatory) finish(interrupted bool) {
+	if o == nil {
+		return
+	}
+	o.status.Finish(interrupted)
+	o.hub.Publish(serve.Event{Type: serve.EventRunEnd, AtMs: o.atMs(), Interrupted: interrupted})
+}
+
+// close shuts the HTTP server down.
+func (o *observatory) close() {
+	if o == nil || o.run == nil {
+		return
+	}
+	o.run.Close()
+}

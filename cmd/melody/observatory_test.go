@@ -1,0 +1,223 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"github.com/moatlab/melody/internal/melody"
+	"github.com/moatlab/melody/internal/obs/serve"
+)
+
+// runObserved executes one cheap experiment with telemetry and an
+// optional observatory attached, returning the stripped manifest bytes.
+func runObserved(t *testing.T, withServe bool) []byte {
+	t.Helper()
+	tel := melody.NewTelemetry()
+	eng := melody.NewEngine(melody.Options{
+		MaxWorkloads: 6, Instructions: 150_000, Warmup: 40_000, Seed: 1,
+		SampleEveryCycles: 50_000,
+	})
+	eng.Workers = 2
+	eng.Obs = tel
+
+	var obsv *observatory
+	if withServe {
+		var err error
+		obsv, err = startObservatory("127.0.0.1:0", tel, []string{"fig8f"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer obsv.close()
+		eng.Progress = func(id string, done, total int) { obsv.cell(id, done, total) }
+	}
+
+	obsv.experimentStart("fig8f", "")
+	if _, ok := eng.RunByID(context.Background(), "fig8f"); !ok {
+		t.Fatal("fig8f not registered")
+	}
+	obsv.experimentEnd("fig8f", 1)
+	obsv.finish(false)
+
+	if withServe {
+		// Scrape every endpoint mid-lifetime to prove reads are inert.
+		base := "http://" + obsv.run.Addr().String()
+		for _, ep := range []string{"/metrics", "/progress", "/healthz"} {
+			resp, err := http.Get(base + ep)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("GET %s = %d", ep, resp.StatusCode)
+			}
+		}
+	}
+
+	m := melody.BuildManifest(1, 2, 6, []melody.ExperimentTiming{{ID: "fig8f", WallS: 2}}, tel)
+	m.StripHostTime()
+	raw, err := melody.EncodeManifest(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// TestServeDoesNotPerturbManifest is the -serve isolation contract:
+// under the StripHostTime projection (host wall times are the only
+// nondeterministic manifest fields), a run with the observatory
+// attached and scraped produces byte-identical -metrics output to a
+// run without it.
+func TestServeDoesNotPerturbManifest(t *testing.T) {
+	without := runObserved(t, false)
+	with := runObserved(t, true)
+	if !bytes.Equal(without, with) {
+		i := 0
+		for i < len(without) && i < len(with) && without[i] == with[i] {
+			i++
+		}
+		lo := max(0, i-200)
+		t.Fatalf("manifest differs with -serve attached at byte %d:\n--- without ---\n…%s\n--- with ---\n…%s",
+			i, without[lo:min(len(without), i+200)], with[lo:min(len(with), i+200)])
+	}
+	// And nothing from the observatory leaked into the registry dump.
+	if bytes.Contains(with, []byte(`"serve/`)) {
+		t.Fatal("observatory self-metrics leaked into the manifest")
+	}
+}
+
+// TestObservatoryLiveEndpoints drives a run with the observatory up and
+// checks the live payloads: progress reflects the declared plan, events
+// stream boundary markers, /metrics carries both namespaces.
+func TestObservatoryLiveEndpoints(t *testing.T) {
+	tel := melody.NewTelemetry()
+	obsv, err := startObservatory("127.0.0.1:0", tel, []string{"fig8f"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obsv.close()
+	base := "http://" + obsv.run.Addr().String()
+
+	// Subscribe to /events before generating any.
+	evReq, _ := http.NewRequest("GET", base+"/events", nil)
+	evCtx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	evResp, err := http.DefaultClient.Do(evReq.WithContext(evCtx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer evResp.Body.Close()
+
+	eng := melody.NewEngine(melody.Options{
+		MaxWorkloads: 4, Instructions: 120_000, Warmup: 30_000, Seed: 1,
+	})
+	eng.Workers = 2
+	eng.Obs = tel
+	eng.Progress = func(id string, done, total int) { obsv.cell(id, done, total) }
+
+	obsv.experimentStart("fig8f", "Sensitivity")
+	if _, ok := eng.RunByID(context.Background(), "fig8f"); !ok {
+		t.Fatal("fig8f not registered")
+	}
+	obsv.experimentEnd("fig8f", 0.5)
+	obsv.finish(false)
+
+	var prog melody.ProgressSnapshot
+	resp, err := http.Get(base + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&prog); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !prog.Done || len(prog.Experiments) != 1 || prog.Experiments[0].State != "done" {
+		t.Fatalf("progress = %+v", prog)
+	}
+	if prog.CellsRun == 0 || prog.Experiments[0].Done != prog.Experiments[0].Total {
+		t.Fatalf("progress cells = %+v", prog)
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	body := buf.String()
+	for _, want := range []string{"melody_runner_cells_run_total", "melody_observatory_serve_metrics_scrapes_total", "melody_observatory_serve_events_published_total"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %s:\n%.1500s", want, body)
+		}
+	}
+
+	// The SSE stream carried the lifecycle: experiment_start, at least
+	// one cell, experiment_end, run_end.
+	seen := map[string]bool{}
+	sc := bufio.NewScanner(evResp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev serve.Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("bad SSE payload %q: %v", line, err)
+		}
+		seen[ev.Type] = true
+		if ev.Type == serve.EventRunEnd {
+			break
+		}
+	}
+	for _, want := range []string{serve.EventExperimentStart, serve.EventCell, serve.EventExperimentEnd, serve.EventRunEnd} {
+		if !seen[want] {
+			t.Fatalf("SSE stream missing %s events (saw %v)", want, seen)
+		}
+	}
+}
+
+// TestRunCmdInterruptFlushesManifest cancels a run via SIGINT mid-way
+// and checks that the manifest still lands, marked interrupted.
+func TestRunCmdInterruptFlushesManifest(t *testing.T) {
+	// Exercise the wiring directly (signal.NotifyContext is process-
+	// global; raising a real SIGINT would kill the test runner's other
+	// goroutines' expectations). Cancelled context + flush is the same
+	// code path runCmd takes.
+	tel := melody.NewTelemetry()
+	eng := melody.NewEngine(melody.Options{
+		MaxWorkloads: 4, Instructions: 120_000, Warmup: 30_000, Seed: 1,
+	})
+	eng.Workers = 2
+	eng.Obs = tel
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // interrupt before the experiment starts
+	if _, ok := eng.RunByID(ctx, "fig8f"); !ok {
+		t.Fatal("fig8f not registered")
+	}
+
+	m := melody.BuildManifest(1, 2, 4, nil, tel)
+	m.Interrupted = true
+	raw, err := melody.EncodeManifest(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(raw, []byte(`"interrupted": true`)) {
+		t.Fatalf("interrupted manifest missing flag:\n%.500s", raw)
+	}
+	// The cancelled run computed no cells but the manifest is complete.
+	var parsed struct {
+		Cells []any `json:"cells"`
+	}
+	if err := json.Unmarshal(raw, &parsed); err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Cells == nil {
+		t.Fatal("interrupted manifest has null cells")
+	}
+}

@@ -1,0 +1,88 @@
+// Command melodydiff is the cross-run regression gate: it compares two
+// -metrics run manifests and fails when simulated performance moved in
+// the wrong direction beyond a noise threshold.
+//
+// Usage:
+//
+//	melodydiff [-threshold 0.05] [-json FILE] [-quiet] OLD.json NEW.json
+//
+// Alignment is by identity, not order: registry series by metric path,
+// sampled streams by (workload, config, platform, experiment). Latency
+// histograms and stall counters gate higher-is-worse, device bandwidth
+// lower-is-worse; host wall times are reported but never gate (they
+// measure the CI machine, not the simulator).
+//
+// Exit codes: 0 clean, 1 regressions found, 2 usage or load error —
+// so CI can distinguish "perf regressed" from "gate itself broke".
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/moatlab/melody/internal/melody"
+	"github.com/moatlab/melody/internal/melody/diff"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("melodydiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	threshold := fs.Float64("threshold", diff.DefaultThreshold,
+		"relative noise threshold (0.05 = 5%)")
+	jsonPath := fs.String("json", "", "also write the machine-readable report to `FILE`")
+	quiet := fs.Bool("quiet", false, "suppress the table; exit code only")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: melodydiff [flags] OLD.json NEW.json\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	if *threshold < 0 {
+		fmt.Fprintln(stderr, "melodydiff: -threshold must be >= 0")
+		return 2
+	}
+
+	oldPath, newPath := fs.Arg(0), fs.Arg(1)
+	oldM, err := melody.LoadManifest(oldPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "melodydiff: %v\n", err)
+		return 2
+	}
+	newM, err := melody.LoadManifest(newPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "melodydiff: %v\n", err)
+		return 2
+	}
+
+	rep := diff.Compare(oldM, newM, diff.Options{Threshold: *threshold})
+	rep.OldPath, rep.NewPath = oldPath, newPath
+
+	if !*quiet {
+		fmt.Fprint(stdout, rep.Table())
+	}
+	if *jsonPath != "" {
+		raw, err := json.MarshalIndent(rep, "", " ")
+		if err != nil {
+			fmt.Fprintf(stderr, "melodydiff: encode report: %v\n", err)
+			return 2
+		}
+		if err := os.WriteFile(*jsonPath, append(raw, '\n'), 0o644); err != nil {
+			fmt.Fprintf(stderr, "melodydiff: %v\n", err)
+			return 2
+		}
+	}
+	if rep.HasRegressions() {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/moatlab/melody/internal/melody"
+	"github.com/moatlab/melody/internal/obs"
+)
+
+// writeManifest writes a minimal gate-able manifest with the given
+// latency mean.
+func writeManifest(t *testing.T, dir, name string, latencyMean float64) string {
+	t.Helper()
+	m := melody.Manifest{
+		Tool: "melody", Seed: 7, Workers: 2, Workloads: 4,
+		Experiments: []melody.ExperimentTiming{{ID: "fig5", WallS: 1}},
+		Cells: []melody.CellTiming{
+			{Workload: "w", Config: "CXL-B", Platform: "EMR2S", Seed: 3, WallMs: 2},
+		},
+		Timeseries: []melody.SampledSeries{},
+		Registry: obs.Snapshot{
+			Counters: map[string]uint64{},
+			Gauges:   map[string]float64{},
+			Histograms: map[string]obs.Summary{
+				"device/EMR2S/CXL-B/latency_ns": {Count: 100, Mean: latencyMean, P99: latencyMean * 2},
+			},
+		},
+	}
+	path := filepath.Join(dir, name)
+	if err := melody.WriteManifest(path, m); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunIdenticalExitsZero(t *testing.T) {
+	dir := t.TempDir()
+	a := writeManifest(t, dir, "a.json", 400)
+	b := writeManifest(t, dir, "b.json", 400)
+	var out, errb bytes.Buffer
+	if code := run([]string{a, b}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "no changes beyond threshold") {
+		t.Fatalf("stdout:\n%s", out.String())
+	}
+}
+
+func TestRunRegressionExitsOne(t *testing.T) {
+	dir := t.TempDir()
+	a := writeManifest(t, dir, "a.json", 400)
+	b := writeManifest(t, dir, "b.json", 480) // +20% latency
+	var out, errb bytes.Buffer
+	if code := run([]string{a, b}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, stdout:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGR") {
+		t.Fatalf("stdout:\n%s", out.String())
+	}
+	// Order matters: improvement direction exits clean.
+	if code := run([]string{b, a}, &out, &errb); code != 0 {
+		t.Fatalf("improvement exit = %d", code)
+	}
+}
+
+func TestRunThresholdFlag(t *testing.T) {
+	dir := t.TempDir()
+	a := writeManifest(t, dir, "a.json", 400)
+	b := writeManifest(t, dir, "b.json", 480)
+	var out, errb bytes.Buffer
+	// +20% is inside a 30% threshold.
+	if code := run([]string{"-threshold", "0.3", a, b}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if code := run([]string{"-threshold", "-1", a, b}, &out, &errb); code != 2 {
+		t.Fatalf("negative threshold exit = %d", code)
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	dir := t.TempDir()
+	a := writeManifest(t, dir, "a.json", 400)
+	b := writeManifest(t, dir, "b.json", 480)
+	jsonPath := filepath.Join(dir, "report.json")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", jsonPath, "-quiet", a, b}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d", code)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("-quiet still wrote table:\n%s", out.String())
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Old         string `json:"old"`
+		Regressions []any  `json:"regressions"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Old != a || len(rep.Regressions) != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestRunUsageAndLoadErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"only-one.json"}, &out, &errb); code != 2 {
+		t.Fatalf("one arg exit = %d", code)
+	}
+	if !strings.Contains(errb.String(), "usage:") {
+		t.Fatalf("stderr:\n%s", errb.String())
+	}
+	dir := t.TempDir()
+	a := writeManifest(t, dir, "a.json", 400)
+	if code := run([]string{a, filepath.Join(dir, "missing.json")}, &out, &errb); code != 2 {
+		t.Fatalf("missing file exit = %d", code)
+	}
+	foreign := filepath.Join(dir, "foreign.json")
+	if err := os.WriteFile(foreign, []byte(`{"tool":"other"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := run([]string{a, foreign}, &out, &errb); code != 2 {
+		t.Fatalf("foreign manifest exit = %d", code)
+	}
+}

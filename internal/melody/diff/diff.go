@@ -1,0 +1,366 @@
+// Package diff is the cross-run regression gate: it aligns two
+// -metrics run manifests cell by cell and metric by metric, computes
+// direction-aware relative deltas, and classifies each against a noise
+// threshold. The paper's method (Spa) is differential analysis between
+// configurations of one run; melodydiff applies the same idea between
+// *runs* — old binary vs new binary, old calibration vs new — turning
+// the manifest the engine already emits into a CI perf gate.
+//
+// Alignment keys are identity, not order: registry series align by
+// metric path (which embeds platform and memory config), sampled
+// streams by (workload, config, platform, experiment). Host wall-time
+// fields are deliberately excluded from gating — they measure the CI
+// machine, not the simulator — so the gate only trips on simulated-
+// time changes, which are deterministic per seed.
+package diff
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/moatlab/melody/internal/counters"
+	"github.com/moatlab/melody/internal/melody"
+)
+
+// DefaultThreshold is the relative noise threshold: simulated metrics
+// are deterministic per seed, so even small true deltas are signal,
+// but calibration tweaks legitimately move latencies by a few percent.
+const DefaultThreshold = 0.05
+
+// Options configures a comparison.
+type Options struct {
+	// Threshold is the relative delta beyond which a change in the
+	// worse direction is a regression (0 = DefaultThreshold).
+	Threshold float64
+}
+
+// Direction classifies what "worse" means for a metric.
+type Direction string
+
+const (
+	// HigherWorse marks latencies and stall counts.
+	HigherWorse Direction = "higher_is_worse"
+	// LowerWorse marks bandwidths and throughputs.
+	LowerWorse Direction = "lower_is_worse"
+	// Info marks metrics reported but never gated (host times, cache
+	// outcome counts).
+	Info Direction = "info"
+)
+
+// Delta is one aligned metric's comparison.
+type Delta struct {
+	Metric    string    `json:"metric"`
+	Old       float64   `json:"old"`
+	New       float64   `json:"new"`
+	RelDelta  float64   `json:"rel_delta"`
+	Direction Direction `json:"direction"`
+	Regressed bool      `json:"regressed"`
+	Improved  bool      `json:"improved"`
+}
+
+// Report is a full comparison, serializable as the machine-readable
+// output next to the human table.
+type Report struct {
+	OldPath      string  `json:"old"`
+	NewPath      string  `json:"new"`
+	Threshold    float64 `json:"threshold"`
+	Regressions  []Delta `json:"regressions"`
+	Improvements []Delta `json:"improvements"`
+	// Within counts gated metrics inside the noise threshold.
+	Within int `json:"within"`
+	// OnlyOld/OnlyNew list alignment keys present on one side only —
+	// usually a changed experiment set, worth seeing in CI logs.
+	OnlyOld []string `json:"only_old,omitempty"`
+	OnlyNew []string `json:"only_new,omitempty"`
+	// Notes carries non-gating observations: seed mismatches,
+	// interrupted inputs, determinism drift in event counts.
+	Notes []string `json:"notes,omitempty"`
+}
+
+// HasRegressions reports whether the gate should fail.
+func (r *Report) HasRegressions() bool { return len(r.Regressions) > 0 }
+
+// Compare aligns two manifests and classifies every shared metric.
+func Compare(oldM, newM melody.Manifest, opt Options) *Report {
+	th := opt.Threshold
+	if th <= 0 {
+		th = DefaultThreshold
+	}
+	rep := &Report{Threshold: th}
+	c := comparer{rep: rep, threshold: th}
+
+	if oldM.Seed != newM.Seed {
+		c.notef("seed differs (%d vs %d): cells are not directly comparable", oldM.Seed, newM.Seed)
+	}
+	if oldM.Workloads != newM.Workloads {
+		c.notef("workload subset differs (%d vs %d)", oldM.Workloads, newM.Workloads)
+	}
+	if oldM.Interrupted {
+		c.notef("old manifest is from an interrupted run")
+	}
+	if newM.Interrupted {
+		c.notef("new manifest is from an interrupted run")
+	}
+
+	c.compareRegistry(oldM, newM)
+	c.compareTimeseries(oldM, newM)
+	c.compareCells(oldM, newM)
+
+	sortDeltas(rep.Regressions)
+	sortDeltas(rep.Improvements)
+	sort.Strings(rep.OnlyOld)
+	sort.Strings(rep.OnlyNew)
+	return rep
+}
+
+// sortDeltas orders by descending magnitude, then name — the worst
+// offender leads the CI log.
+func sortDeltas(ds []Delta) {
+	sort.Slice(ds, func(i, j int) bool {
+		mi, mj := math.Abs(ds[i].RelDelta), math.Abs(ds[j].RelDelta)
+		if mi != mj {
+			return mi > mj
+		}
+		return ds[i].Metric < ds[j].Metric
+	})
+}
+
+type comparer struct {
+	rep       *Report
+	threshold float64
+}
+
+func (c *comparer) notef(format string, args ...any) {
+	c.rep.Notes = append(c.rep.Notes, fmt.Sprintf(format, args...))
+}
+
+// observe classifies one aligned metric pair.
+func (c *comparer) observe(metric string, old, new float64, dir Direction) {
+	const floor = 1e-9
+	if math.Abs(old) < floor && math.Abs(new) < floor {
+		if dir != Info {
+			c.rep.Within++
+		}
+		return
+	}
+	var rel float64
+	if old != 0 {
+		rel = (new - old) / math.Abs(old)
+	} else {
+		rel = math.Inf(sign(new))
+	}
+	d := Delta{Metric: metric, Old: old, New: new, RelDelta: rel, Direction: dir}
+	if dir == Info {
+		return
+	}
+	worse := (dir == HigherWorse && rel > 0) || (dir == LowerWorse && rel < 0)
+	beyond := math.Abs(rel) > c.threshold || math.IsInf(rel, 0)
+	switch {
+	case worse && beyond:
+		d.Regressed = true
+		c.rep.Regressions = append(c.rep.Regressions, d)
+	case !worse && beyond:
+		d.Improved = true
+		c.rep.Improvements = append(c.rep.Improvements, d)
+	default:
+		c.rep.Within++
+	}
+}
+
+func sign(v float64) int {
+	if v < 0 {
+		return -1
+	}
+	return 1
+}
+
+// compareRegistry aligns the telemetry registry dumps.
+func (c *comparer) compareRegistry(oldM, newM melody.Manifest) {
+	// Histograms: latency distributions gate on mean and p99.
+	for _, name := range unionKeys(oldM.Registry.Histograms, newM.Registry.Histograms,
+		&c.rep.OnlyOld, &c.rep.OnlyNew, "histogram ") {
+		o, n := oldM.Registry.Histograms[name], newM.Registry.Histograms[name]
+		dir := histogramDirection(name)
+		c.observe(name+" mean", o.Mean, n.Mean, dir)
+		c.observe(name+" p99", o.P99, n.P99, dir)
+		if dir != Info && o.Count != n.Count {
+			c.notef("histogram %s sample count drifted: %d vs %d", name, o.Count, n.Count)
+		}
+	}
+	// Counters: stall counts gate; everything else informs.
+	for _, name := range unionKeys(oldM.Registry.Counters, newM.Registry.Counters,
+		&c.rep.OnlyOld, &c.rep.OnlyNew, "counter ") {
+		o, n := oldM.Registry.Counters[name], newM.Registry.Counters[name]
+		c.observe(name, float64(o), float64(n), counterDirection(name))
+	}
+}
+
+// histogramDirection: simulated-time latency histograms (_ns) gate
+// higher-is-worse; host wall-time histograms (_ms) never gate.
+func histogramDirection(name string) Direction {
+	if strings.HasSuffix(name, "_ns") {
+		return HigherWorse
+	}
+	return Info
+}
+
+// counterDirection: device stall counters gate; runner/engine
+// bookkeeping (cache outcomes, cells run) and access counts inform.
+func counterDirection(name string) Direction {
+	if strings.HasSuffix(name, "_stalls") {
+		return HigherWorse
+	}
+	return Info
+}
+
+// timeseriesKey aligns sampled streams across runs.
+func timeseriesKey(s melody.SampledSeries) string {
+	return s.Workload + " @ " + s.Config + " @ " + s.Platform + " @ " + s.Experiment
+}
+
+// gatedSpaCounters are the per-cell counters worth gating: total
+// cycles (the slowdown itself) and the Spa stall set it decomposes
+// into. Higher is always worse — more stall cycles on the same
+// instruction stream.
+var gatedSpaCounters = []counters.ID{
+	counters.Cycles,
+	counters.BoundOnLoads, counters.BoundOnStores,
+	counters.StallsL1DMiss, counters.StallsL2Miss, counters.StallsL3Miss,
+	counters.RetiredStalls, counters.OnePortsUtil, counters.TwoPortsUtil,
+	counters.StallsScoreboard,
+}
+
+// compareTimeseries aligns per-cell sampled streams: final cumulative
+// Spa counters (higher worse) and mean device bandwidth (lower worse).
+func (c *comparer) compareTimeseries(oldM, newM melody.Manifest) {
+	oldS := indexSeries(oldM.Timeseries)
+	newS := indexSeries(newM.Timeseries)
+	for _, key := range unionKeys(oldS, newS, &c.rep.OnlyOld, &c.rep.OnlyNew, "timeseries ") {
+		o, n := oldS[key], newS[key]
+		if len(o.Samples) == 0 || len(n.Samples) == 0 {
+			continue
+		}
+		oLast := o.Samples[len(o.Samples)-1].Counters
+		nLast := n.Samples[len(n.Samples)-1].Counters
+		for _, id := range gatedSpaCounters {
+			c.observe(key+" "+id.String(), oLast[id], nLast[id], HigherWorse)
+		}
+		oRead, oWrite, oOK := meanBandwidth(o)
+		nRead, nWrite, nOK := meanBandwidth(n)
+		if oOK && nOK {
+			c.observe(key+" read_gbs", oRead, nRead, LowerWorse)
+			c.observe(key+" write_gbs", oWrite, nWrite, LowerWorse)
+		}
+	}
+}
+
+// meanBandwidth averages the CPMU's per-window bandwidth over the
+// stream (ok=false when the cell had no device probe).
+func meanBandwidth(s melody.SampledSeries) (read, write float64, ok bool) {
+	var n int
+	for _, smp := range s.Samples {
+		if !smp.HasDevice {
+			continue
+		}
+		read += smp.Device.ReadGBs
+		write += smp.Device.WriteGBs
+		n++
+	}
+	if n == 0 {
+		return 0, 0, false
+	}
+	return read / float64(n), write / float64(n), true
+}
+
+func indexSeries(ss []melody.SampledSeries) map[string]melody.SampledSeries {
+	out := make(map[string]melody.SampledSeries, len(ss))
+	for _, s := range ss {
+		out[timeseriesKey(s)] = s
+	}
+	return out
+}
+
+// compareCells checks per-cell identity: a seed change for the same
+// (workload, config, platform) means the runs measured different
+// device state — worth a note even when metrics happen to agree.
+func (c *comparer) compareCells(oldM, newM melody.Manifest) {
+	type cellKey struct{ w, cfg, p string }
+	oldC := map[cellKey]uint64{}
+	for _, cell := range oldM.Cells {
+		oldC[cellKey{cell.Workload, cell.Config, cell.Platform}] = cell.Seed
+	}
+	for _, cell := range newM.Cells {
+		if seed, ok := oldC[cellKey{cell.Workload, cell.Config, cell.Platform}]; ok && seed != cell.Seed {
+			c.notef("cell %s @ %s (%s): derived seed changed %d -> %d",
+				cell.Workload, cell.Config, cell.Platform, seed, cell.Seed)
+		}
+	}
+}
+
+// unionKeys returns the sorted union of both maps' keys, appending
+// one-sided keys (prefixed for context) to the report's OnlyOld /
+// OnlyNew lists and keeping only shared keys in the result.
+func unionKeys[V any](oldM, newM map[string]V, onlyOld, onlyNew *[]string, prefix string) []string {
+	var shared []string
+	for k := range oldM {
+		if _, ok := newM[k]; ok {
+			shared = append(shared, k)
+		} else {
+			*onlyOld = append(*onlyOld, prefix+k)
+		}
+	}
+	for k := range newM {
+		if _, ok := oldM[k]; !ok {
+			*onlyNew = append(*onlyNew, prefix+k)
+		}
+	}
+	sort.Strings(shared)
+	return shared
+}
+
+// Table renders the human-readable comparison.
+func (r *Report) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "melodydiff: %s vs %s (threshold ±%.1f%%)\n",
+		orDash(r.OldPath), orDash(r.NewPath), r.Threshold*100)
+	if len(r.Regressions) == 0 && len(r.Improvements) == 0 {
+		fmt.Fprintf(&b, "no changes beyond threshold; %d gated metrics within noise\n", r.Within)
+	} else {
+		fmt.Fprintf(&b, "%-6s  %-64s %14s %14s %9s\n", "STATUS", "METRIC", "OLD", "NEW", "DELTA")
+		for _, d := range r.Regressions {
+			writeRow(&b, "REGR", d)
+		}
+		for _, d := range r.Improvements {
+			writeRow(&b, "IMPR", d)
+		}
+		fmt.Fprintf(&b, "%d regressions, %d improvements, %d gated metrics within ±%.1f%%\n",
+			len(r.Regressions), len(r.Improvements), r.Within, r.Threshold*100)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	if len(r.OnlyOld) > 0 {
+		fmt.Fprintf(&b, "only in old: %s\n", strings.Join(r.OnlyOld, ", "))
+	}
+	if len(r.OnlyNew) > 0 {
+		fmt.Fprintf(&b, "only in new: %s\n", strings.Join(r.OnlyNew, ", "))
+	}
+	return b.String()
+}
+
+func writeRow(b *strings.Builder, status string, d Delta) {
+	delta := fmt.Sprintf("%+.1f%%", d.RelDelta*100)
+	if math.IsInf(d.RelDelta, 0) {
+		delta = "new!=0"
+	}
+	fmt.Fprintf(b, "%-6s  %-64s %14.4g %14.4g %9s\n", status, d.Metric, d.Old, d.New, delta)
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

@@ -1,0 +1,148 @@
+package melody
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"sort"
+
+	"github.com/moatlab/melody/internal/obs"
+)
+
+// ExperimentTiming is one experiment's wall time in the run manifest.
+type ExperimentTiming struct {
+	ID    string  `json:"id"`
+	WallS float64 `json:"wall_s"`
+}
+
+// Manifest is the -metrics output: enough provenance to reproduce the
+// run (versions, seed, parallelism), plus where the time went (per
+// experiment and per cell) and the full telemetry registry dump. It is
+// also the input format of the melodydiff regression gate, which is why
+// it lives here rather than in cmd/melody: writer and reader must share
+// one schema.
+type Manifest struct {
+	Tool      string `json:"tool"`
+	GoVersion string `json:"go_version"`
+	Module    string `json:"module,omitempty"`
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+	NumCPU    int    `json:"num_cpu"`
+	Seed      uint64 `json:"seed"`
+	Workers   int    `json:"workers"`
+	Workloads int    `json:"workloads"`
+	// Interrupted marks a manifest flushed after SIGINT/SIGTERM: it
+	// covers only the cells that completed before cancellation.
+	Interrupted bool               `json:"interrupted,omitempty"`
+	Experiments []ExperimentTiming `json:"experiments"`
+	Cells       []CellTiming       `json:"cells"`
+	// Timeseries holds the per-cell sampled streams when -sample-every
+	// was set (sorted by workload then config).
+	Timeseries []SampledSeries `json:"timeseries"`
+	Registry   obs.Snapshot    `json:"registry"`
+}
+
+// BuildManifest assembles the manifest from a finished (or
+// interrupted) run.
+func BuildManifest(seed uint64, workers, workloads int, exps []ExperimentTiming, tel *Telemetry) Manifest {
+	m := Manifest{
+		Tool:        "melody",
+		GoVersion:   runtime.Version(),
+		OS:          runtime.GOOS,
+		Arch:        runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		Seed:        seed,
+		Workers:     workers,
+		Workloads:   workloads,
+		Experiments: exps,
+		Cells:       tel.Cells(),
+		Timeseries:  tel.SampledSeries(),
+		Registry:    tel.Registry.Snapshot(),
+	}
+	if m.Experiments == nil {
+		m.Experiments = []ExperimentTiming{}
+	}
+	if m.Cells == nil {
+		m.Cells = []CellTiming{}
+	}
+	// The telemetry log records cells in completion order, which worker
+	// scheduling makes nondeterministic; the manifest sorts them so two
+	// runs of one configuration emit identical cell lists (melodydiff
+	// and the byte-identity contract both lean on this).
+	sort.Slice(m.Cells, func(i, j int) bool {
+		a, b := m.Cells[i], m.Cells[j]
+		if a.Workload != b.Workload {
+			return a.Workload < b.Workload
+		}
+		if a.Config != b.Config {
+			return a.Config < b.Config
+		}
+		if a.Platform != b.Platform {
+			return a.Platform < b.Platform
+		}
+		return a.Seed < b.Seed
+	})
+	if m.Timeseries == nil {
+		m.Timeseries = []SampledSeries{}
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		m.Module = bi.Main.Path
+	}
+	return m
+}
+
+// StripHostTime zeroes every host-wall-clock field: per-cell WallMs,
+// per-experiment WallS, and the runner/cell_wall_ms registry histogram.
+// What remains is a pure function of (seed, workloads, experiment set)
+// — the projection under which two runs of the same configuration are
+// byte-identical, which both the serve-isolation tests and melodydiff's
+// alignment rely on. Simulated-time metrics (device latency histograms,
+// counter streams) are untouched: they are deterministic already.
+func (m *Manifest) StripHostTime() {
+	for i := range m.Experiments {
+		m.Experiments[i].WallS = 0
+	}
+	for i := range m.Cells {
+		m.Cells[i].WallMs = 0
+	}
+	delete(m.Registry.Histograms, "runner/cell_wall_ms")
+}
+
+// WriteManifest writes m as indented JSON.
+func WriteManifest(path string, m Manifest) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(m); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// EncodeManifest renders m exactly as WriteManifest would (for
+// byte-identity tests and in-memory diffing).
+func EncodeManifest(m Manifest) ([]byte, error) {
+	return json.MarshalIndent(m, "", " ")
+}
+
+// LoadManifest reads a -metrics manifest back.
+func LoadManifest(path string) (Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Manifest{}, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Manifest{}, fmt.Errorf("manifest %s: %w", path, err)
+	}
+	if m.Tool != "" && m.Tool != "melody" {
+		return Manifest{}, fmt.Errorf("manifest %s: written by %q, not melody", path, m.Tool)
+	}
+	return m, nil
+}

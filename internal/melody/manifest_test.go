@@ -1,0 +1,113 @@
+package melody
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func smallManifest(t *testing.T) Manifest {
+	t.Helper()
+	tel := NewTelemetry()
+	tel.cellDone(CellTiming{Workload: "w", Config: "Local", Platform: "EMR2S", Seed: 9, WallMs: 3.2}, nil)
+	tel.Registry.Histogram("device/EMR2S/CXL-B/latency_ns").Record(250)
+	return BuildManifest(7, 4, 8, []ExperimentTiming{{ID: "fig5", WallS: 1.25}}, tel)
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := smallManifest(t)
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := WriteManifest(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != 7 || got.Workers != 4 || got.Workloads != 8 {
+		t.Fatalf("round trip lost header: %+v", got)
+	}
+	if len(got.Cells) != 1 || got.Cells[0].Workload != "w" {
+		t.Fatalf("round trip lost cells: %+v", got.Cells)
+	}
+	if len(got.Experiments) != 1 || got.Experiments[0].WallS != 1.25 {
+		t.Fatalf("round trip lost experiments: %+v", got.Experiments)
+	}
+	if _, ok := got.Registry.Histograms["device/EMR2S/CXL-B/latency_ns"]; !ok {
+		t.Fatal("round trip lost registry histograms")
+	}
+}
+
+func TestLoadManifestRejectsForeign(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := WriteManifest(path, Manifest{Tool: "other"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadManifest(path); err == nil {
+		t.Fatal("foreign manifest accepted")
+	}
+	if _, err := LoadManifest(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing manifest accepted")
+	}
+}
+
+func TestStripHostTime(t *testing.T) {
+	m := smallManifest(t)
+	m.StripHostTime()
+	if m.Cells[0].WallMs != 0 || m.Experiments[0].WallS != 0 {
+		t.Fatalf("host time survives strip: %+v %+v", m.Cells[0], m.Experiments[0])
+	}
+	if _, ok := m.Registry.Histograms["runner/cell_wall_ms"]; ok {
+		t.Fatal("cell wall histogram survives strip")
+	}
+	if _, ok := m.Registry.Histograms["device/EMR2S/CXL-B/latency_ns"]; !ok {
+		t.Fatal("strip removed simulated-time histogram")
+	}
+	// Two manifests from observationally different runs of the same
+	// configuration agree after stripping.
+	n := smallManifest(t)
+	n.Cells[0].WallMs = 99
+	n.Experiments[0].WallS = 42
+	n.StripHostTime()
+	a, err := EncodeManifest(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EncodeManifest(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("stripped manifests differ:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestManifestInterruptedFlag(t *testing.T) {
+	m := smallManifest(t)
+	a, err := EncodeManifest(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(a, []byte(`"interrupted"`)) {
+		t.Fatal("clean manifest carries interrupted key (breaks byte-compat with prior PRs)")
+	}
+	m.Interrupted = true
+	b, err := EncodeManifest(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(b, []byte(`"interrupted": true`)) {
+		t.Fatal("interrupted manifest missing flag")
+	}
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := WriteManifest(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Interrupted {
+		t.Fatal("interrupted flag lost in round trip")
+	}
+}

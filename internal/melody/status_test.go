@@ -1,0 +1,141 @@
+package melody
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestRunStatusLifecycle(t *testing.T) {
+	s := NewRunStatus(NewTelemetry())
+	s.Declare([]string{"fig5", "fig8a"}, []string{"Curves", "CDFs"})
+
+	snap := s.Snapshot()
+	if len(snap.Experiments) != 2 || snap.Experiments[0].State != "pending" {
+		t.Fatalf("declared snapshot = %+v", snap.Experiments)
+	}
+
+	s.BeginExperiment("fig5", "Curves")
+	s.CellDone("fig5", 3, 10)
+	snap = s.Snapshot()
+	if e := snap.Experiments[0]; e.State != "running" || e.Done != 3 || e.Total != 10 {
+		t.Fatalf("running snapshot = %+v", e)
+	}
+
+	s.EndExperiment("fig5", 2.5)
+	s.BeginExperiment("fig8a", "")
+	s.EndExperiment("fig8a", 1.0)
+	s.Finish(false)
+	snap = s.Snapshot()
+	if !snap.Done || snap.Interrupted {
+		t.Fatalf("finished snapshot flags = done=%v interrupted=%v", snap.Done, snap.Interrupted)
+	}
+	if e := snap.Experiments[0]; e.State != "done" || e.Done != e.Total || e.WallS != 2.5 {
+		t.Fatalf("done snapshot = %+v", e)
+	}
+	// Order is declaration order, not completion order.
+	if snap.Experiments[0].ID != "fig5" || snap.Experiments[1].ID != "fig8a" {
+		t.Fatalf("order = %s,%s", snap.Experiments[0].ID, snap.Experiments[1].ID)
+	}
+}
+
+func TestRunStatusInterrupted(t *testing.T) {
+	s := NewRunStatus(nil)
+	s.BeginExperiment("fig5", "Curves")
+	s.Finish(true)
+	snap := s.Snapshot()
+	if !snap.Interrupted || !snap.Done {
+		t.Fatalf("interrupted run: %+v", snap)
+	}
+}
+
+func TestRunStatusProgressNeverRegresses(t *testing.T) {
+	s := NewRunStatus(nil)
+	s.CellDone("fig5", 8, 10)
+	// A smaller later report within the same batch must not roll back.
+	s.CellDone("fig5", 2, 10)
+	if e := s.Snapshot().Experiments[0]; e.Done != 8 {
+		t.Fatalf("progress rolled back: %+v", e)
+	}
+	// A new batch (different total) may reset.
+	s.CellDone("fig5", 1, 20)
+	if e := s.Snapshot().Experiments[0]; e.Done != 1 || e.Total != 20 {
+		t.Fatalf("new batch not adopted: %+v", e)
+	}
+}
+
+func TestRunStatusNilSafe(t *testing.T) {
+	var s *RunStatus
+	s.Declare([]string{"x"}, nil)
+	s.BeginExperiment("x", "")
+	s.CellDone("x", 1, 2)
+	s.EndExperiment("x", 1)
+	s.Finish(false)
+	if snap := s.Snapshot(); snap.Experiments == nil {
+		t.Fatal("nil status snapshot has nil experiments")
+	}
+}
+
+func TestRunStatusSnapshotIsJSON(t *testing.T) {
+	tel := NewTelemetry()
+	tel.cacheHit.Add(3)
+	tel.cacheMiss.Add(1)
+	s := NewRunStatus(tel)
+	s.BeginExperiment("fig5", "Curves")
+	raw, err := json.Marshal(s.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	cache := got["cache"].(map[string]any)
+	if cache["hit_rate"].(float64) != 0.75 {
+		t.Fatalf("hit rate = %v", cache["hit_rate"])
+	}
+}
+
+// TestRunStatusConcurrentReadersAndWriters is race coverage for the
+// /progress path: scrapers snapshot while the engine reports progress.
+func TestRunStatusConcurrentReadersAndWriters(t *testing.T) {
+	s := NewRunStatus(NewTelemetry())
+	s.Declare([]string{"fig5"}, []string{"Curves"})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5000; i++ {
+			s.CellDone("fig5", i, 5000)
+		}
+		s.Finish(false)
+	}()
+	go func() {
+		defer wg.Done()
+		prev := -1
+		for i := 0; i < 5000; i++ {
+			snap := s.Snapshot()
+			if len(snap.Experiments) != 1 {
+				t.Errorf("snapshot lost experiments: %+v", snap)
+				return
+			}
+			if d := snap.Experiments[0].Done; d < prev {
+				t.Errorf("progress went backwards: %d after %d", d, prev)
+				return
+			} else {
+				prev = d
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+func TestCacheStatsNilTelemetry(t *testing.T) {
+	var tel *Telemetry
+	if cs := tel.CacheStats(); cs != (CacheStats{}) {
+		t.Fatalf("nil telemetry cache stats = %+v", cs)
+	}
+	if tel.CellsRun() != 0 {
+		t.Fatal("nil telemetry cells run != 0")
+	}
+}

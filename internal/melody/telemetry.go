@@ -85,6 +85,49 @@ func NewTelemetry() *Telemetry {
 	}
 }
 
+// CacheStats is a live read of the runner cache-outcome counters,
+// consumed by the observatory's /progress endpoint. Taken from atomics,
+// so reading it mid-run never blocks the engine.
+type CacheStats struct {
+	Hits    uint64  `json:"hits"`
+	Misses  uint64  `json:"misses"`
+	Waits   uint64  `json:"waits"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+// CacheStats returns the current cache-outcome counts (zero on nil).
+func (t *Telemetry) CacheStats() CacheStats {
+	if t == nil {
+		return CacheStats{}
+	}
+	s := CacheStats{
+		Hits:   t.cacheHit.Value(),
+		Misses: t.cacheMiss.Value(),
+		Waits:  t.cacheWait.Value(),
+	}
+	if total := s.Hits + s.Misses + s.Waits; total > 0 {
+		s.HitRate = float64(s.Hits) / float64(total)
+	}
+	return s
+}
+
+// CellsRun returns the number of cells computed so far (lock-free).
+func (t *Telemetry) CellsRun() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.cellsRun.Value()
+}
+
+// CellWallSummary digests the per-cell wall-time histogram. It holds
+// only that histogram's lock, for one pass over its buckets.
+func (t *Telemetry) CellWallSummary() obs.Summary {
+	if t == nil {
+		return obs.Summary{}
+	}
+	return t.cellWall.Summarize()
+}
+
 // Cells returns a copy of the per-cell timing log.
 func (t *Telemetry) Cells() []CellTiming {
 	if t == nil {

@@ -15,6 +15,7 @@ package obs
 
 import (
 	"math"
+	"sort"
 	"sync"
 )
 
@@ -42,6 +43,13 @@ type Histogram struct {
 	counts [histBuckets]uint64
 	n      uint64
 	sum    float64
+	// merged holds each Merge'd source's sum as a separate part; reads
+	// fold the parts in value order so the total is independent of
+	// merge arrival order. Workers merge per-cell histograms in
+	// completion order, float addition is not associative, and the run
+	// manifest pins byte-identity across runs — summing in a canonical
+	// order is what keeps the last ulp deterministic.
+	merged []float64
 	min    float64
 	max    float64
 }
@@ -71,8 +79,13 @@ func bucketValue(i int) float64 {
 	return math.Exp2((float64(i)+0.5)/histSubBuckets + histMinExp)
 }
 
-// Record adds one sample.
+// Record adds one sample. Non-finite values (NaN, ±Inf) are dropped:
+// one bad sample must not poison Sum/Mean for the run, and the
+// registry's JSON snapshot could not marshal them anyway.
 func (h *Histogram) Record(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
 	h.mu.Lock()
 	if h.n == 0 || v < h.min {
 		h.min = v
@@ -93,11 +106,27 @@ func (h *Histogram) Count() uint64 {
 	return h.n
 }
 
+// sumLocked folds directly recorded samples and merged parts into the
+// total, adding parts smallest-first so the result does not depend on
+// the order Merge calls arrived in.
+func (h *Histogram) sumLocked() float64 {
+	if len(h.merged) == 0 {
+		return h.sum
+	}
+	parts := append([]float64(nil), h.merged...)
+	sort.Float64s(parts)
+	total := 0.0
+	for _, p := range parts {
+		total += p
+	}
+	return total + h.sum
+}
+
 // Sum returns the sum of recorded samples (exact, not bucketed).
 func (h *Histogram) Sum() float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return h.sum
+	return h.sumLocked()
 }
 
 // Mean returns the exact mean of recorded samples (0 when empty).
@@ -107,7 +136,7 @@ func (h *Histogram) Mean() float64 {
 	if h.n == 0 {
 		return 0
 	}
-	return h.sum / float64(h.n)
+	return h.sumLocked() / float64(h.n)
 }
 
 // Min returns the smallest recorded sample (exact; 0 when empty).
@@ -173,7 +202,8 @@ func (h *Histogram) Merge(o *Histogram) {
 	}
 	o.mu.Lock()
 	counts := o.counts
-	n, sum, min, max := o.n, o.sum, o.min, o.max
+	n, min, max := o.n, o.min, o.max
+	parts := append([]float64{o.sum}, o.merged...)
 	o.mu.Unlock()
 	if n == 0 {
 		return
@@ -186,11 +216,61 @@ func (h *Histogram) Merge(o *Histogram) {
 		h.max = max
 	}
 	h.n += n
-	h.sum += sum
+	// Keep the source's sum as a separate part rather than folding it
+	// into h.sum now: sumLocked adds parts in value order, making the
+	// total independent of merge arrival order.
+	h.merged = append(h.merged, parts...)
 	for i := range counts {
 		h.counts[i] += counts[i]
 	}
 	h.mu.Unlock()
+}
+
+// HistogramBucket is one cumulative bucket of an exported histogram:
+// Count samples were ≤ UpperBound. Exports list only the boundaries
+// where the cumulative count grows, so a histogram with k distinct
+// populated buckets exports k entries regardless of the fixed bucket
+// array's size.
+type HistogramBucket struct {
+	UpperBound float64
+	Count      uint64
+}
+
+// HistogramExport is the full-fidelity dump encoders (e.g. obs/prom)
+// consume: exact count/sum/min/max plus the cumulative bucket ladder.
+// All fields come from one critical section, so Count always equals the
+// last bucket's cumulative count.
+type HistogramExport struct {
+	Count   uint64
+	Sum     float64
+	Min     float64
+	Max     float64
+	Buckets []HistogramBucket
+}
+
+// Export captures the histogram's state at bucket granularity.
+func (h *Histogram) Export() HistogramExport {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	ex := HistogramExport{Count: h.n, Sum: h.sumLocked(), Min: h.min, Max: h.max}
+	var cum uint64
+	for i := range h.counts {
+		if h.counts[i] == 0 {
+			continue
+		}
+		cum += h.counts[i]
+		ex.Buckets = append(ex.Buckets, HistogramBucket{
+			UpperBound: bucketUpperBound(i),
+			Count:      cum,
+		})
+	}
+	return ex
+}
+
+// bucketUpperBound returns bucket i's inclusive upper bound — the `le`
+// value Prometheus-style cumulative exports use.
+func bucketUpperBound(i int) float64 {
+	return math.Exp2(float64(i+1)/histSubBuckets + histMinExp)
 }
 
 // Summary is the JSON-friendly digest of a histogram. Percentile fields
@@ -215,10 +295,11 @@ func (h *Histogram) Summarize() Summary {
 	if h.n == 0 {
 		return Summary{}
 	}
+	sum := h.sumLocked()
 	return Summary{
 		Count: h.n,
-		Sum:   h.sum,
-		Mean:  h.sum / float64(h.n),
+		Sum:   sum,
+		Mean:  sum / float64(h.n),
 		Min:   h.min,
 		Max:   h.max,
 		P50:   h.percentileLocked(50),

@@ -80,10 +80,12 @@ func TestHistogramMonotonePercentiles(t *testing.T) {
 func TestHistogramEdgeValues(t *testing.T) {
 	h := NewHistogram()
 	for _, v := range []float64{0, -5, math.NaN(), 1e-30, 1e30} {
-		h.Record(v) // must not panic; clamps to edge buckets
+		h.Record(v) // must not panic; finite values clamp to edge buckets
 	}
-	if h.Count() != 5 {
-		t.Fatalf("count = %d, want 5", h.Count())
+	// NaN is dropped (non-finite samples never poison Sum/Mean); the
+	// four finite values are kept.
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
 	}
 }
 
@@ -210,5 +212,157 @@ func TestBucketIndexValueRoundTrip(t *testing.T) {
 		if got := bucketIndex(bucketValue(i)); got != i {
 			t.Fatalf("bucketIndex(bucketValue(%d)) = %d", i, got)
 		}
+	}
+}
+
+func TestHistogramNonFiniteIgnored(t *testing.T) {
+	h := NewHistogram()
+	h.Record(10)
+	h.Record(math.NaN())
+	h.Record(math.Inf(1))
+	h.Record(math.Inf(-1))
+	h.Record(30)
+	if h.Count() != 2 {
+		t.Fatalf("count = %d, want 2 (non-finite samples must be dropped)", h.Count())
+	}
+	if h.Sum() != 40 || h.Min() != 10 || h.Max() != 30 {
+		t.Fatalf("sum/min/max = %v/%v/%v, want 40/10/30", h.Sum(), h.Min(), h.Max())
+	}
+	s := h.Summarize()
+	for name, v := range map[string]float64{"sum": s.Sum, "mean": s.Mean, "min": s.Min,
+		"max": s.Max, "p50": s.P50, "p99": s.P99} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("summary %s = %v corrupted by non-finite input", name, v)
+		}
+	}
+}
+
+// TestHistogramPercentileMonotoneProperty is the property test behind
+// the percentile contract: for any recorded distribution — including
+// edge-bucket clamps, repeated values and non-finite noise — Percentile
+// must be non-decreasing in p and pinned to min/max at the ends.
+func TestHistogramPercentileMonotoneProperty(t *testing.T) {
+	for trial := uint64(0); trial < 25; trial++ {
+		r := sim.NewRand(1000 + trial)
+		h := NewHistogram()
+		n := 1 + int(r.Uint64()%3000)
+		for i := 0; i < n; i++ {
+			v := math.Exp2(70*r.Float64() - 20) // spans and overflows both edges
+			switch r.Uint64() % 8 {
+			case 0:
+				v = 0
+			case 1:
+				v = math.NaN() // dropped, must not disturb monotonicity
+			}
+			h.Record(v)
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 0.25 {
+			v := h.Percentile(p)
+			if math.IsNaN(v) {
+				if h.Count() == 0 {
+					break
+				}
+				t.Fatalf("trial %d: Percentile(%v) = NaN with %d samples", trial, p, h.Count())
+			}
+			if v < prev {
+				t.Fatalf("trial %d: percentiles not monotone: p%v = %v < %v", trial, p, v, prev)
+			}
+			prev = v
+		}
+		if h.Count() > 0 {
+			if h.Percentile(0) != h.Min() || h.Percentile(100) != h.Max() {
+				t.Fatalf("trial %d: p0/p100 = %v/%v, want exact min/max %v/%v",
+					trial, h.Percentile(0), h.Percentile(100), h.Min(), h.Max())
+			}
+		}
+	}
+}
+
+func TestHistogramExportBuckets(t *testing.T) {
+	h := NewHistogram()
+	if ex := h.Export(); ex.Count != 0 || len(ex.Buckets) != 0 {
+		t.Fatalf("empty export = %+v", ex)
+	}
+	r := sim.NewRand(3)
+	for i := 0; i < 5000; i++ {
+		h.Record(50 + 1000*r.Float64())
+	}
+	ex := h.Export()
+	if ex.Count != 5000 {
+		t.Fatalf("export count = %d", ex.Count)
+	}
+	prevUB, prevCum := math.Inf(-1), uint64(0)
+	for _, b := range ex.Buckets {
+		if b.UpperBound <= prevUB {
+			t.Fatalf("bucket bounds not increasing: %v after %v", b.UpperBound, prevUB)
+		}
+		if b.Count <= prevCum {
+			t.Fatalf("cumulative counts not increasing: %d after %d", b.Count, prevCum)
+		}
+		prevUB, prevCum = b.UpperBound, b.Count
+	}
+	if last := ex.Buckets[len(ex.Buckets)-1].Count; last != ex.Count {
+		t.Fatalf("last cumulative bucket %d != count %d", last, ex.Count)
+	}
+	// Every recorded value must be ≤ its bucket's upper bound: the p100
+	// sample sits inside the last bucket.
+	if ub := ex.Buckets[len(ex.Buckets)-1].UpperBound; ex.Max > ub {
+		t.Fatalf("max %v above last bucket bound %v", ex.Max, ub)
+	}
+}
+
+// TestHistogramMergeOrderIndependentSum: workers merge per-cell
+// histograms in completion order, which varies run to run; float
+// addition is not associative, so a naive running sum wobbles at the
+// last ulp and breaks the manifest's byte-identity contract. The
+// merged total must be bit-identical for every arrival order.
+func TestHistogramMergeOrderIndependentSum(t *testing.T) {
+	rng := sim.NewRand(11)
+	const parts = 12
+	cells := make([]*Histogram, parts)
+	for i := range cells {
+		cells[i] = NewHistogram()
+		for j := 0; j < 500; j++ {
+			// Awkward magnitudes spanning ~12 decades make naive
+			// summation order-sensitive almost surely.
+			cells[i].Record(math.Exp(rng.Float64()*28 - 4))
+		}
+	}
+	merge := func(order []int) (sum, mean float64) {
+		h := NewHistogram()
+		for _, idx := range order {
+			h.Merge(cells[idx])
+		}
+		return h.Sum(), h.Mean()
+	}
+	order := make([]int, parts)
+	for i := range order {
+		order[i] = i
+	}
+	wantSum, wantMean := merge(order)
+	for trial := 0; trial < 20; trial++ {
+		for i := parts - 1; i > 0; i-- {
+			j := rng.Intn(i + 1)
+			order[i], order[j] = order[j], order[i]
+		}
+		if sum, mean := merge(order); sum != wantSum || mean != wantMean {
+			t.Fatalf("trial %d: sum/mean %v/%v != %v/%v (order %v)",
+				trial, sum, mean, wantSum, wantMean, order)
+		}
+	}
+	// Chained merges (a into b, b into c) propagate parts, not a
+	// collapsed running sum: still order-independent.
+	b := NewHistogram()
+	b.Merge(cells[0])
+	b.Merge(cells[1])
+	c := NewHistogram()
+	c.Merge(b)
+	c.Merge(cells[2])
+	d := NewHistogram()
+	d.Merge(cells[2])
+	d.Merge(b)
+	if c.Sum() != d.Sum() {
+		t.Fatalf("chained merge order changed sum: %v != %v", c.Sum(), d.Sum())
 	}
 }

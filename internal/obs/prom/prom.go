@@ -1,0 +1,220 @@
+// Package prom renders an obs.Registry export in the Prometheus text
+// exposition format (version 0.0.4), using the standard library only.
+// It is the bridge between the simulator's telemetry and any scraping
+// stack: `melody run -serve ADDR` mounts the output at GET /metrics.
+//
+// Mapping rules, chosen so scraped series stay stable across runs:
+//
+//   - Registry paths become metric names under a caller-chosen
+//     namespace: "runner/cache_hit" → "melody_runner_cache_hit_total".
+//     Characters outside [a-zA-Z0-9_:] collapse to "_".
+//   - Counters gain the conventional "_total" suffix; gauges and
+//     histograms keep their sanitized path.
+//   - Per-device paths "device/<platform>/<config>/<metric>" fold into
+//     one family per metric with platform/config labels:
+//     "device/EMR2S/CXL-B/latency_ns" →
+//     melody_device_latency_ns{platform="EMR2S",config="CXL-B"}
+//     so dashboards select configurations by label instead of by
+//     pattern-matching metric names.
+//   - obs.Histogram exports map onto native Prometheus histograms:
+//     cumulative `_bucket{le="..."}` series (only boundaries where the
+//     cumulative count grows, plus the mandatory le="+Inf"), `_sum`,
+//     and `_count`.
+//
+// Output is byte-deterministic for a given export: families sort by
+// name, series within a family sort by label signature.
+package prom
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/moatlab/melody/internal/obs"
+)
+
+// ContentType is the HTTP Content-Type for the exposition output.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// kind is a family's exposition type.
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one labeled instance within a family.
+type series struct {
+	labels string // rendered label block, "" or `{k="v",...}`
+	value  float64
+	hist   obs.HistogramExport
+}
+
+// family is one # TYPE block: every series sharing a metric name.
+type family struct {
+	name   string
+	kind   kind
+	series []series
+}
+
+// Write renders ex under namespace (e.g. "melody") in exposition
+// format. Families whose sanitized names collide across instrument
+// kinds are rejected — mixed-type families are invalid exposition — so
+// callers find naming clashes in tests, not in their scraper logs.
+func Write(w io.Writer, namespace string, ex obs.Export) error {
+	fams := map[string]*family{}
+	add := func(path string, k kind, s series) error {
+		name, labels := mapPath(namespace, path, k)
+		s.labels = labels
+		f, ok := fams[name]
+		if !ok {
+			f = &family{name: name, kind: k}
+			fams[name] = f
+		} else if f.kind != k {
+			return fmt.Errorf("prom: family %q holds both %s and %s series", name, f.kind, k)
+		}
+		f.series = append(f.series, s)
+		return nil
+	}
+	for path, v := range ex.Counters {
+		if err := add(path, kindCounter, series{value: float64(v)}); err != nil {
+			return err
+		}
+	}
+	for path, v := range ex.Gauges {
+		if err := add(path, kindGauge, series{value: v}); err != nil {
+			return err
+		}
+	}
+	for path, h := range ex.Histograms {
+		if err := add(path, kindHistogram, series{hist: h}); err != nil {
+			return err
+		}
+	}
+
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := fams[name]
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].labels < f.series[j].labels })
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, s := range f.series {
+			if err := writeSeries(w, f, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeSeries emits one labeled instance's sample lines.
+func writeSeries(w io.Writer, f *family, s series) error {
+	switch f.kind {
+	case kindCounter, kindGauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, formatValue(s.value))
+		return err
+	default:
+		for _, b := range s.hist.Buckets {
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				f.name, withLabel(s.labels, "le", formatValue(b.UpperBound)), b.Count); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			f.name, withLabel(s.labels, "le", "+Inf"), s.hist.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, s.labels, formatValue(s.hist.Sum)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, s.labels, s.hist.Count)
+		return err
+	}
+}
+
+// mapPath turns a registry path into (family name, label block).
+// Device paths split into a shared family plus platform/config labels;
+// everything else sanitizes whole.
+func mapPath(namespace, path string, k kind) (string, string) {
+	name, labels := path, ""
+	if parts := strings.Split(path, "/"); len(parts) == 4 && parts[0] == "device" {
+		name = "device_" + parts[3]
+		labels = "{" + label("platform", parts[1]) + "," + label("config", parts[2]) + "}"
+	}
+	name = namespace + "_" + sanitizeName(name)
+	if k == kindCounter && !strings.HasSuffix(name, "_total") {
+		name += "_total"
+	}
+	return name, labels
+}
+
+// withLabel appends k="v" to an existing label block.
+func withLabel(block, k, v string) string {
+	l := label(k, v)
+	if block == "" {
+		return "{" + l + "}"
+	}
+	return block[:len(block)-1] + "," + l + "}"
+}
+
+// label renders one escaped k="v" pair.
+func label(k, v string) string {
+	return sanitizeName(k) + `="` + escapeLabelValue(v) + `"`
+}
+
+// sanitizeName collapses characters illegal in metric/label names to
+// "_" and guards against a leading digit.
+func sanitizeName(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':',
+			c >= '0' && c <= '9' && i > 0:
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// escapeLabelValue applies the exposition format's label escapes.
+func escapeLabelValue(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// formatValue renders a float the way Prometheus parsers expect.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

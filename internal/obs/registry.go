@@ -37,9 +37,11 @@ type Gauge struct {
 	bits atomic.Uint64
 }
 
-// Set stores v.
+// Set stores v. Non-finite values (NaN, ±Inf) are ignored — the gauge
+// keeps its last finite value — so one bad computation cannot make the
+// registry's JSON snapshot unmarshalable.
 func (g *Gauge) Set(v float64) {
-	if g != nil {
+	if g != nil && !math.IsNaN(v) && !math.IsInf(v, 0) {
 		g.bits.Store(math.Float64bits(v))
 	}
 }
@@ -167,4 +169,54 @@ func (r *Registry) Snapshot() Snapshot {
 // MarshalJSON dumps the registry as a Snapshot.
 func (r *Registry) MarshalJSON() ([]byte, error) {
 	return json.Marshal(r.Snapshot())
+}
+
+// Export is the bucket-granularity counterpart of Snapshot, consumed by
+// encoders that need more than a Summary — notably the Prometheus text
+// exposition in obs/prom, whose histogram series require the cumulative
+// bucket ladder.
+type Export struct {
+	Counters   map[string]uint64
+	Gauges     map[string]float64
+	Histograms map[string]HistogramExport
+}
+
+// Export captures every instrument at full fidelity. Like Snapshot it
+// holds the registry lock only to copy the instrument maps; values are
+// read afterwards from the instruments' own atomics/locks, so an export
+// taken mid-run never blocks recording for longer than one instrument's
+// critical section.
+func (r *Registry) Export() Export {
+	ex := Export{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramExport{},
+	}
+	if r == nil {
+		return ex
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+	for k, v := range counters {
+		ex.Counters[k] = v.Value()
+	}
+	for k, v := range gauges {
+		ex.Gauges[k] = v.Value()
+	}
+	for k, v := range hists {
+		ex.Histograms[k] = v.Export()
+	}
+	return ex
 }

@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"sync"
 	"testing"
 )
@@ -103,5 +104,16 @@ func TestRegistryJSONDeterministic(t *testing.T) {
 	hs := parsed.Histograms["lat"]
 	if hs.Count != 100 || hs.Min != 1 || hs.Max != 100 {
 		t.Fatalf("histogram summary wrong: %+v", hs)
+	}
+}
+
+func TestGaugeNonFiniteIgnored(t *testing.T) {
+	var g Gauge
+	g.Set(3.5)
+	g.Set(math.NaN())
+	g.Set(math.Inf(1))
+	g.Set(math.Inf(-1))
+	if v := g.Value(); v != 3.5 {
+		t.Fatalf("gauge = %v, want last finite value 3.5", v)
 	}
 }

@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/moatlab/melody/internal/obs"
+)
+
+func TestHubDropOldest(t *testing.T) {
+	reg := obs.NewRegistry()
+	dropped := reg.Counter("dropped")
+	h := NewHub(8, reg.Counter("published"), dropped)
+	sub := h.Subscribe()
+	defer h.Unsubscribe(sub)
+
+	// A wedged client: 100 events arrive while it drains nothing.
+	for i := 0; i < 100; i++ {
+		h.Publish(Event{Type: EventCell})
+	}
+	if got := dropped.Value(); got != 92 {
+		t.Fatalf("dropped = %d, want 92 (100 published into a queue of 8)", got)
+	}
+	if sub.Pending() != 8 {
+		t.Fatalf("pending = %d, want 8", sub.Pending())
+	}
+	evs, ok := sub.Next(context.Background())
+	if !ok || len(evs) != 8 {
+		t.Fatalf("drained %d events (ok=%v), want 8", len(evs), ok)
+	}
+	// Oldest dropped: the survivors are exactly the newest eight, in
+	// order, so the client sees a seq gap of 92.
+	for i, ev := range evs {
+		if want := uint64(93 + i); ev.Seq != want {
+			t.Fatalf("event %d seq = %d, want %d (drop-oldest order)", i, ev.Seq, want)
+		}
+	}
+}
+
+func TestHubPublishNeverBlocks(t *testing.T) {
+	h := NewHub(4, nil, nil)
+	// Two wedged subscribers that never drain.
+	h.Subscribe()
+	h.Subscribe()
+	start := time.Now()
+	for i := 0; i < 50_000; i++ {
+		h.Publish(Event{Type: EventCell, Done: i})
+	}
+	// 50k publishes into full queues must complete in interactive time:
+	// the engine's wall clock cannot depend on consumer behaviour. The
+	// bound is deliberately loose (CI machines), the property is "does
+	// not hang".
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("50k publishes with wedged subscribers took %v", el)
+	}
+}
+
+func TestHubSequenceMonotone(t *testing.T) {
+	h := NewHub(0, nil, nil)
+	sub := h.Subscribe()
+	for i := 0; i < 5; i++ {
+		h.Publish(Event{Type: EventCell})
+	}
+	evs, _ := sub.Next(context.Background())
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("seq not dense without drops: %d after %d", evs[i].Seq, evs[i-1].Seq)
+		}
+	}
+}
+
+func TestSubscriberNextCancel(t *testing.T) {
+	h := NewHub(0, nil, nil)
+	sub := h.Subscribe()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan bool)
+	go func() {
+		_, ok := sub.Next(ctx)
+		done <- ok
+	}()
+	cancel()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("Next returned ok after cancellation")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Next did not observe cancellation")
+	}
+}
+
+func TestUnsubscribeStopsDelivery(t *testing.T) {
+	h := NewHub(0, nil, nil)
+	sub := h.Subscribe()
+	h.Unsubscribe(sub)
+	h.Publish(Event{Type: EventRunEnd})
+	if sub.Pending() != 0 {
+		t.Fatal("unsubscribed consumer still received events")
+	}
+	if h.Subscribers() != 0 {
+		t.Fatalf("subscriber count = %d after unsubscribe", h.Subscribers())
+	}
+}
+
+func TestNilHubPublish(t *testing.T) {
+	var h *Hub
+	h.Publish(Event{Type: EventCell}) // must not panic
+}

@@ -1,0 +1,207 @@
+// Package serve is the live run observatory: an HTTP server that runs
+// concurrently with the engine and exposes its telemetry while the run
+// is still in flight — the counterpart to the post-mortem artifacts
+// (-metrics manifests, traces, profiles) built in earlier layers.
+//
+// Endpoints:
+//
+//	GET /metrics   Prometheus text exposition of the engine registry
+//	               plus the observatory's own registry (scrape counts,
+//	               SSE drop counters)
+//	GET /progress  JSON snapshot: per-experiment done/total, per-cell
+//	               wall stats, cache hit rates
+//	GET /events    SSE stream of cell-completion and experiment-
+//	               boundary events (bounded per-client queues,
+//	               drop-oldest)
+//	GET /healthz   liveness probe
+//
+// Isolation contract: serving reads only lock-free or short-critical-
+// section snapshots (atomic counter loads, a progress snapshot behind
+// an atomic pointer, histogram exports holding only that histogram's
+// lock). The server never creates instruments in the engine's registry
+// — its own counters live in a separate self-registry exposed only on
+// /metrics — so a run's -metrics manifest is byte-identical with and
+// without -serve, and scraping perturbs neither results nor the hot
+// path.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"github.com/moatlab/melody/internal/obs"
+	"github.com/moatlab/melody/internal/obs/prom"
+)
+
+// Namespaces used on /metrics: the engine registry and the server's
+// self-registry render under distinct prefixes so their families can
+// never collide.
+const (
+	EngineNamespace = "melody"
+	SelfNamespace   = "melody_observatory"
+)
+
+// Server assembles the observatory endpoints over an engine registry, a
+// progress-snapshot source, and an event hub.
+type Server struct {
+	registry *obs.Registry
+	progress func() any
+	hub      *Hub
+	self     *obs.Registry
+	start    time.Time
+
+	scrapes   *obs.Counter
+	progReads *obs.Counter
+}
+
+// New builds a Server. registry is the engine's telemetry registry
+// (nil renders an empty engine section); progress returns the
+// /progress JSON payload (nil serves {}). The server creates its own
+// self-registry and event hub.
+func New(registry *obs.Registry, progress func() any) *Server {
+	self := obs.NewRegistry()
+	s := &Server{
+		registry:  registry,
+		progress:  progress,
+		self:      self,
+		start:     time.Now(),
+		scrapes:   self.Counter("serve/metrics_scrapes"),
+		progReads: self.Counter("serve/progress_reads"),
+	}
+	s.hub = NewHub(0, self.Counter("serve/events_published"), self.Counter("serve/events_dropped"))
+	return s
+}
+
+// Hub returns the server's event hub for publishers.
+func (s *Server) Hub() *Hub { return s.hub }
+
+// SelfRegistry returns the observatory's own registry — exposed on
+// /metrics but deliberately absent from the run manifest.
+func (s *Server) SelfRegistry() *obs.Registry { return s.self }
+
+// Handler returns the observatory's route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.index)
+	mux.HandleFunc("/metrics", s.metrics)
+	mux.HandleFunc("/progress", s.progressHandler)
+	mux.HandleFunc("/events", s.events)
+	mux.HandleFunc("/healthz", s.healthz)
+	return mux
+}
+
+func (s *Server) index(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	fmt.Fprint(w, "melody observatory\n\n/metrics   Prometheus exposition\n/progress  JSON run progress\n/events    SSE run events\n/healthz   liveness\n")
+}
+
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	s.scrapes.Inc()
+	w.Header().Set("Content-Type", prom.ContentType)
+	if err := prom.Write(w, EngineNamespace, s.registry.Export()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if err := prom.Write(w, SelfNamespace, s.self.Export()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) progressHandler(w http.ResponseWriter, r *http.Request) {
+	s.progReads.Inc()
+	var payload any = struct{}{}
+	if s.progress != nil {
+		payload = s.progress()
+	}
+	writeJSON(w, payload)
+}
+
+func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"status":   "ok",
+		"uptime_s": time.Since(s.start).Seconds(),
+	})
+}
+
+// events serves the SSE stream. Every event renders as
+//
+//	id: <seq>
+//	event: <type>
+//	data: <json>
+//
+// and sequence-number gaps tell the client exactly how many events its
+// slowness cost it.
+func (s *Server) events(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	sub := s.hub.Subscribe()
+	defer s.hub.Unsubscribe(sub)
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprint(w, ": melody observatory event stream\n\n")
+	fl.Flush()
+	for {
+		evs, ok := sub.Next(r.Context())
+		if !ok {
+			return
+		}
+		for _, ev := range evs {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+		}
+		fl.Flush()
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Running is a started observatory server.
+type Running struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (r *Running) Addr() net.Addr { return r.ln.Addr() }
+
+// Close shuts the server down immediately, dropping open SSE streams.
+func (r *Running) Close() error { return r.srv.Close() }
+
+// Start listens on addr and serves the observatory in the background.
+// Listening is synchronous so a bad address fails before the run
+// starts, mirroring the -pprof flag's fail-fast contract.
+func (s *Server) Start(addr string) (*Running, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			// The observatory must never take the run down with it.
+			_ = err
+		}
+	}()
+	return &Running{ln: ln, srv: srv}, nil
+}
