@@ -6,6 +6,17 @@
 //	melody list
 //	melody run <experiment-id>... [flags]
 //	melody run all [flags]
+//	melody serve [-addr HOST:PORT] [-queue N]
+//
+// `melody run` executes one spec and exits; `melody serve` is the
+// long-lived experiment front door: it serves the observatory plus the
+// job API (POST /runs accepts a RunSpec JSON body, GET /runs/{id}
+// tracks it, GET /runs/{id}/manifest fetches the result) and executes
+// queued specs FIFO through the same Execute path the CLI uses, so an
+// API-submitted spec and the equivalent CLI invocation produce
+// byte-identical manifests. SIGINT/SIGTERM drain: /readyz flips to 503,
+// queued jobs are canceled, the in-flight job flushes its partial
+// manifest with "interrupted": true, then the process exits.
 //
 // Flags may appear before, between, or after experiment ids:
 //
@@ -70,9 +81,9 @@ import (
 	"path/filepath"
 	"strings"
 	"syscall"
-	"time"
 
 	"github.com/moatlab/melody/internal/melody"
+	"github.com/moatlab/melody/internal/melody/spec"
 	"github.com/moatlab/melody/internal/obs"
 )
 
@@ -88,6 +99,8 @@ func main() {
 		}
 	case "run":
 		os.Exit(runCmd(os.Args[2:]))
+	case "serve":
+		os.Exit(serveCmd(os.Args[2:]))
 	default:
 		usage()
 		os.Exit(2)
@@ -95,7 +108,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: melody list | melody run <id>...|all [flags]")
+	fmt.Fprintln(os.Stderr, "usage: melody list | melody run <id>...|all [flags] | melody serve [flags]")
 }
 
 // parseRunArgs parses args against fs, allowing flags and positional
@@ -180,15 +193,26 @@ func runCmd(args []string) int {
 		*sampleEvery = 20_000
 	}
 
-	eng := melody.NewEngine(melody.Options{
-		MaxWorkloads:      *workloads,
+	// Flag parsing produces a RunSpec — the same versioned description
+	// of the run the job API accepts — and Execute below is the same
+	// entry point the job service calls, so CLI and API runs of one
+	// spec are the same run.
+	sp := spec.RunSpec{
+		Version:           spec.Version,
+		Experiments:       ids,
+		Workloads:         *workloads,
 		Instructions:      *instructions,
 		Warmup:            *warmup,
 		DurationNs:        *duration,
 		SampleEveryCycles: *sampleEvery,
 		Seed:              *seed,
-	})
-	eng.Workers = *jobs
+		Workers:           *jobs,
+		Output:            spec.Output{Reports: true},
+	}
+	if err := melody.VetSpec(sp); err != nil {
+		fmt.Fprintln(os.Stderr, "melody:", err)
+		return 1
+	}
 
 	var tel *melody.Telemetry
 	if *metricsPath != "" || *tracePath != "" || *profileDir != "" || *serveAddr != "" {
@@ -196,10 +220,7 @@ func runCmd(args []string) int {
 		if *tracePath != "" {
 			tel.Trace = obs.NewTrace()
 		}
-		eng.Obs = tel
 	}
-
-	melody.RegisterWorkloads()
 
 	// The observatory serves live state over HTTP while the engine runs;
 	// it reads observation-side snapshots only, so attaching it cannot
@@ -215,18 +236,37 @@ func runCmd(args []string) int {
 	}
 
 	progressing := false
-	eng.Progress = func(id string, done, total int) {
-		obsv.cell(id, done, total)
-		if !*quiet {
-			fmt.Fprintf(os.Stderr, "\r%-8s %d/%d cells", id, done, total)
-			progressing = true
-		}
-	}
 	clearProgress := func() {
 		if progressing {
 			fmt.Fprintf(os.Stderr, "\r%s\r", strings.Repeat(" ", 40))
 			progressing = false
 		}
+	}
+	var outErr error
+	hooks := melody.ExecHooks{
+		Telemetry: tel,
+		Progress: func(id string, done, total int) {
+			obsv.cell(id, done, total)
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "\r%-8s %d/%d cells", id, done, total)
+				progressing = true
+			}
+		},
+		ExperimentStart: func(id, title string) { obsv.experimentStart(id, title) },
+		ExperimentEnd: func(id string, wallS float64) {
+			obsv.experimentEnd(id, wallS)
+			clearProgress()
+		},
+		ReportDone: func(id string, rep *melody.Report, wallS float64) {
+			fmt.Println(rep.String())
+			fmt.Printf("(%s in %.1fs)\n\n", id, wallS)
+			if *outDir != "" && outErr == nil {
+				if outErr = os.MkdirAll(*outDir, 0o755); outErr != nil {
+					return
+				}
+				outErr = os.WriteFile(filepath.Join(*outDir, id+".txt"), []byte(rep.String()), 0o644)
+			}
+		},
 	}
 
 	// SIGINT/SIGTERM cancel the run context: the runner finishes cells
@@ -236,50 +276,22 @@ func runCmd(args []string) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	interrupted := false
-	var expTimings []melody.ExperimentTiming
-	for _, id := range ids {
-		e, ok := melody.ExperimentByID(id)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "melody: unknown experiment %q (try `melody list`)\n", id)
-			return 1
-		}
-		if ctx.Err() != nil {
-			interrupted = true
-			break
-		}
-		obsv.experimentStart(e.ID, e.Title)
-		start := time.Now()
-		rep := eng.Run(ctx, e)
-		wallS := time.Since(start).Seconds()
-		obsv.experimentEnd(e.ID, wallS)
-		clearProgress()
-		if ctx.Err() != nil {
-			interrupted = true
-			fmt.Fprintf(os.Stderr, "melody: interrupted during %s; flushing partial artifacts\n", e.ID)
-			break
-		}
-		fmt.Println(rep.String())
-		fmt.Printf("(%s in %.1fs)\n\n", e.ID, wallS)
-		expTimings = append(expTimings, melody.ExperimentTiming{ID: e.ID, WallS: wallS})
-		if *outDir != "" {
-			if err := os.MkdirAll(*outDir, 0o755); err != nil {
-				fmt.Fprintln(os.Stderr, "melody:", err)
-				return 1
-			}
-			path := filepath.Join(*outDir, e.ID+".txt")
-			if err := os.WriteFile(path, []byte(rep.String()), 0o644); err != nil {
-				fmt.Fprintln(os.Stderr, "melody:", err)
-				return 1
-			}
-		}
+	out, err := melody.Execute(ctx, sp, hooks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "melody:", err)
+		return 1
 	}
-	obsv.finish(interrupted)
+	if out.Interrupted {
+		fmt.Fprintln(os.Stderr, "melody: interrupted; flushing partial artifacts")
+	}
+	obsv.finish(out.Interrupted)
+	if outErr != nil {
+		fmt.Fprintln(os.Stderr, "melody:", outErr)
+		return 1
+	}
 
 	if *metricsPath != "" {
-		m := melody.BuildManifest(*seed, *jobs, *workloads, expTimings, tel)
-		m.Interrupted = interrupted
-		if err := melody.WriteManifest(*metricsPath, m); err != nil {
+		if err := melody.WriteManifest(*metricsPath, *out.Manifest); err != nil {
 			fmt.Fprintln(os.Stderr, "melody: metrics:", err)
 			return 1
 		}
@@ -296,7 +308,7 @@ func runCmd(args []string) int {
 			return 1
 		}
 	}
-	if interrupted {
+	if out.Interrupted {
 		return 130
 	}
 	return 0

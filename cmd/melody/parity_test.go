@@ -1,0 +1,233 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/moatlab/melody/internal/jobs"
+	"github.com/moatlab/melody/internal/melody"
+	"github.com/moatlab/melody/internal/melody/spec"
+	"github.com/moatlab/melody/internal/obs/serve"
+)
+
+// paritySpec is a cheap but non-trivial run used by the CLI-vs-API
+// contract tests.
+func paritySpec() spec.RunSpec {
+	return spec.RunSpec{
+		Version:      spec.Version,
+		Experiments:  []string{"fig8f"},
+		Workloads:    5,
+		Instructions: 120_000,
+		Warmup:       30_000,
+		Seed:         1,
+		Workers:      2,
+		Output:       spec.Output{Reports: true},
+	}
+}
+
+// stripManifest re-encodes raw manifest JSON under the StripHostTime
+// projection — the form in which two runs of one spec must be
+// byte-identical.
+func stripManifest(t *testing.T, raw []byte) []byte {
+	t.Helper()
+	var m melody.Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("manifest does not parse: %v", err)
+	}
+	m.StripHostTime()
+	out, err := melody.EncodeManifest(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestCLIAndAPIManifestParity is the tentpole acceptance contract: a
+// spec submitted through the job API and the equivalent CLI execution
+// (both riding melody.Execute) produce byte-identical manifests under
+// StripHostTime, with equal content addresses; and resubmitting the
+// identical spec answers from the store without re-executing.
+func TestCLIAndAPIManifestParity(t *testing.T) {
+	sp := paritySpec()
+
+	// "CLI" side: exactly what runCmd does with -metrics set.
+	tel := melody.NewTelemetry()
+	out, err := melody.Execute(context.Background(), sp, melody.ExecHooks{Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cliRaw, err := melody.EncodeManifest(*out.Manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cliAddr, err := out.Manifest.Address()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHash, err := sp.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Manifest.SpecHash != wantHash {
+		t.Fatalf("CLI manifest spec_hash = %q, want %q", out.Manifest.SpecHash, wantHash)
+	}
+
+	// "API" side: the real serve-mode wiring — jobExecutor through a
+	// jobs.Manager behind the HTTP mux.
+	var cur atomic.Pointer[melody.RunStatus]
+	var execs atomic.Int32
+	base := jobExecutor(&cur)
+	counting := func(ctx context.Context, sp spec.RunSpec, notify func(jobs.Event)) (jobs.ExecResult, error) {
+		execs.Add(1)
+		return base(ctx, sp, notify)
+	}
+	mgr := jobs.New(counting, 4)
+	mgr.Vet = melody.VetSpec
+	srv := serve.New(nil, nil)
+	srv.AttachJobs(mgr)
+	running, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer running.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	workerDone := make(chan struct{})
+	go func() { mgr.Run(ctx); close(workerDone) }()
+	defer func() { cancel(); <-workerDone }()
+	url := "http://" + running.Addr().String()
+
+	raw, err := spec.Encode(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/runs", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st jobs.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /runs = %d, want 202", resp.StatusCode)
+	}
+	if st.SpecHash != wantHash {
+		t.Fatalf("job spec_hash = %q, want %q", st.SpecHash, wantHash)
+	}
+
+	deadline := time.Now().Add(3 * time.Minute)
+	for {
+		got, ok := mgr.Status(st.ID)
+		if !ok {
+			t.Fatal("job vanished")
+		}
+		if got.State == jobs.StateDone {
+			break
+		}
+		if got.State.Terminal() {
+			t.Fatalf("job ended %s: %s", got.State, got.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job did not finish")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	mresp, err := http.Get(url + "/runs/" + st.ID + "/manifest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var apiRaw bytes.Buffer
+	if _, err := apiRaw.ReadFrom(mresp.Body); err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		t.Fatalf("GET manifest = %d", mresp.StatusCode)
+	}
+	apiAddr := mresp.Header.Get("Melody-Manifest-Address")
+
+	// The contract: equal content addresses, byte-identical stripped
+	// manifests.
+	if apiAddr != cliAddr {
+		t.Fatalf("content addresses differ:\n  api %s\n  cli %s", apiAddr, cliAddr)
+	}
+	cliStripped := stripManifest(t, cliRaw)
+	apiStripped := stripManifest(t, apiRaw.Bytes())
+	if !bytes.Equal(cliStripped, apiStripped) {
+		i := 0
+		for i < len(cliStripped) && i < len(apiStripped) && cliStripped[i] == apiStripped[i] {
+			i++
+		}
+		lo := max(0, i-150)
+		t.Fatalf("stripped manifests differ at byte %d:\n--- cli ---\n…%s\n--- api ---\n…%s",
+			i, cliStripped[lo:min(len(cliStripped), i+150)], apiStripped[lo:min(len(apiStripped), i+150)])
+	}
+
+	// Resubmission answers from the content-addressed store: no second
+	// execution, same bytes.
+	resp2, err := http.Post(url+"/runs", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st2 jobs.Status
+	if err := json.NewDecoder(resp2.Body).Decode(&st2); err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK || !st2.CacheHit {
+		t.Fatalf("resubmit = %d cacheHit=%v, want 200 cache hit", resp2.StatusCode, st2.CacheHit)
+	}
+	if execs.Load() != 1 {
+		t.Fatalf("executor ran %d times, want 1", execs.Load())
+	}
+	m2, err := http.Get(url + "/runs/" + st2.ID + "/manifest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var apiRaw2 bytes.Buffer
+	apiRaw2.ReadFrom(m2.Body)
+	m2.Body.Close()
+	if !bytes.Equal(apiRaw.Bytes(), apiRaw2.Bytes()) {
+		t.Fatal("cached resubmission served different manifest bytes")
+	}
+}
+
+// TestExecuteInterruptedSpec: a canceled context yields an interrupted
+// outcome with a flushed partial manifest, not an error — the drain
+// contract the job service relies on.
+func TestExecuteInterruptedSpec(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tel := melody.NewTelemetry()
+	out, err := melody.Execute(ctx, paritySpec(), melody.ExecHooks{Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Interrupted {
+		t.Fatal("canceled Execute not marked interrupted")
+	}
+	if len(out.Reports) != 0 {
+		t.Fatalf("canceled Execute produced %d reports", len(out.Reports))
+	}
+	if out.Manifest == nil || !out.Manifest.Interrupted {
+		t.Fatalf("partial manifest = %+v, want interrupted flag", out.Manifest)
+	}
+}
+
+// TestExecuteRejectsUnknownExperiment: resolution fails before any
+// work starts, with the id in the error.
+func TestExecuteRejectsUnknownExperiment(t *testing.T) {
+	sp := paritySpec()
+	sp.Experiments = []string{"no-such-figure"}
+	_, err := melody.Execute(context.Background(), sp, melody.ExecHooks{})
+	if err == nil || !bytes.Contains([]byte(err.Error()), []byte("no-such-figure")) {
+		t.Fatalf("err = %v, want unknown-experiment error naming the id", err)
+	}
+}

@@ -1,0 +1,123 @@
+package main
+
+// `melody serve` wiring: the long-lived job service. The observatory
+// server grows the job API (POST /runs and friends, see internal/jobs
+// and internal/obs/serve); specs execute FIFO through the same
+// melody.Execute the CLI uses, each on its own Engine with its own
+// Telemetry, so a job's manifest is byte-identical to the manifest the
+// equivalent `melody run` invocation writes. /metrics exposes only the
+// observatory's self-registry here — per-job engine registries live in
+// the jobs' manifests, never merged across jobs.
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+
+	"github.com/moatlab/melody/internal/jobs"
+	"github.com/moatlab/melody/internal/melody"
+	"github.com/moatlab/melody/internal/melody/spec"
+	"github.com/moatlab/melody/internal/obs/serve"
+)
+
+// jobExecutor bridges the job manager onto melody.Execute: fresh
+// telemetry per job, experiment-level progress forwarded as job
+// events, and a status board for /progress published through cur.
+// A canceled ctx yields a partial result with Interrupted set — the
+// manager serves it but never caches it.
+func jobExecutor(cur *atomic.Pointer[melody.RunStatus]) jobs.Executor {
+	return func(ctx context.Context, sp spec.RunSpec, notify func(jobs.Event)) (jobs.ExecResult, error) {
+		tel := melody.NewTelemetry()
+		status := melody.NewRunStatus(tel)
+		titles := make([]string, len(sp.Experiments))
+		for i, id := range sp.Experiments {
+			if e, ok := melody.ExperimentByID(id); ok {
+				titles[i] = e.Title
+			}
+		}
+		status.Declare(sp.Experiments, titles)
+		cur.Store(status)
+
+		out, err := melody.Execute(ctx, sp, melody.ExecHooks{
+			Telemetry: tel,
+			Progress: func(id string, done, total int) {
+				status.CellDone(id, done, total)
+				notify(jobs.Event{Type: jobs.EventCell, Experiment: id, Done: done, Total: total})
+			},
+			ExperimentStart: func(id, title string) {
+				status.BeginExperiment(id, title)
+				notify(jobs.Event{Type: jobs.EventExperimentStart, Experiment: id, Title: title})
+			},
+			ExperimentEnd: func(id string, wallS float64) {
+				status.EndExperiment(id, wallS)
+				notify(jobs.Event{Type: jobs.EventExperimentEnd, Experiment: id, WallS: wallS})
+			},
+		})
+		if err != nil {
+			return jobs.ExecResult{}, err
+		}
+		status.Finish(out.Interrupted)
+		raw, err := melody.EncodeManifest(*out.Manifest)
+		if err != nil {
+			return jobs.ExecResult{}, err
+		}
+		addr, err := out.Manifest.Address()
+		if err != nil {
+			return jobs.ExecResult{}, err
+		}
+		return jobs.ExecResult{ManifestJSON: raw, Address: addr, Interrupted: out.Interrupted}, nil
+	}
+}
+
+// serveCmd implements `melody serve`.
+func serveCmd(args []string) int {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "localhost:8080", "listen address for the observatory + job API")
+	queueCap := fs.Int("queue", jobs.DefaultQueueCap, "pending-run queue bound (full queue answers 429)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "melody serve: unexpected argument %q\n", fs.Arg(0))
+		return 2
+	}
+
+	melody.RegisterWorkloads()
+
+	// /progress tracks the job currently executing (the worker is
+	// serial, so there is at most one).
+	var cur atomic.Pointer[melody.RunStatus]
+
+	mgr := jobs.New(jobExecutor(&cur), *queueCap)
+	mgr.Vet = melody.VetSpec
+
+	srv := serve.New(nil, func() any {
+		if st := cur.Load(); st != nil {
+			return st.Snapshot()
+		}
+		return struct{}{}
+	})
+	srv.AttachJobs(mgr)
+	run, err := srv.Start(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "melody serve:", err)
+		return 2
+	}
+	defer run.Close()
+	fmt.Fprintf(os.Stderr, "melody: job service on http://%s/ (POST /runs, /runs/{id}, /readyz, /metrics)\n", run.Addr())
+
+	// SIGINT/SIGTERM start the drain: admission stops (/readyz goes
+	// 503), queued jobs are canceled, and the in-flight job finishes
+	// gracefully — its executor sees the canceled context and flushes a
+	// partial manifest marked "interrupted": true. Run returns once the
+	// drain completes.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	mgr.Run(ctx)
+	fmt.Fprintln(os.Stderr, "melody: drained, shutting down")
+	return 0
+}

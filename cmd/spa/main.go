@@ -24,6 +24,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -120,8 +121,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	runner.SampleIntervalNs = 2_000
 	runner.SampleEveryCycles = every
 
-	base := runner.Run(spec, melody.Local(p))
-	tgt := runner.Run(spec, target)
+	ctx := context.Background()
+	base, _ := runner.RunCtx(ctx, melody.RunRequest{Spec: spec, Config: melody.Local(p)})
+	tgt, _ := runner.RunCtx(ctx, melody.RunRequest{Spec: spec, Config: target})
 	b := spa.Analyze(base.Delta, tgt.Delta)
 
 	fmt.Fprintf(stdout, "%s on %s vs local DRAM (%s):\n", spec.Name, target.Name, p.CPU.Name)

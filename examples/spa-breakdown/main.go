@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/moatlab/melody/internal/cxl"
@@ -22,8 +23,9 @@ func main() {
 	run := melody.NewRunner(emr)
 	run.SampleIntervalNs = 2_000 // time-based counter sampling
 
-	base := run.Run(spec, melody.Local(emr))
-	tgt := run.Run(spec, melody.CXL(emr, cxl.ProfileB()))
+	ctx := context.Background()
+	base, _ := run.RunCtx(ctx, melody.RunRequest{Spec: spec, Config: melody.Local(emr)})
+	tgt, _ := run.RunCtx(ctx, melody.RunRequest{Spec: spec, Config: melody.CXL(emr, cxl.ProfileB())})
 
 	b := spa.Analyze(base.Delta, tgt.Delta)
 	fmt.Printf("%s on CXL-B: %s\n", spec.Name, b)

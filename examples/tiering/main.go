@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/moatlab/melody/internal/cxl"
@@ -21,9 +22,10 @@ func main() {
 	emr := platform.EMR2S()
 	spec, _ := workload.ByName("605.mcf_s")
 	run := melody.NewRunner(emr)
+	ctx := context.Background()
 
-	base := run.Run(spec, melody.Local(emr))
-	onCXL := run.Run(spec, melody.CXL(emr, cxl.ProfileA()))
+	base, _ := run.RunCtx(ctx, melody.RunRequest{Spec: spec, Config: melody.Local(emr)})
+	onCXL, _ := run.RunCtx(ctx, melody.RunRequest{Spec: spec, Config: melody.CXL(emr, cxl.ProfileA())})
 	slow := (onCXL.Cycles() - base.Cycles()) / base.Cycles()
 	fmt.Printf("everything on CXL-A: %.1f%% slowdown\n\n", slow*100)
 
@@ -50,7 +52,7 @@ func main() {
 		}
 		return dev
 	}}
-	tiered := run.Run(spec, placed)
+	tiered, _ := run.RunCtx(ctx, melody.RunRequest{Spec: spec, Config: placed})
 	after := (tiered.Cycles() - base.Cycles()) / base.Cycles()
 	fmt.Printf("with hot objects local: %.1f%% slowdown (was %.1f%%)\n", after*100, slow*100)
 	fmt.Println("\npaper: the same workflow cut 605.mcf from 13% to 2%")

@@ -1,0 +1,465 @@
+// Package jobs is the experiment job service: a bounded FIFO queue
+// with admission control, per-job status, and a content-addressed run
+// store keyed by RunSpec hash. It turns melody from "one CLI
+// invocation" into "a service that accepts queued experiment specs" —
+// the HTTP front end lives in internal/obs/serve; this package holds
+// the queueing and storage semantics so they are testable without a
+// socket.
+//
+// Admission contract:
+//
+//   - A spec whose hash matches a stored (completed, uninterrupted)
+//     run is answered from the store: the returned job is born Done
+//     with CacheHit set, and fetching its manifest re-serves the
+//     stored bytes. Nothing re-executes.
+//   - A spec identical to one already queued or running coalesces onto
+//     that job (the singleflight idea, one level up from the cell
+//     cache).
+//   - Otherwise the spec joins the FIFO queue — unless the queue is at
+//     capacity (ErrQueueFull → HTTP 429) or the manager is draining
+//     (ErrDraining → HTTP 503).
+//
+// The package depends only on spec and the standard library: the
+// executor is injected, so tests drive the queue with fakes and the
+// cmd layer plugs in melody.Execute.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/moatlab/melody/internal/melody/spec"
+)
+
+// Admission errors. The HTTP layer maps these onto status codes.
+var (
+	ErrQueueFull   = errors.New("jobs: queue full")
+	ErrDraining    = errors.New("jobs: draining, not accepting new runs")
+	ErrUnknownJob  = errors.New("jobs: unknown job")
+	ErrNotFinished = errors.New("jobs: job not finished")
+	// ErrNoManifest marks a job that terminated without a manifest
+	// (failed or canceled before starting).
+	ErrNoManifest = errors.New("jobs: job produced no manifest")
+)
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether s is a final state.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Event types emitted on the manager's notify stream. Experiment-level
+// types mirror the observatory's run events; job-level types bracket
+// the queue lifecycle.
+const (
+	EventQueued          = "job_queued"
+	EventStarted         = "job_started"
+	EventExperimentStart = "experiment_start"
+	EventCell            = "cell"
+	EventExperimentEnd   = "experiment_end"
+	EventFinished        = "job_finished"
+)
+
+// Event is one job-lifecycle notification.
+type Event struct {
+	JobID       string
+	Type        string
+	State       State
+	Experiment  string
+	Title       string
+	Done        int
+	Total       int
+	WallS       float64
+	CacheHit    bool
+	Interrupted bool
+	Error       string
+}
+
+// ExecResult is what one executed spec yields: the encoded manifest
+// and its content address. Interrupted marks a partial manifest
+// (flushed after cancellation) — fetchable, but never stored as the
+// spec's cached answer.
+type ExecResult struct {
+	ManifestJSON []byte
+	Address      string
+	Interrupted  bool
+}
+
+// Executor runs one spec. notify receives experiment-level progress
+// events (the executor does not set JobID; the manager stamps it).
+// A canceled ctx asks for a graceful stop: return the partial result
+// with Interrupted set rather than an error.
+type Executor func(ctx context.Context, sp spec.RunSpec, notify func(Event)) (ExecResult, error)
+
+// Status is a job's externally visible snapshot (the GET /runs/{id}
+// payload).
+type Status struct {
+	ID       string       `json:"id"`
+	State    State        `json:"state"`
+	SpecHash string       `json:"spec_hash"`
+	Spec     spec.RunSpec `json:"spec"`
+	// QueuePos is the 1-based position among queued jobs (0 once
+	// running or terminal).
+	QueuePos int `json:"queue_position,omitempty"`
+	// Experiment/Done/Total track the in-flight experiment's cells.
+	Experiment  string `json:"experiment,omitempty"`
+	Done        int    `json:"done,omitempty"`
+	Total       int    `json:"total,omitempty"`
+	CacheHit    bool   `json:"cache_hit,omitempty"`
+	Interrupted bool   `json:"interrupted,omitempty"`
+	Error       string `json:"error,omitempty"`
+	// Address is the manifest's content address once the job is done.
+	Address string `json:"manifest_address,omitempty"`
+}
+
+type job struct {
+	id          string
+	sp          spec.RunSpec
+	hash        string
+	state       State
+	experiment  string
+	done, total int
+	cacheHit    bool
+	interrupted bool
+	err         error
+	res         ExecResult
+}
+
+// Manager owns the queue, the job table, and the run store. One
+// worker goroutine (Run) executes jobs FIFO; Submit and the read
+// methods are safe from any goroutine.
+type Manager struct {
+	exec     Executor
+	queueCap int
+
+	// Vet, when set, is the admission check beyond structural spec
+	// validity (the cmd layer installs melody.VetSpec so unknown
+	// experiment ids are rejected at POST time). Set before Run.
+	Vet func(spec.RunSpec) error
+
+	notifyMu sync.Mutex
+	notify   func(Event)
+
+	mu       sync.Mutex
+	byID     map[string]*job
+	order    []string
+	queue    []*job
+	live     map[string]*job       // spec hash → queued/running job (coalescing)
+	store    map[string]ExecResult // spec hash → completed result
+	nextID   int
+	draining bool
+
+	wake chan struct{}
+}
+
+// DefaultQueueCap bounds the pending-run queue when the caller passes
+// 0: deep enough to absorb a burst of sweep submissions, shallow
+// enough that a stuck worker surfaces as 429s instead of unbounded
+// memory.
+const DefaultQueueCap = 16
+
+// New returns a manager executing specs with exec; queueCap bounds the
+// pending queue (0 = DefaultQueueCap).
+func New(exec Executor, queueCap int) *Manager {
+	if queueCap <= 0 {
+		queueCap = DefaultQueueCap
+	}
+	return &Manager{
+		exec:     exec,
+		queueCap: queueCap,
+		byID:     map[string]*job{},
+		live:     map[string]*job{},
+		store:    map[string]ExecResult{},
+		wake:     make(chan struct{}, 1),
+	}
+}
+
+// SetNotify installs the event observer (the HTTP layer routes events
+// into per-job SSE hubs). Events are delivered synchronously from the
+// submitting or executing goroutine; the observer must not block.
+func (m *Manager) SetNotify(fn func(Event)) {
+	m.notifyMu.Lock()
+	m.notify = fn
+	m.notifyMu.Unlock()
+}
+
+func (m *Manager) emit(ev Event) {
+	m.notifyMu.Lock()
+	fn := m.notify
+	m.notifyMu.Unlock()
+	if fn != nil {
+		fn(ev)
+	}
+}
+
+// Submit admits one spec. See the package comment for the admission
+// contract. The returned Status is the job's state at admission time:
+// StateDone with CacheHit for store answers, StateQueued otherwise
+// (or the coalesced-onto job's current state).
+func (m *Manager) Submit(sp spec.RunSpec) (Status, error) {
+	n := sp.Normalized()
+	if err := n.Validate(); err != nil {
+		return Status{}, err
+	}
+	if m.Vet != nil {
+		if err := m.Vet(n); err != nil {
+			return Status{}, err
+		}
+	}
+	hash, err := n.Hash()
+	if err != nil {
+		return Status{}, err
+	}
+
+	m.mu.Lock()
+	// Identical spec already in flight: coalesce.
+	if j := m.live[hash]; j != nil {
+		st := m.statusLocked(j)
+		m.mu.Unlock()
+		return st, nil
+	}
+	// Identical spec already solved: answer from the store.
+	if res, ok := m.store[hash]; ok {
+		j := m.newJobLocked(n, hash)
+		j.state = StateDone
+		j.cacheHit = true
+		j.res = res
+		st := m.statusLocked(j)
+		m.mu.Unlock()
+		m.emit(Event{JobID: j.id, Type: EventFinished, State: StateDone, CacheHit: true})
+		return st, nil
+	}
+	if m.draining {
+		m.mu.Unlock()
+		return Status{}, ErrDraining
+	}
+	if len(m.queue) >= m.queueCap {
+		m.mu.Unlock()
+		return Status{}, ErrQueueFull
+	}
+	j := m.newJobLocked(n, hash)
+	j.state = StateQueued
+	m.queue = append(m.queue, j)
+	m.live[hash] = j
+	st := m.statusLocked(j)
+	m.mu.Unlock()
+
+	m.emit(Event{JobID: j.id, Type: EventQueued, State: StateQueued})
+	select {
+	case m.wake <- struct{}{}:
+	default:
+	}
+	return st, nil
+}
+
+func (m *Manager) newJobLocked(sp spec.RunSpec, hash string) *job {
+	m.nextID++
+	j := &job{id: fmt.Sprintf("run-%06d", m.nextID), sp: sp, hash: hash}
+	m.byID[j.id] = j
+	m.order = append(m.order, j.id)
+	return j
+}
+
+// Run is the worker loop: it executes queued jobs FIFO until ctx is
+// done, then drains — queued jobs are canceled, the in-flight job (its
+// executor sees the canceled ctx) finishes gracefully and flushes its
+// partial manifest — and returns.
+func (m *Manager) Run(ctx context.Context) {
+	// Flip to draining the moment shutdown is requested, even while a
+	// job is mid-execution, so /readyz reports it immediately.
+	stop := context.AfterFunc(ctx, m.StartDrain)
+	defer stop()
+
+	for {
+		m.mu.Lock()
+		var j *job
+		if ctx.Err() == nil && len(m.queue) > 0 {
+			j = m.queue[0]
+			m.queue = m.queue[1:]
+			j.state = StateRunning
+		}
+		m.mu.Unlock()
+
+		if j == nil {
+			select {
+			case <-ctx.Done():
+				m.StartDrain()
+				return
+			case <-m.wake:
+				continue
+			}
+		}
+
+		m.emit(Event{JobID: j.id, Type: EventStarted, State: StateRunning})
+		res, err := m.exec(ctx, j.sp, func(ev Event) {
+			ev.JobID = j.id
+			m.progress(j, ev)
+			m.emit(ev)
+		})
+
+		m.mu.Lock()
+		delete(m.live, j.hash)
+		var fin Event
+		switch {
+		case err != nil:
+			j.state = StateFailed
+			j.err = err
+			fin = Event{JobID: j.id, Type: EventFinished, State: StateFailed, Error: err.Error()}
+		default:
+			j.state = StateDone
+			j.res = res
+			j.interrupted = res.Interrupted
+			if !res.Interrupted {
+				m.store[j.hash] = res
+			}
+			fin = Event{JobID: j.id, Type: EventFinished, State: StateDone, Interrupted: res.Interrupted}
+		}
+		m.mu.Unlock()
+		m.emit(fin)
+	}
+}
+
+// progress folds an executor event into the job's status fields.
+func (m *Manager) progress(j *job, ev Event) {
+	m.mu.Lock()
+	switch ev.Type {
+	case EventExperimentStart:
+		j.experiment = ev.Experiment
+		j.done, j.total = 0, 0
+	case EventCell:
+		j.experiment = ev.Experiment
+		j.done, j.total = ev.Done, ev.Total
+	}
+	m.mu.Unlock()
+}
+
+// StartDrain stops admission and cancels every queued job. Idempotent;
+// safe from any goroutine. The in-flight job (if any) is untouched —
+// its cancellation arrives through the Run context.
+func (m *Manager) StartDrain() {
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return
+	}
+	m.draining = true
+	canceled := m.queue
+	m.queue = nil
+	for _, j := range canceled {
+		j.state = StateCanceled
+		delete(m.live, j.hash)
+	}
+	m.mu.Unlock()
+	for _, j := range canceled {
+		m.emit(Event{JobID: j.id, Type: EventFinished, State: StateCanceled})
+	}
+}
+
+// Accepting reports whether Submit would consider new work (it may
+// still refuse with ErrQueueFull).
+func (m *Manager) Accepting() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return !m.draining
+}
+
+// QueueDepth returns the number of queued (not yet running) jobs.
+func (m *Manager) QueueDepth() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.queue)
+}
+
+// QueueCap returns the admission bound.
+func (m *Manager) QueueCap() int { return m.queueCap }
+
+// StoreSize returns the number of cached spec→manifest entries.
+func (m *Manager) StoreSize() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.store)
+}
+
+// Status returns one job's snapshot.
+func (m *Manager) Status(id string) (Status, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.byID[id]
+	if !ok {
+		return Status{}, false
+	}
+	return m.statusLocked(j), true
+}
+
+// List returns every job in submission order.
+func (m *Manager) List() []Status {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Status, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.statusLocked(m.byID[id]))
+	}
+	return out
+}
+
+// Manifest returns a finished job's manifest bytes and content
+// address. Queued/running jobs return ErrNotFinished; failed or
+// canceled jobs return ErrNoManifest. Interrupted (partial) manifests
+// are served — their Interrupted flag is in the JSON.
+func (m *Manager) Manifest(id string) ([]byte, string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.byID[id]
+	if !ok {
+		return nil, "", ErrUnknownJob
+	}
+	switch j.state {
+	case StateDone:
+		return j.res.ManifestJSON, j.res.Address, nil
+	case StateFailed:
+		return nil, "", fmt.Errorf("%w: %v", ErrNoManifest, j.err)
+	case StateCanceled:
+		return nil, "", fmt.Errorf("%w: canceled before execution", ErrNoManifest)
+	default:
+		return nil, "", ErrNotFinished
+	}
+}
+
+func (m *Manager) statusLocked(j *job) Status {
+	st := Status{
+		ID:          j.id,
+		State:       j.state,
+		SpecHash:    j.hash,
+		Spec:        j.sp,
+		Experiment:  j.experiment,
+		Done:        j.done,
+		Total:       j.total,
+		CacheHit:    j.cacheHit,
+		Interrupted: j.interrupted,
+		Address:     j.res.Address,
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if j.state == StateQueued {
+		for i, q := range m.queue {
+			if q == j {
+				st.QueuePos = i + 1
+				break
+			}
+		}
+	}
+	return st
+}

@@ -1,0 +1,305 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/moatlab/melody/internal/melody/spec"
+)
+
+func testSpec(seed uint64) spec.RunSpec {
+	return spec.RunSpec{Version: 1, Experiments: []string{"fig8f"}, Workloads: 4, Seed: seed}
+}
+
+// gatedExecutor blocks every execution until release is closed and
+// counts invocations.
+type gatedExecutor struct {
+	mu      sync.Mutex
+	release chan struct{}
+	calls   atomic.Int64
+	started chan string
+}
+
+func newGatedExecutor() *gatedExecutor {
+	return &gatedExecutor{release: make(chan struct{}), started: make(chan string, 64)}
+}
+
+func (g *gatedExecutor) exec(ctx context.Context, sp spec.RunSpec, notify func(Event)) (ExecResult, error) {
+	g.calls.Add(1)
+	g.started <- fmt.Sprintf("seed-%d", sp.Seed)
+	notify(Event{Type: EventExperimentStart, Experiment: sp.Experiments[0]})
+	select {
+	case <-g.release:
+	case <-ctx.Done():
+		return ExecResult{ManifestJSON: []byte(`{"interrupted":true}`), Address: "sha256:partial", Interrupted: true}, nil
+	}
+	hash, _ := sp.Hash()
+	return ExecResult{ManifestJSON: []byte(`{"spec_hash":"` + hash + `"}`), Address: "addr-" + hash}, nil
+}
+
+// waitState polls until id reaches state or the deadline passes.
+func waitState(t *testing.T, m *Manager, id string, want State) Status {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for {
+		st, ok := m.Status(id)
+		if ok && st.State == want {
+			return st
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("job %s never reached %s (now %+v)", id, want, st)
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+func TestQueueFullRejects(t *testing.T) {
+	g := newGatedExecutor()
+	m := New(g.exec, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go m.Run(ctx)
+
+	// First job starts running; the next two fill the queue.
+	first, err := m.Submit(testSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-g.started
+	for i := uint64(2); i <= 3; i++ {
+		if _, err := m.Submit(testSpec(i)); err != nil {
+			t.Fatalf("seed %d rejected with queue not full: %v", i, err)
+		}
+	}
+	if d := m.QueueDepth(); d != 2 {
+		t.Fatalf("queue depth = %d, want 2", d)
+	}
+	if _, err := m.Submit(testSpec(4)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over-capacity submit: err = %v, want ErrQueueFull", err)
+	}
+
+	// Queued jobs report their FIFO position.
+	sts := m.List()
+	if len(sts) != 3 || sts[1].QueuePos != 1 || sts[2].QueuePos != 2 {
+		t.Fatalf("statuses = %+v", sts)
+	}
+
+	close(g.release)
+	for _, st := range sts {
+		waitState(t, m, st.ID, StateDone)
+	}
+	if got := g.calls.Load(); got != 3 {
+		t.Fatalf("executor ran %d times, want 3", got)
+	}
+	_ = first
+}
+
+func TestCacheHitSkipsExecution(t *testing.T) {
+	g := newGatedExecutor()
+	close(g.release) // run instantly
+	m := New(g.exec, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go m.Run(ctx)
+
+	st, err := m.Submit(testSpec(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitState(t, m, st.ID, StateDone)
+	if done.CacheHit {
+		t.Fatal("first execution marked as cache hit")
+	}
+
+	// Identical spec — different surface form (seed explicit vs zero
+	// would differ; use the same seed but re-built struct).
+	again, err := m.Submit(testSpec(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.State != StateDone || !again.CacheHit {
+		t.Fatalf("resubmit = %+v, want immediate done cache hit", again)
+	}
+	if again.ID == st.ID {
+		t.Fatal("cache hit reused the original job id")
+	}
+	raw1, addr1, err := m.Manifest(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw2, addr2, err := m.Manifest(again.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw1) != string(raw2) || addr1 != addr2 {
+		t.Fatalf("cached manifest differs: %s/%s vs %s/%s", raw1, addr1, raw2, addr2)
+	}
+	if got := g.calls.Load(); got != 1 {
+		t.Fatalf("executor ran %d times, want 1 (cache hit must not re-run)", got)
+	}
+}
+
+func TestCoalesceInFlightDuplicate(t *testing.T) {
+	g := newGatedExecutor()
+	m := New(g.exec, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go m.Run(ctx)
+
+	st1, err := m.Submit(testSpec(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-g.started
+	st2, err := m.Submit(testSpec(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.ID != st1.ID {
+		t.Fatalf("duplicate in-flight spec got a new job (%s vs %s)", st2.ID, st1.ID)
+	}
+	close(g.release)
+	waitState(t, m, st1.ID, StateDone)
+	if got := g.calls.Load(); got != 1 {
+		t.Fatalf("executor ran %d times, want 1", got)
+	}
+}
+
+func TestDrainCancelsQueuedAndFlushesPartial(t *testing.T) {
+	g := newGatedExecutor()
+	m := New(g.exec, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := make(chan struct{})
+	go func() { m.Run(ctx); close(ran) }()
+
+	running, err := m.Submit(testSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-g.started
+	queued, err := m.Submit(testSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cancel() // SIGINT equivalent
+	select {
+	case <-ran:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after cancellation")
+	}
+
+	if m.Accepting() {
+		t.Fatal("still accepting after drain")
+	}
+	if _, err := m.Submit(testSpec(3)); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit during drain: err = %v, want ErrDraining", err)
+	}
+
+	// The queued job was canceled, never executed.
+	qs, _ := m.Status(queued.ID)
+	if qs.State != StateCanceled {
+		t.Fatalf("queued job state = %s, want canceled", qs.State)
+	}
+	if _, _, err := m.Manifest(queued.ID); !errors.Is(err, ErrNoManifest) {
+		t.Fatalf("canceled job manifest err = %v, want ErrNoManifest", err)
+	}
+
+	// The running job finished gracefully with a partial manifest.
+	rs, _ := m.Status(running.ID)
+	if rs.State != StateDone || !rs.Interrupted {
+		t.Fatalf("running job = %+v, want done+interrupted", rs)
+	}
+	raw, _, err := m.Manifest(running.ID)
+	if err != nil {
+		t.Fatalf("partial manifest not fetchable: %v", err)
+	}
+	if string(raw) != `{"interrupted":true}` {
+		t.Fatalf("partial manifest = %s", raw)
+	}
+
+	// Interrupted results must not poison the content store: a fresh
+	// manager (still accepting) re-executes the same spec.
+	if m.StoreSize() != 0 {
+		t.Fatalf("interrupted result cached (store size %d)", m.StoreSize())
+	}
+}
+
+func TestFailedJobSurfacesError(t *testing.T) {
+	m := New(func(ctx context.Context, sp spec.RunSpec, notify func(Event)) (ExecResult, error) {
+		return ExecResult{}, errors.New("boom")
+	}, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go m.Run(ctx)
+
+	st, err := m.Submit(testSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin := waitState(t, m, st.ID, StateFailed)
+	if fin.Error != "boom" {
+		t.Fatalf("status error = %q", fin.Error)
+	}
+	if _, _, err := m.Manifest(st.ID); !errors.Is(err, ErrNoManifest) {
+		t.Fatalf("failed job manifest err = %v, want ErrNoManifest", err)
+	}
+	// Failures are not cached: resubmitting tries again.
+	st2, err := m.Submit(testSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.CacheHit {
+		t.Fatal("failed run answered from cache")
+	}
+}
+
+func TestSubmitValidatesAndVets(t *testing.T) {
+	m := New(func(ctx context.Context, sp spec.RunSpec, notify func(Event)) (ExecResult, error) {
+		return ExecResult{}, nil
+	}, 2)
+	if _, err := m.Submit(spec.RunSpec{Version: 1}); err == nil {
+		t.Fatal("empty spec admitted")
+	}
+	m.Vet = func(sp spec.RunSpec) error { return fmt.Errorf("unknown experiment %q", sp.Experiments[0]) }
+	if _, err := m.Submit(testSpec(1)); err == nil || err.Error() != `unknown experiment "fig8f"` {
+		t.Fatalf("vet not applied: %v", err)
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	g := newGatedExecutor()
+	m := New(g.exec, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go m.Run(ctx)
+
+	var ids []string
+	for i := uint64(1); i <= 4; i++ {
+		st, err := m.Submit(testSpec(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+	close(g.release)
+	for _, id := range ids {
+		waitState(t, m, id, StateDone)
+	}
+	var order []string
+	for i := 0; i < 4; i++ {
+		order = append(order, <-g.started)
+	}
+	want := []string{"seed-1", "seed-2", "seed-3", "seed-4"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("execution order %v, want %v", order, want)
+		}
+	}
+}

@@ -158,12 +158,32 @@ func (ec *ExperimentContext) Declare(r *Runner, cells []RunRequest) error {
 	return err
 }
 
-// Slowdowns evaluates specs against target on r with progress reporting,
-// fanning baseline and target cells across the worker pool.
-func (ec *ExperimentContext) Slowdowns(r *Runner, specs []workload.Spec, target MemConfig) []float64 {
-	if err := ec.Declare(r, Cells(specs, Local(r.Platform), target)); err != nil {
-		return make([]float64, len(specs))
+// Run executes (or fetches) one cell on r under the experiment's
+// cancellation context — the context-first form experiments use in
+// place of the deprecated Runner.Run. A canceled run yields the zero
+// Result; the engine loop discards the interrupted experiment's
+// report, so partial figures never escape.
+func (ec *ExperimentContext) Run(r *Runner, spec workload.Spec, mc MemConfig) Result {
+	res, _ := r.RunCtx(ec.ctx, RunRequest{Spec: spec, Config: mc})
+	return res
+}
+
+// Slowdown measures one workload's slowdown on target vs the local
+// baseline under the experiment's context (context-first form of the
+// deprecated Runner.Slowdown).
+func (ec *ExperimentContext) Slowdown(r *Runner, spec workload.Spec, target MemConfig) float64 {
+	out, err := r.SlowdownCtx(ec.ctx, spec, target)
+	if err != nil {
+		return 0
 	}
+	return out
+}
+
+// Slowdowns evaluates specs against target on r under the experiment's
+// context (context-first form of the deprecated Runner.Slowdowns).
+// Experiments Declare their full cell set up front, so these calls are
+// normally pure cache lookups; Slowdowns therefore does not re-declare.
+func (ec *ExperimentContext) Slowdowns(r *Runner, specs []workload.Spec, target MemConfig) []float64 {
 	out, err := r.SlowdownsCtx(ec.ctx, specs, target)
 	if err != nil {
 		return make([]float64, len(specs))

@@ -1,0 +1,147 @@
+package melody
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/moatlab/melody/internal/melody/spec"
+)
+
+// This file is the one execution path behind every melody front end.
+// The CLI parses flags into a spec.RunSpec; the job API decodes one
+// from a POST body; both hand it to Execute. Keeping a single entry
+// point is what makes the acceptance contract hold: an API-submitted
+// spec and the equivalent CLI invocation run the same engine the same
+// way and produce byte-identical manifests (equal content addresses).
+
+// ExecHooks observes an Execute call. Every field is optional; hooks
+// are called from the executing goroutine (Progress from the engine's
+// serialized progress path) and must not block for long.
+type ExecHooks struct {
+	// Telemetry, when set, is attached to the engine and used to build
+	// the outcome's Manifest. A nil Telemetry runs without observation
+	// and without a manifest — the CLI's fast path when no artifact or
+	// serving flag asked for one.
+	Telemetry *Telemetry
+
+	// Progress observes cell completions (engine Progress shape).
+	Progress func(experimentID string, done, total int)
+
+	// ExperimentStart/ExperimentEnd bracket each experiment. End fires
+	// even when the run was interrupted during the experiment.
+	ExperimentStart func(id, title string)
+	ExperimentEnd   func(id string, wallS float64)
+
+	// ReportDone delivers each completed experiment's report in spec
+	// order; interrupted experiments never reach it.
+	ReportDone func(id string, rep *Report, wallS float64)
+}
+
+// ExecOutcome is what one spec execution produced.
+type ExecOutcome struct {
+	// Spec is the normalized spec that ran.
+	Spec spec.RunSpec
+	// Reports holds one report per completed experiment, in spec order.
+	Reports []*Report
+	// Timings mirrors Reports with wall times.
+	Timings []ExperimentTiming
+	// Interrupted marks a run cut short by context cancellation; the
+	// outcome (and manifest) covers only the completed prefix.
+	Interrupted bool
+	// Manifest is the run manifest, built when Telemetry was attached
+	// (nil otherwise). Its SpecHash is the spec's content address.
+	Manifest *Manifest
+}
+
+// ResolveSpec normalizes and validates sp and resolves its experiment
+// ids against the registry, returning the experiments in spec order.
+func ResolveSpec(sp spec.RunSpec) (spec.RunSpec, []Experiment, error) {
+	n := sp.Normalized()
+	if err := n.Validate(); err != nil {
+		return n, nil, err
+	}
+	exps := make([]Experiment, 0, len(n.Experiments))
+	for _, id := range n.Experiments {
+		e, ok := ExperimentByID(id)
+		if !ok {
+			return n, nil, fmt.Errorf("unknown experiment %q (try `melody list`)", id)
+		}
+		exps = append(exps, e)
+	}
+	return n, exps, nil
+}
+
+// VetSpec reports whether sp could execute: structurally valid and
+// every experiment id registered. The job queue uses it as its
+// admission check so a doomed spec is rejected at POST time, not
+// discovered as a failed job.
+func VetSpec(sp spec.RunSpec) error {
+	_, _, err := ResolveSpec(sp)
+	return err
+}
+
+// Execute runs sp to completion (or to ctx cancellation) on a fresh
+// Engine and returns the outcome. Cancellation is graceful and mirrors
+// the CLI's SIGINT behaviour: in-flight cells finish, no new work
+// starts, and the outcome — including a partial manifest flagged
+// Interrupted — covers everything that completed. Execute returns an
+// error only for specs that cannot run at all (invalid, unknown ids);
+// an interrupted run is a valid outcome, not an error.
+func Execute(ctx context.Context, sp spec.RunSpec, h ExecHooks) (ExecOutcome, error) {
+	n, exps, err := ResolveSpec(sp)
+	if err != nil {
+		return ExecOutcome{}, err
+	}
+	RegisterWorkloads()
+
+	eng := NewEngine(Options{
+		MaxWorkloads:      n.Workloads,
+		Instructions:      n.Instructions,
+		Warmup:            n.Warmup,
+		DurationNs:        n.DurationNs,
+		SampleEveryCycles: n.SampleEveryCycles,
+		Seed:              n.Seed,
+	})
+	eng.Workers = n.Workers
+	eng.Obs = h.Telemetry
+	eng.Progress = h.Progress
+
+	out := ExecOutcome{Spec: n}
+	for _, e := range exps {
+		if ctx.Err() != nil {
+			out.Interrupted = true
+			break
+		}
+		if h.ExperimentStart != nil {
+			h.ExperimentStart(e.ID, e.Title)
+		}
+		start := time.Now()
+		rep := eng.Run(ctx, e)
+		wallS := time.Since(start).Seconds()
+		if h.ExperimentEnd != nil {
+			h.ExperimentEnd(e.ID, wallS)
+		}
+		if ctx.Err() != nil {
+			// The experiment was cut mid-flight: its report covers an
+			// arbitrary prefix of its cells, so it is not recorded.
+			out.Interrupted = true
+			break
+		}
+		out.Reports = append(out.Reports, rep)
+		out.Timings = append(out.Timings, ExperimentTiming{ID: e.ID, WallS: wallS})
+		if h.ReportDone != nil {
+			h.ReportDone(e.ID, rep, wallS)
+		}
+	}
+
+	if h.Telemetry != nil {
+		m := BuildManifest(n.Seed, n.Workers, n.Workloads, out.Timings, h.Telemetry)
+		m.Interrupted = out.Interrupted
+		if hash, err := n.Hash(); err == nil {
+			m.SpecHash = hash
+		}
+		out.Manifest = &m
+	}
+	return out, nil
+}

@@ -31,8 +31,8 @@ func Ablations(ec *ExperimentContext) *Report {
 		on := ec.Runner(emr)
 		off := ec.IsolatedRunner(emr)
 		off.PrefetchersOff = true
-		cOn := on.Run(spec, Local(emr)).Cycles()
-		cOff := off.Run(spec, Local(emr)).Cycles()
+		cOn := ec.Run(on, spec, Local(emr)).Cycles()
+		cOff := ec.Run(off, spec, Local(emr)).Cycles()
 		r.Printf("  %-14s prefetchers-off costs %+.0f%% runtime", name, (cOff/cOn-1)*100)
 	}
 

@@ -36,11 +36,11 @@ func Predict(ec *ExperimentContext) *Report {
 
 	var errs []float64
 	for _, s := range specs {
-		base := run.Run(s, Local(emr))
-		cal := run.Run(s, calCfg)
+		base := ec.Run(run, s, Local(emr))
+		cal := ec.Run(run, s, calCfg)
 		pred := spa.NewPredictor(base.Delta, cal.Delta, l0, 214)
 		for _, tgt := range targets {
-			actual := run.Slowdown(s, tgt.mc)
+			actual := ec.Slowdown(run, s, tgt.mc)
 			p := pred.Predict(tgt.lat)
 			errs = append(errs, spa.PredictionError(p, actual))
 		}

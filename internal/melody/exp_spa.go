@@ -43,8 +43,8 @@ func Fig11(ec *ExperimentContext) *Report {
 	for _, mc := range targets {
 		var errTotal, errBackend, errMemory []float64
 		for _, s := range specs {
-			base := run.Run(s, Local(emr))
-			tgt := run.Run(s, mc)
+			base := ec.Run(run, s, Local(emr))
+			tgt := ec.Run(run, s, mc)
 			b := spa.Analyze(base.Delta, tgt.Delta)
 			et, eb, em := spa.AccuracyErrors(b)
 			errTotal = append(errTotal, et)
@@ -95,8 +95,8 @@ func Fig12a(ec *ExperimentContext) *Report {
 	ec.Declare(run, Cells(specs, Local(emr), CXL(emr, cxl.ProfileB())))
 	var dec, inc []float64
 	for _, s := range specs {
-		base := run.Run(s, Local(emr))
-		tgt := run.Run(s, CXL(emr, cxl.ProfileB()))
+		base := ec.Run(run, s, Local(emr))
+		tgt := ec.Run(run, s, CXL(emr, cxl.ProfileB()))
 		d := tgt.Delta.Delta(base.Delta)
 		decL2 := -d[counters.L2PFL3Miss]
 		incL1 := d[counters.L1PFL3Miss]
@@ -135,8 +135,8 @@ func Fig12b(ec *ExperimentContext) *Report {
 	}
 	var slowdowns, covDrops []float64
 	for _, s := range specs {
-		base := run.Run(s, Local(emr))
-		tgt := run.Run(s, CXL(emr, cxl.ProfileB()))
+		base := ec.Run(run, s, Local(emr))
+		tgt := ec.Run(run, s, CXL(emr, cxl.ProfileB()))
 		b := spa.Analyze(base.Delta, tgt.Delta)
 		drop := coverage(base.Delta) - coverage(tgt.Delta)
 		slowdowns = append(slowdowns, b.L1+b.L2+b.L3)
@@ -163,8 +163,8 @@ func Fig14(ec *ExperimentContext) *Report {
 		r.Printf("  %-26s %7s %7s %6s %6s %6s %6s %6s %6s", "workload",
 			"total", "DRAM", "L3", "L2", "L1", "store", "core", "other")
 		for _, s := range specs {
-			base := run.Run(s, Local(emr))
-			tgt := run.Run(s, mc)
+			base := ec.Run(run, s, Local(emr))
+			tgt := ec.Run(run, s, mc)
 			b := spa.Analyze(base.Delta, tgt.Delta)
 			r.Printf("  %-26s %6.1f%% %6.1f%% %5.1f%% %5.1f%% %5.1f%% %5.1f%% %5.1f%% %5.1f%%",
 				s.Name, b.Actual*100, b.DRAM*100, b.L3*100, b.L2*100, b.L1*100,
@@ -185,8 +185,8 @@ func Fig15(ec *ExperimentContext) *Report {
 	ec.Declare(run, Cells(specs, Local(emr), CXL(emr, cxl.ProfileB())))
 	comp := map[string][]float64{}
 	for _, s := range specs {
-		base := run.Run(s, Local(emr))
-		tgt := run.Run(s, CXL(emr, cxl.ProfileB()))
+		base := ec.Run(run, s, Local(emr))
+		tgt := ec.Run(run, s, CXL(emr, cxl.ProfileB()))
 		b := spa.Analyze(base.Delta, tgt.Delta)
 		comp["Store"] = append(comp["Store"], b.Store)
 		comp["L1"] = append(comp["L1"], b.L1)
@@ -220,8 +220,8 @@ func Fig16(ec *ExperimentContext) *Report {
 		run := ec.IsolatedRunner(emr)
 		run.SampleIntervalNs = 2_000 // "1 ms" sampling scaled to sim windows
 		ec.Declare(run, Cells([]workload.Spec{spec}, Local(emr), CXL(emr, cxl.ProfileB())))
-		base := run.Run(spec, Local(emr))
-		tgt := run.Run(spec, CXL(emr, cxl.ProfileB()))
+		base := ec.Run(run, spec, Local(emr))
+		tgt := ec.Run(run, spec, CXL(emr, cxl.ProfileB()))
 		period := run.Instructions / 12
 		periods := spa.AnalyzePeriods(base.Samples, tgt.Samples, period)
 		r.Printf("%s: %d periods of %d instructions", name, len(periods), period)
@@ -247,8 +247,8 @@ func Tuning(ec *ExperimentContext) *Report {
 	cxlCfg := CXL(emr, cxl.ProfileA())
 	ec.Declare(run, Cells([]workload.Spec{spec}, Local(emr), cxlCfg))
 
-	base := run.Run(spec, Local(emr))
-	all := run.Run(spec, cxlCfg)
+	base := ec.Run(run, spec, Local(emr))
+	all := ec.Run(run, spec, cxlCfg)
 	slowAll := (all.Cycles() - base.Cycles()) / base.Cycles()
 	r.Printf("  all objects on CXL-A: slowdown %.1f%%", slowAll*100)
 
@@ -278,7 +278,7 @@ func Tuning(ec *ExperimentContext) *Report {
 		}
 		return dev
 	}}
-	after := run.Run(spec, placed)
+	after := ec.Run(run, spec, placed)
 	slowAfter := (after.Cycles() - base.Cycles()) / base.Cycles()
 	r.Printf("  with hot objects on local DRAM: slowdown %.1f%%", slowAfter*100)
 	r.Note("paper: relocating two hot objects cut 605.mcf's slowdown from 13%% to 2%%")

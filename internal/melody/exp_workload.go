@@ -60,11 +60,11 @@ func Fig8a(ec *ExperimentContext) *Report {
 	ec.Declare(runP, Cells(specs, Local(emrP), CXL(emrP, cxl.ProfileD())))
 
 	r.Printf("%d workloads:", len(specs))
-	cdfSummary(r, "NUMA", run.Slowdowns(specs, NUMA(emr)))
-	cdfSummary(r, "CXL-D", runP.Slowdowns(specs, CXL(emrP, cxl.ProfileD())))
-	cdfSummary(r, "CXL-A", run.Slowdowns(specs, CXL(emr, cxl.ProfileA())))
-	cdfSummary(r, "CXL-B", run.Slowdowns(specs, CXL(emr, cxl.ProfileB())))
-	cdfSummary(r, "CXL-C", run.Slowdowns(small, CXL(emr, cxl.ProfileC())))
+	cdfSummary(r, "NUMA", ec.Slowdowns(run, specs, NUMA(emr)))
+	cdfSummary(r, "CXL-D", ec.Slowdowns(runP, specs, CXL(emrP, cxl.ProfileD())))
+	cdfSummary(r, "CXL-A", ec.Slowdowns(run, specs, CXL(emr, cxl.ProfileA())))
+	cdfSummary(r, "CXL-B", ec.Slowdowns(run, specs, CXL(emr, cxl.ProfileB())))
+	cdfSummary(r, "CXL-C", ec.Slowdowns(run, small, CXL(emr, cxl.ProfileC())))
 	r.Note("ordering NUMA <= CXL-D <= CXL-A <= CXL-B <= CXL-C across the CDF")
 	r.Note("many workloads tolerate CXL: tens of percent of the catalog under 10%% slowdown on D/A")
 	r.Note("a bandwidth-bound tail reaches 1.5-5.8x on CXL-A/B but not on NUMA/CXL-D")
@@ -93,9 +93,9 @@ func Fig8c(ec *ExperimentContext) *Report {
 	ec.Declare(runSKX, Cells(subset, Local(skx8), NUMA(skx8)))
 
 	r.Printf("%d workloads:", len(subset))
-	cdfSummary(r, "CXL-A", runEMR.Slowdowns(subset, CXL(emr, cxl.ProfileA())))
-	cdfSummary(r, "SKX8S-410ns", runSKX.Slowdowns(subset, NUMA(skx8)))
-	cdfSummary(r, "CXL-A+NUMA", runEMR.Slowdowns(subset, CXLNUMA(emr, cxl.ProfileA())))
+	cdfSummary(r, "CXL-A", ec.Slowdowns(runEMR, subset, CXL(emr, cxl.ProfileA())))
+	cdfSummary(r, "SKX8S-410ns", ec.Slowdowns(runSKX, subset, NUMA(skx8)))
+	cdfSummary(r, "CXL-A+NUMA", ec.Slowdowns(runEMR, subset, CXLNUMA(emr, cxl.ProfileA())))
 	r.Note("CXL-A+NUMA is worse than plain 410 ns NUMA for much of the CDF despite better nominal specs")
 	return r
 }
@@ -143,7 +143,7 @@ func Fig8d(ec *ExperimentContext) *Report {
 			s.Siblings.DelayNs /= in.scale
 		}
 		run := ec.IsolatedRunner(emr)
-		base := run.Run(s, Local(emr))
+		base := ec.Run(run, s, Local(emr))
 		for _, mc := range []MemConfig{CXL(emr, cxl.ProfileA()), CXLNUMA(emr, cxl.ProfileA())} {
 			// Record device-level latencies during the run.
 			rec := &recordingDevice{}
@@ -151,7 +151,7 @@ func Fig8d(ec *ExperimentContext) *Report {
 				rec.inner = mc.Build(seed)
 				return rec
 			}}
-			tgt := run.Run(s, mcRec)
+			tgt := ec.Run(run, s, mcRec)
 			slow := (tgt.Cycles() - base.Cycles()) / base.Cycles()
 			ps := stats.Percentiles(rec.lats, 50, 98, 99.9)
 			r.Printf("  %-9s %-12s slowdown %6.1f%%  lat p50 %5.0f  p98 %6.0f  p99.9 %7.0f ns",
@@ -172,10 +172,10 @@ func Fig8e(ec *ExperimentContext) *Report {
 	runSPR, runEMR := ec.Runner(spr), ec.Runner(emr)
 	ec.Declare(runSPR, Cells(specs, Local(spr), CXL(spr, cxl.ProfileA()), CXL(spr, cxl.ProfileB())))
 	ec.Declare(runEMR, Cells(specs, Local(emr), CXL(emr, cxl.ProfileA()), CXL(emr, cxl.ProfileB())))
-	cdfSummary(r, "SPR:CXL-A", runSPR.Slowdowns(specs, CXL(spr, cxl.ProfileA())))
-	cdfSummary(r, "EMR:CXL-A", runEMR.Slowdowns(specs, CXL(emr, cxl.ProfileA())))
-	cdfSummary(r, "SPR:CXL-B", runSPR.Slowdowns(specs, CXL(spr, cxl.ProfileB())))
-	cdfSummary(r, "EMR:CXL-B", runEMR.Slowdowns(specs, CXL(emr, cxl.ProfileB())))
+	cdfSummary(r, "SPR:CXL-A", ec.Slowdowns(runSPR, specs, CXL(spr, cxl.ProfileA())))
+	cdfSummary(r, "EMR:CXL-A", ec.Slowdowns(runEMR, specs, CXL(emr, cxl.ProfileA())))
+	cdfSummary(r, "SPR:CXL-B", ec.Slowdowns(runSPR, specs, CXL(spr, cxl.ProfileB())))
+	cdfSummary(r, "EMR:CXL-B", ec.Slowdowns(runEMR, specs, CXL(emr, cxl.ProfileB())))
 	r.Note("EMR's larger LLC leaves the slowdown pattern similar to SPR")
 	return r
 }
@@ -193,9 +193,9 @@ func Fig8f(ec *ExperimentContext) *Report {
 	run := ec.Runner(emrP)
 	ec.Declare(run, Cells(specs, Local(emrP), NUMA(emrP),
 		CXLInterleave(emrP, cxl.ProfileD(), 2), CXL(emrP, cxl.ProfileD())))
-	cdfSummary(r, "NUMA*", run.Slowdowns(specs, NUMA(emrP)))
-	cdfSummary(r, "CXL-D x2", run.Slowdowns(specs, CXLInterleave(emrP, cxl.ProfileD(), 2)))
-	cdfSummary(r, "CXL-D x1", run.Slowdowns(specs, CXL(emrP, cxl.ProfileD())))
+	cdfSummary(r, "NUMA*", ec.Slowdowns(run, specs, NUMA(emrP)))
+	cdfSummary(r, "CXL-D x2", ec.Slowdowns(run, specs, CXLInterleave(emrP, cxl.ProfileD(), 2)))
+	cdfSummary(r, "CXL-D x1", ec.Slowdowns(run, specs, CXL(emrP, cxl.ProfileD())))
 	r.Note("interleaving two CXL-D devices reduces the worst slowdowns toward the NUMA curve")
 	return r
 }
@@ -208,6 +208,7 @@ func Fig9a(ec *ExperimentContext) *Report {
 	for _, setup := range platform.LatencySetups() {
 		run := ec.Runner(setup.Platform)
 		mc := MemConfig{Name: setup.Name, Build: setup.Build}
+		ec.Declare(run, Cells(specs, Local(setup.Platform), mc))
 		s := ec.Slowdowns(run, specs, mc)
 		sum := stats.Summarize(s)
 		r.Printf("  %-12s (ref %3.0f ns): p25 %6.1f%%  p50 %6.1f%%  p75 %6.1f%%  p90 %7.1f%%  max %8.1f%%  [<10%%: %3.0f%%, <50%%: %3.0f%%]",
@@ -239,7 +240,7 @@ func Fig9b(ec *ExperimentContext) *Report {
 	for _, spec := range specs {
 		line := "  " + spec.Name + ":"
 		for _, mc := range configs {
-			line += "  " + mc.Name + " " + percent(run.Slowdown(spec, mc))
+			line += "  " + mc.Name + " " + percent(ec.Slowdown(run, spec, mc))
 		}
 		r.Printf("%s", line)
 	}

@@ -1,6 +1,8 @@
 package melody
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -33,6 +35,10 @@ type Manifest struct {
 	Seed      uint64 `json:"seed"`
 	Workers   int    `json:"workers"`
 	Workloads int    `json:"workloads"`
+	// SpecHash is the content address of the RunSpec that produced this
+	// run (see internal/melody/spec); runs started from raw Options lack
+	// it. It ties a manifest back to the exact submitted spec.
+	SpecHash string `json:"spec_hash,omitempty"`
 	// Interrupted marks a manifest flushed after SIGINT/SIGTERM: it
 	// covers only the cells that completed before cancellation.
 	Interrupted bool               `json:"interrupted,omitempty"`
@@ -108,6 +114,32 @@ func (m *Manifest) StripHostTime() {
 		m.Cells[i].WallMs = 0
 	}
 	delete(m.Registry.Histograms, "runner/cell_wall_ms")
+}
+
+// Address returns the manifest's content address: "sha256:" plus the
+// hex digest of its canonical encoding under the StripHostTime
+// projection. Because that projection removes every nondeterministic
+// field, two runs of the same spec on one host — via CLI flags or the
+// job API — produce manifests with equal addresses; the job store and
+// the CI parity gate both key on this.
+func (m Manifest) Address() (string, error) {
+	// StripHostTime mutates; work on a copy deep enough to cover the
+	// fields it touches (timing slices and the histogram map).
+	c := m
+	c.Experiments = append([]ExperimentTiming(nil), m.Experiments...)
+	c.Cells = append([]CellTiming(nil), m.Cells...)
+	hists := make(map[string]obs.Summary, len(m.Registry.Histograms))
+	for k, v := range m.Registry.Histograms {
+		hists[k] = v
+	}
+	c.Registry.Histograms = hists
+	c.StripHostTime()
+	raw, err := EncodeManifest(c)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(raw)
+	return "sha256:" + hex.EncodeToString(sum[:]), nil
 }
 
 // WriteManifest writes m as indented JSON.

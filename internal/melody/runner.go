@@ -225,6 +225,10 @@ func deriveSeed(workloadName, configName string, base uint64) uint64 {
 
 // Run executes (or returns the cached) measurement of spec on mc.
 // It is safe for concurrent use; equal cells are computed exactly once.
+//
+// Deprecated: use RunCtx, the context-first core this wraps with
+// context.Background(). Experiments should go through
+// ExperimentContext.Run, which threads the run's cancellation context.
 func (r *Runner) Run(spec workload.Spec, mc MemConfig) Result {
 	res, _ := r.RunCtx(context.Background(), RunRequest{Spec: spec, Config: mc})
 	return res
@@ -234,6 +238,10 @@ func (r *Runner) Run(spec workload.Spec, mc MemConfig) Result {
 // another goroutine is already computing the same cell, it waits for
 // that computation instead of duplicating it; ctx cancels the wait (and
 // refuses to start new work) but never aborts a simulation mid-run.
+//
+// RunCtx, RunAll, SlowdownCtx and SlowdownsCtx are the Runner's core
+// API; the context-free names are deprecated wrappers kept for
+// external callers.
 func (r *Runner) RunCtx(ctx context.Context, req RunRequest) (Result, error) {
 	res, _, err := r.runCtx(ctx, req)
 	return res, err
@@ -421,20 +429,32 @@ func (r *Runner) runOnce(req RunRequest) Result {
 	}
 }
 
+// SlowdownCtx measures spec's slowdown of target relative to the local
+// baseline, S = (c_target - c_local) / c_local, submitting both cells
+// as one batch under ctx.
+func (r *Runner) SlowdownCtx(ctx context.Context, spec workload.Spec, target MemConfig) (float64, error) {
+	out, err := r.SlowdownsCtx(ctx, []workload.Spec{spec}, target)
+	if err != nil {
+		return 0, err
+	}
+	return out[0], nil
+}
+
 // Slowdown measures spec's slowdown of target relative to the local
 // baseline: S = (c_target - c_local) / c_local.
+//
+// Deprecated: use SlowdownCtx (or ExperimentContext.Slowdown inside
+// experiments), which this wraps with context.Background().
 func (r *Runner) Slowdown(spec workload.Spec, target MemConfig) float64 {
-	base := r.Run(spec, Local(r.Platform))
-	tgt := r.Run(spec, target)
-	c := base.Cycles()
-	if c <= 0 {
-		return 0
-	}
-	return (tgt.Cycles() - c) / c
+	out, _ := r.SlowdownCtx(context.Background(), spec, target)
+	return out
 }
 
 // Slowdowns evaluates a workload set against one target config, fanning
 // the baseline and target cells out across the worker pool.
+//
+// Deprecated: use SlowdownsCtx (or ExperimentContext.Slowdowns inside
+// experiments), which this wraps with context.Background().
 func (r *Runner) Slowdowns(specs []workload.Spec, target MemConfig) []float64 {
 	out, _ := r.SlowdownsCtx(context.Background(), specs, target)
 	return out

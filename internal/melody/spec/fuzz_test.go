@@ -1,0 +1,48 @@
+package spec
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzDecode asserts the decode/encode contract on arbitrary input:
+// Decode never panics, and anything it accepts must survive a full
+// Encode → Decode round trip unchanged (decode(encode(s)) == s) with a
+// stable content address.
+func FuzzDecode(f *testing.F) {
+	seeds := []string{
+		`{"version":1,"experiments":["fig8f"],"workloads":8,"instructions":200000,"warmup":50000,"duration_ns":0,"sample_every":0,"seed":1,"workers":4,"output":{"reports":false}}`,
+		`{"experiments":["table1","fig5"]}`,
+		`{"version":2,"experiments":["fig5"]}`,
+		`{"experiments":["fig5"],"output":{"reports":true}}`,
+		`{"experiments":[]}`,
+		`not json`,
+		`{"experiments":["fig5"],"unknown":"field"}`,
+		`{"experiments":["fig5"],"seed":18446744073709551615}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			return // rejected input is fine; not panicking is the contract
+		}
+		raw, err := Encode(s)
+		if err != nil {
+			t.Fatalf("accepted spec %+v fails to encode: %v", s, err)
+		}
+		s2, err := Decode(raw)
+		if err != nil {
+			t.Fatalf("canonical encoding of %+v fails to decode: %v", s, err)
+		}
+		if !reflect.DeepEqual(s, s2) {
+			t.Fatalf("round trip drift:\n first: %+v\nsecond: %+v", s, s2)
+		}
+		h1, err1 := s.Hash()
+		h2, err2 := s2.Hash()
+		if err1 != nil || err2 != nil || h1 != h2 {
+			t.Fatalf("hash instability: %q (%v) vs %q (%v)", h1, err1, h2, err2)
+		}
+	})
+}

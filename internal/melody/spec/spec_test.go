@@ -1,0 +1,158 @@
+package spec
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func valid() RunSpec {
+	return RunSpec{
+		Version:           Version,
+		Experiments:       []string{"fig8f", "fig5"},
+		Workloads:         8,
+		Instructions:      200_000,
+		Warmup:            50_000,
+		SampleEveryCycles: 20_000,
+		Seed:              3,
+		Workers:           4,
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	cases := []RunSpec{
+		valid(),
+		{Experiments: []string{"table1"}}, // zero version+seed normalize
+		{Version: 1, Experiments: []string{"fig5"}, Seed: 99}, // explicit seed
+		{Experiments: []string{"fig5"}, Output: Output{Reports: true}},
+		{Experiments: []string{"fig5"}, DurationNs: 400_000, Workloads: 265},
+	}
+	for _, s := range cases {
+		raw, err := Encode(s)
+		if err != nil {
+			t.Fatalf("Encode(%+v): %v", s, err)
+		}
+		got, err := Decode(raw)
+		if err != nil {
+			t.Fatalf("Decode(Encode(%+v)): %v", s, err)
+		}
+		if want := s.Normalized(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("round trip: got %+v, want %+v", got, want)
+		}
+	}
+}
+
+func TestNormalizedDefaults(t *testing.T) {
+	n := RunSpec{Experiments: []string{"fig5"}}.Normalized()
+	if n.Version != Version || n.Seed != DefaultSeed {
+		t.Fatalf("normalized = %+v", n)
+	}
+}
+
+// TestHashIdentity: specs describing the same run hash identically;
+// specs differing in any result-affecting knob do not.
+func TestHashIdentity(t *testing.T) {
+	base := valid()
+	h1, err := base.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(h1, "sha256:") || len(h1) != len("sha256:")+64 {
+		t.Fatalf("hash shape: %q", h1)
+	}
+
+	// Default-vs-explicit must collapse to one identity.
+	implicit := base
+	implicit.Seed = 0
+	explicit := base
+	explicit.Seed = DefaultSeed
+	hi, _ := implicit.Hash()
+	he, _ := explicit.Hash()
+	if hi != he {
+		t.Fatalf("seed 0 and seed %d hash differently: %s vs %s", DefaultSeed, hi, he)
+	}
+
+	// Each knob perturbs the address.
+	perturb := []func(*RunSpec){
+		func(s *RunSpec) { s.Experiments = []string{"fig5", "fig8f"} }, // order is semantic
+		func(s *RunSpec) { s.Workloads++ },
+		func(s *RunSpec) { s.Instructions++ },
+		func(s *RunSpec) { s.Warmup++ },
+		func(s *RunSpec) { s.DurationNs = 1 },
+		func(s *RunSpec) { s.SampleEveryCycles++ },
+		func(s *RunSpec) { s.Seed++ },
+		func(s *RunSpec) { s.Workers++ },
+		func(s *RunSpec) { s.Output.Reports = true },
+	}
+	for i, p := range perturb {
+		s := valid()
+		p(&s)
+		h, err := s.Hash()
+		if err != nil {
+			t.Fatalf("perturb %d: %v", i, err)
+		}
+		if h == h1 {
+			t.Fatalf("perturb %d did not change the hash", i)
+		}
+	}
+}
+
+func TestDecodeRejectsUnknownVersion(t *testing.T) {
+	_, err := Decode([]byte(`{"version": 7, "experiments": ["fig5"]}`))
+	if err == nil {
+		t.Fatal("version 7 accepted")
+	}
+	var ve *VersionError
+	if !asVersionError(err, &ve) {
+		t.Fatalf("error %v is not a *VersionError", err)
+	}
+	if !strings.Contains(err.Error(), "version 7") || !strings.Contains(err.Error(), "version 1") {
+		t.Fatalf("unclear version error: %v", err)
+	}
+}
+
+// asVersionError avoids importing errors just for one assertion.
+func asVersionError(err error, target **VersionError) bool {
+	ve, ok := err.(*VersionError)
+	if ok {
+		*target = ve
+	}
+	return ok
+}
+
+func TestDecodeRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		raw  string
+		want string // substring of the error
+	}{
+		{"not json", `{`, "invalid JSON"},
+		{"unknown field", `{"experiments":["fig5"],"frobnicate":1}`, "frobnicate"},
+		{"no experiments", `{"version":1,"experiments":[]}`, "no experiments"},
+		{"empty id", `{"experiments":[""]}`, "empty experiment"},
+		{"duplicate id", `{"experiments":["fig5","fig5"]}`, "duplicate"},
+		{"negative workloads", `{"experiments":["fig5"],"workloads":-1}`, "negative workloads"},
+		{"negative workers", `{"experiments":["fig5"],"workers":-2}`, "negative workers"},
+		{"negative duration", `{"experiments":["fig5"],"duration_ns":-1}`, "duration_ns"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Decode([]byte(c.raw))
+			if err == nil {
+				t.Fatalf("Decode(%s) accepted", c.raw)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("Decode(%s) error %q missing %q", c.raw, err, c.want)
+			}
+		})
+	}
+}
+
+func TestEncodeValidates(t *testing.T) {
+	if _, err := Encode(RunSpec{}); err == nil {
+		t.Fatal("Encode accepted an empty spec")
+	}
+	if _, err := (RunSpec{}).Hash(); err == nil {
+		t.Fatal("Hash accepted an empty spec")
+	}
+}

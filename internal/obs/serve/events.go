@@ -22,6 +22,11 @@ type Event struct {
 	Total       int     `json:"total,omitempty"`
 	WallS       float64 `json:"wall_s,omitempty"`
 	Interrupted bool    `json:"interrupted,omitempty"`
+	// Job-API fields (per-job /runs/{id}/events streams only).
+	Job      string `json:"job,omitempty"`
+	State    string `json:"state,omitempty"`
+	CacheHit bool   `json:"cache_hit,omitempty"`
+	Error    string `json:"error,omitempty"`
 }
 
 // Event types published by the engine wiring.
@@ -30,6 +35,16 @@ const (
 	EventCell            = "cell"
 	EventExperimentEnd   = "experiment_end"
 	EventRunEnd          = "run_end"
+)
+
+// Event types on per-job streams (beyond the experiment-level ones,
+// which jobs reuse): queue admission, execution start, completion, and
+// the synthetic snapshot a subscriber receives on connect.
+const (
+	EventJobQueued   = "job_queued"
+	EventJobStarted  = "job_started"
+	EventJobFinished = "job_finished"
+	EventJobStatus   = "status"
 )
 
 // DefaultQueueCap bounds each subscriber's pending-event queue. 256

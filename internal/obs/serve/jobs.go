@@ -1,0 +1,250 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"github.com/moatlab/melody/internal/jobs"
+	"github.com/moatlab/melody/internal/melody/spec"
+	"github.com/moatlab/melody/internal/obs"
+)
+
+// jobAPI mounts an internal/jobs.Manager on the observatory mux: spec
+// submission with admission control, per-job status and manifest
+// retrieval, and a per-job SSE stream fed from the manager's event
+// notifications through the same bounded drop-oldest subscriber
+// queues as the run-level /events endpoint.
+//
+// The API's own counters live in the observatory self-registry — like
+// every other serve instrument they are visible on /metrics but never
+// merged into an engine registry, so attaching the job API cannot
+// perturb any run's manifest.
+type jobAPI struct {
+	mgr      *jobs.Manager
+	queueCap int // per-subscriber SSE queue bound
+
+	submits     *obs.Counter
+	accepted    *obs.Counter
+	cacheHits   *obs.Counter
+	rejectFull  *obs.Counter
+	rejectDrain *obs.Counter
+	rejectBad   *obs.Counter
+	published   *obs.Counter
+	dropped     *obs.Counter
+
+	mu   sync.Mutex
+	hubs map[string]*Hub
+}
+
+// AttachJobs mounts mgr as the observatory's job API (call before
+// Handler/Start). The server subscribes to the manager's event stream;
+// events fan out to per-job hubs backing /runs/{id}/events.
+func (s *Server) AttachJobs(mgr *jobs.Manager) {
+	api := &jobAPI{
+		mgr:         mgr,
+		queueCap:    s.JobEventQueueCap,
+		submits:     s.self.Counter("serve/jobs_submitted"),
+		accepted:    s.self.Counter("serve/jobs_accepted"),
+		cacheHits:   s.self.Counter("serve/jobs_cache_hits"),
+		rejectFull:  s.self.Counter("serve/jobs_rejected_queue_full"),
+		rejectDrain: s.self.Counter("serve/jobs_rejected_draining"),
+		rejectBad:   s.self.Counter("serve/jobs_rejected_invalid"),
+		published:   s.self.Counter("serve/job_events_published"),
+		dropped:     s.self.Counter("serve/job_events_dropped"),
+		hubs:        map[string]*Hub{},
+	}
+	mgr.SetNotify(api.onEvent)
+	s.jobs = api
+}
+
+// hub returns (creating on first use) the per-job event hub.
+func (a *jobAPI) hub(jobID string) *Hub {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	h, ok := a.hubs[jobID]
+	if !ok {
+		h = NewHub(a.queueCap, a.published, a.dropped)
+		a.hubs[jobID] = h
+	}
+	return h
+}
+
+// onEvent routes a manager notification into the job's hub. The
+// manager delivers events synchronously from the submit/execute path;
+// Publish is non-blocking by construction (drop-oldest), so a slow SSE
+// client can never stall a running experiment.
+func (a *jobAPI) onEvent(ev jobs.Event) {
+	a.hub(ev.JobID).Publish(Event{
+		Type:        ev.Type,
+		Job:         ev.JobID,
+		State:       string(ev.State),
+		Experiment:  ev.Experiment,
+		Title:       ev.Title,
+		Done:        ev.Done,
+		Total:       ev.Total,
+		WallS:       ev.WallS,
+		CacheHit:    ev.CacheHit,
+		Interrupted: ev.Interrupted,
+		Error:       ev.Error,
+	})
+}
+
+// submit is POST /runs: decode a RunSpec, admit it, answer with the
+// job status. 202 queued (or coalesced onto an in-flight duplicate),
+// 200 answered from the content-addressed store, 400 undecodable or
+// unrunnable, 429 queue full, 503 draining.
+func (a *jobAPI) submit(w http.ResponseWriter, r *http.Request) {
+	a.submits.Inc()
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		a.rejectBad.Inc()
+		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	sp, err := spec.Decode(body)
+	if err != nil {
+		a.rejectBad.Inc()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	st, err := a.mgr.Submit(sp)
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull):
+		a.rejectFull.Inc()
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+		return
+	case errors.Is(err, jobs.ErrDraining):
+		a.rejectDrain.Inc()
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case err != nil:
+		a.rejectBad.Inc()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	a.accepted.Inc()
+	code := http.StatusAccepted
+	if st.CacheHit {
+		a.cacheHits.Inc()
+		code = http.StatusOK
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Location", "/runs/"+st.ID)
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(st)
+}
+
+// list is GET /runs.
+func (a *jobAPI) list(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"jobs":        a.mgr.List(),
+		"queue_depth": a.mgr.QueueDepth(),
+		"queue_cap":   a.mgr.QueueCap(),
+		"accepting":   a.mgr.Accepting(),
+	})
+}
+
+// status is GET /runs/{id}.
+func (a *jobAPI) status(w http.ResponseWriter, r *http.Request) {
+	st, ok := a.mgr.Status(r.PathValue("id"))
+	if !ok {
+		http.Error(w, "unknown job", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, st)
+}
+
+// manifest is GET /runs/{id}/manifest: 200 with the manifest JSON
+// (content address in the Melody-Manifest-Address header) for done
+// jobs — including interrupted ones, whose JSON carries
+// "interrupted": true — 202 with the status while queued/running, 404
+// unknown, 409 for jobs that terminated without a manifest.
+func (a *jobAPI) manifest(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	raw, addr, err := a.mgr.Manifest(id)
+	switch {
+	case errors.Is(err, jobs.ErrUnknownJob):
+		http.Error(w, "unknown job", http.StatusNotFound)
+		return
+	case errors.Is(err, jobs.ErrNotFinished):
+		st, _ := a.mgr.Status(id)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(st)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Melody-Manifest-Address", addr)
+	w.Write(raw)
+}
+
+// events is GET /runs/{id}/events: the per-job SSE stream. The
+// subscriber is registered before the current status is read, so the
+// snapshot event a client receives first is never newer than the
+// stream that follows — a late subscriber to a finished job gets the
+// terminal snapshot and the stream closes. Sequence-number gaps mean
+// the client was too slow and events were dropped (oldest first),
+// exactly as on the run-level /events stream.
+func (a *jobAPI) events(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := a.mgr.Status(id)
+	if !ok {
+		http.Error(w, "unknown job", http.StatusNotFound)
+		return
+	}
+	fl, okf := w.(http.Flusher)
+	if !okf {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	hub := a.hub(id)
+	sub := hub.Subscribe()
+	defer hub.Unsubscribe(sub)
+
+	// Re-read under the subscription so no transition can fall between
+	// the snapshot and the stream.
+	st, _ = a.mgr.Status(id)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	data, err := json.Marshal(st)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", EventJobStatus, data)
+	fl.Flush()
+	if st.State.Terminal() {
+		return
+	}
+	for {
+		evs, ok := sub.Next(r.Context())
+		if !ok {
+			return
+		}
+		finished := false
+		for _, ev := range evs {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+			if ev.Type == EventJobFinished {
+				finished = true
+			}
+		}
+		fl.Flush()
+		if finished {
+			return
+		}
+	}
+}

@@ -13,7 +13,22 @@
 //	GET /events    SSE stream of cell-completion and experiment-
 //	               boundary events (bounded per-client queues,
 //	               drop-oldest)
-//	GET /healthz   liveness probe
+//	GET /healthz   liveness probe (process up)
+//	GET /readyz    readiness probe: accepting/draining plus queue
+//	               depth when the job API is attached (503 while
+//	               draining)
+//
+// With AttachJobs, the observatory stops being read-only and becomes
+// the experiment front door (see internal/jobs):
+//
+//	POST /runs                 submit a RunSpec, get a job id (429
+//	                           when the queue is full, 503 draining)
+//	GET  /runs                 list jobs
+//	GET  /runs/{id}            one job's status
+//	GET  /runs/{id}/manifest   the finished job's manifest (202 while
+//	                           queued/running, 409 failed/canceled)
+//	GET  /runs/{id}/events     per-job SSE stream (same bounded
+//	                           drop-oldest queues as /events)
 //
 // Isolation contract: serving reads only lock-free or short-critical-
 // section snapshots (atomic counter loads, a progress snapshot behind
@@ -52,6 +67,11 @@ type Server struct {
 	hub      *Hub
 	self     *obs.Registry
 	start    time.Time
+	jobs     *jobAPI
+
+	// JobEventQueueCap overrides the per-client queue bound on per-job
+	// SSE streams (0 = DefaultQueueCap). Set before AttachJobs.
+	JobEventQueueCap int
 
 	scrapes   *obs.Counter
 	progReads *obs.Counter
@@ -82,7 +102,8 @@ func (s *Server) Hub() *Hub { return s.hub }
 // /metrics but deliberately absent from the run manifest.
 func (s *Server) SelfRegistry() *obs.Registry { return s.self }
 
-// Handler returns the observatory's route table.
+// Handler returns the observatory's route table. Call AttachJobs
+// first to mount the job API.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.index)
@@ -90,7 +111,22 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/progress", s.progressHandler)
 	mux.HandleFunc("/events", s.events)
 	mux.HandleFunc("/healthz", s.healthz)
+	mux.HandleFunc("GET /readyz", s.readyz)
+	if s.jobs != nil {
+		mux.HandleFunc("POST /runs", s.jobs.submit)
+		mux.HandleFunc("GET /runs", s.jobs.list)
+		mux.HandleFunc("GET /runs/{id}", s.jobs.status)
+		mux.HandleFunc("GET /runs/{id}/manifest", s.jobs.manifest)
+		mux.HandleFunc("GET /runs/{id}/events", s.jobs.events)
+	} else {
+		mux.HandleFunc("/runs", s.noJobs)
+		mux.HandleFunc("/runs/", s.noJobs)
+	}
 	return mux
+}
+
+func (s *Server) noJobs(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "job service not enabled on this observatory", http.StatusServiceUnavailable)
 }
 
 func (s *Server) index(w http.ResponseWriter, r *http.Request) {
@@ -98,7 +134,7 @@ func (s *Server) index(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
-	fmt.Fprint(w, "melody observatory\n\n/metrics   Prometheus exposition\n/progress  JSON run progress\n/events    SSE run events\n/healthz   liveness\n")
+	fmt.Fprint(w, "melody observatory\n\n/metrics   Prometheus exposition\n/progress  JSON run progress\n/events    SSE run events\n/healthz   liveness\n/readyz    readiness (queue state)\n/runs      experiment job API (POST spec, GET status/manifest/events)\n")
 }
 
 func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
@@ -122,11 +158,40 @@ func (s *Server) progressHandler(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, payload)
 }
 
+// healthz is pure liveness: the process is up and serving. It answers
+// "restart me?" — readiness ("send me work?") lives on /readyz.
 func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{
 		"status":   "ok",
 		"uptime_s": time.Since(s.start).Seconds(),
 	})
+}
+
+// readyz is readiness: whether this observatory accepts new work. With
+// a job API attached it reports the admission state and queue depth,
+// and answers 503 while draining so load balancers stop routing
+// submissions during shutdown. Without one it is statically ready.
+func (s *Server) readyz(w http.ResponseWriter, r *http.Request) {
+	if s.jobs == nil {
+		writeJSON(w, map[string]any{"status": "ready", "jobs": false})
+		return
+	}
+	mgr := s.jobs.mgr
+	payload := map[string]any{
+		"jobs":        true,
+		"accepting":   mgr.Accepting(),
+		"queue_depth": mgr.QueueDepth(),
+		"queue_cap":   mgr.QueueCap(),
+	}
+	if mgr.Accepting() {
+		payload["status"] = "ready"
+		writeJSON(w, payload)
+		return
+	}
+	payload["status"] = "draining"
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	json.NewEncoder(w).Encode(payload)
 }
 
 // events serves the SSE stream. Every event renders as
