@@ -85,6 +85,7 @@ import (
 	"github.com/moatlab/melody/internal/melody"
 	"github.com/moatlab/melody/internal/melody/spec"
 	"github.com/moatlab/melody/internal/obs"
+	"github.com/moatlab/melody/internal/obs/svclog"
 )
 
 func main() {
@@ -148,9 +149,19 @@ func runCmd(args []string) int {
 	profileDir := fs.String("profile", "", "write per-experiment simulated-time pprof profiles to <dir>")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on <addr> (e.g. localhost:6060)")
 	serveAddr := fs.String("serve", "", "serve the live observatory (/metrics /progress /events /healthz) on <addr>")
+	logLevel := fs.String("log-level", "warn", "structured log level on stderr: debug, info, warn, error")
+	logFormat := fs.String("log-format", "text", "structured log format on stderr: text or json")
 
 	ids, err := parseRunArgs(fs, args)
 	if err != nil {
+		return 2
+	}
+	// The CLI defaults to warn so reports and live progress stay the
+	// only routine output; -log-level info/debug opts into the run
+	// lifecycle lines the service plane always emits.
+	logger, err := svclog.New(os.Stderr, svclog.Options{Format: *logFormat, Level: *logLevel})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "melody:", err)
 		return 2
 	}
 	if len(ids) == 0 {
@@ -227,7 +238,7 @@ func runCmd(args []string) int {
 	// change results or the manifest.
 	var obsv *observatory
 	if *serveAddr != "" {
-		obsv, err = startObservatory(*serveAddr, tel, ids)
+		obsv, err = startObservatory(*serveAddr, tel, ids, logger)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "melody: serve:", err)
 			return 2
@@ -245,6 +256,7 @@ func runCmd(args []string) int {
 	var outErr error
 	hooks := melody.ExecHooks{
 		Telemetry: tel,
+		Log:       logger,
 		Progress: func(id string, done, total int) {
 			obsv.cell(id, done, total)
 			if !*quiet {

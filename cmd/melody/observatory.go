@@ -9,6 +9,7 @@ package main
 
 import (
 	"fmt"
+	"log/slog"
 	"os"
 	"time"
 
@@ -28,7 +29,8 @@ type observatory struct {
 // startObservatory declares the run plan on a fresh status board and
 // starts the observatory server on addr. Listen errors surface
 // synchronously — a bad -serve address fails before the run starts.
-func startObservatory(addr string, tel *melody.Telemetry, ids []string) (*observatory, error) {
+// log receives the server's access/panic/listener lines (nil = silent).
+func startObservatory(addr string, tel *melody.Telemetry, ids []string, log *slog.Logger) (*observatory, error) {
 	status := melody.NewRunStatus(tel)
 	titles := make([]string, len(ids))
 	for i, id := range ids {
@@ -39,6 +41,7 @@ func startObservatory(addr string, tel *melody.Telemetry, ids []string) (*observ
 	status.Declare(ids, titles)
 
 	srv := serve.New(tel.Registry, func() any { return status.Snapshot() })
+	srv.SetLogger(log)
 	run, err := srv.Start(addr)
 	if err != nil {
 		return nil, err

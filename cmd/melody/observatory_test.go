@@ -7,14 +7,36 @@ import (
 	"encoding/json"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
 
 	"github.com/moatlab/melody/internal/melody"
 	"github.com/moatlab/melody/internal/obs/serve"
+	"github.com/moatlab/melody/internal/obs/svclog"
 )
+
+// lockedBuffer collects log output safely across the server goroutines.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
 
 // runObserved executes one cheap experiment with telemetry and an
 // optional observatory attached, returning the stripped manifest bytes.
+// The observed pass runs with debug-level JSON logging and the RED
+// middleware active — the isolation contract covers them too.
 func runObserved(t *testing.T, withServe bool) []byte {
 	t.Helper()
 	tel := melody.NewTelemetry()
@@ -26,9 +48,14 @@ func runObserved(t *testing.T, withServe bool) []byte {
 	eng.Obs = tel
 
 	var obsv *observatory
+	var logBuf *lockedBuffer
 	if withServe {
-		var err error
-		obsv, err = startObservatory("127.0.0.1:0", tel, []string{"fig8f"})
+		logBuf = &lockedBuffer{}
+		logger, err := svclog.New(logBuf, svclog.Options{Format: "json", Level: "debug"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		obsv, err = startObservatory("127.0.0.1:0", tel, []string{"fig8f"}, logger)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -55,6 +82,12 @@ func runObserved(t *testing.T, withServe bool) []byte {
 			if resp.StatusCode != http.StatusOK {
 				t.Fatalf("GET %s = %d", ep, resp.StatusCode)
 			}
+		}
+		// The scrapes really went through the logging middleware: the
+		// access log saw them (so byte-identity below is a real test of
+		// logging + middleware, not of an idle code path).
+		if !strings.Contains(logBuf.String(), "http request") {
+			t.Fatalf("access log empty after scrapes:\n%s", logBuf.String())
 		}
 	}
 
@@ -95,7 +128,7 @@ func TestServeDoesNotPerturbManifest(t *testing.T) {
 // stream boundary markers, /metrics carries both namespaces.
 func TestObservatoryLiveEndpoints(t *testing.T) {
 	tel := melody.NewTelemetry()
-	obsv, err := startObservatory("127.0.0.1:0", tel, []string{"fig8f"})
+	obsv, err := startObservatory("127.0.0.1:0", tel, []string{"fig8f"}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -81,7 +81,7 @@ func TestCLIAndAPIManifestParity(t *testing.T) {
 	// jobs.Manager behind the HTTP mux.
 	var cur atomic.Pointer[melody.RunStatus]
 	var execs atomic.Int32
-	base := jobExecutor(&cur)
+	base := jobExecutor(&cur, nil)
 	counting := func(ctx context.Context, sp spec.RunSpec, notify func(jobs.Event)) (jobs.ExecResult, error) {
 		execs.Add(1)
 		return base(ctx, sp, notify)

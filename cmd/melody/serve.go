@@ -13,6 +13,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"sync/atomic"
@@ -22,15 +23,25 @@ import (
 	"github.com/moatlab/melody/internal/melody"
 	"github.com/moatlab/melody/internal/melody/spec"
 	"github.com/moatlab/melody/internal/obs/serve"
+	"github.com/moatlab/melody/internal/obs/svclog"
 )
 
 // jobExecutor bridges the job manager onto melody.Execute: fresh
 // telemetry per job, experiment-level progress forwarded as job
 // events, and a status board for /progress published through cur.
 // A canceled ctx yields a partial result with Interrupted set — the
-// manager serves it but never caches it.
-func jobExecutor(cur *atomic.Pointer[melody.RunStatus]) jobs.Executor {
+// manager serves it but never caches it. Execute's lifecycle lines go
+// through log pre-bound with the job id (recovered from the manager's
+// context) so one job is traceable from POST to manifest.
+func jobExecutor(cur *atomic.Pointer[melody.RunStatus], log *slog.Logger) jobs.Executor {
+	if log == nil {
+		log = svclog.Discard()
+	}
 	return func(ctx context.Context, sp spec.RunSpec, notify func(jobs.Event)) (jobs.ExecResult, error) {
+		jlog := log
+		if id := jobs.JobIDFrom(ctx); id != "" {
+			jlog = jlog.With(svclog.KeyJobID, id)
+		}
 		tel := melody.NewTelemetry()
 		status := melody.NewRunStatus(tel)
 		titles := make([]string, len(sp.Experiments))
@@ -44,6 +55,7 @@ func jobExecutor(cur *atomic.Pointer[melody.RunStatus]) jobs.Executor {
 
 		out, err := melody.Execute(ctx, sp, melody.ExecHooks{
 			Telemetry: tel,
+			Log:       jlog,
 			Progress: func(id string, done, total int) {
 				status.CellDone(id, done, total)
 				notify(jobs.Event{Type: jobs.EventCell, Experiment: id, Done: done, Total: total})
@@ -78,11 +90,21 @@ func serveCmd(args []string) int {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", "localhost:8080", "listen address for the observatory + job API")
 	queueCap := fs.Int("queue", jobs.DefaultQueueCap, "pending-run queue bound (full queue answers 429)")
+	logLevel := fs.String("log-level", "info", "structured log level on stderr: debug, info, warn, error")
+	logFormat := fs.String("log-format", "text", "structured log format on stderr: text or json")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "melody serve: unexpected argument %q\n", fs.Arg(0))
+		return 2
+	}
+	// The service plane logs at info by default — queue transitions,
+	// access lines and drains are the operational record; -log-format
+	// json feeds log pipelines (every line one JSON object on stderr).
+	logger, err := svclog.New(os.Stderr, svclog.Options{Format: *logFormat, Level: *logLevel})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "melody serve:", err)
 		return 2
 	}
 
@@ -92,8 +114,9 @@ func serveCmd(args []string) int {
 	// serial, so there is at most one).
 	var cur atomic.Pointer[melody.RunStatus]
 
-	mgr := jobs.New(jobExecutor(&cur), *queueCap)
+	mgr := jobs.New(jobExecutor(&cur, logger), *queueCap)
 	mgr.Vet = melody.VetSpec
+	mgr.Log = logger
 
 	srv := serve.New(nil, func() any {
 		if st := cur.Load(); st != nil {
@@ -101,6 +124,7 @@ func serveCmd(args []string) int {
 		}
 		return struct{}{}
 	})
+	srv.SetLogger(logger)
 	srv.AttachJobs(mgr)
 	run, err := srv.Start(*addr)
 	if err != nil {
@@ -108,7 +132,10 @@ func serveCmd(args []string) int {
 		return 2
 	}
 	defer run.Close()
-	fmt.Fprintf(os.Stderr, "melody: job service on http://%s/ (POST /runs, /runs/{id}, /readyz, /metrics)\n", run.Addr())
+	logger.Info("job service ready",
+		"url", "http://"+run.Addr().String()+"/",
+		"queue_cap", mgr.QueueCap(),
+	)
 
 	// SIGINT/SIGTERM start the drain: admission stops (/readyz goes
 	// 503), queued jobs are canceled, and the in-flight job finishes
@@ -118,6 +145,6 @@ func serveCmd(args []string) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	mgr.Run(ctx)
-	fmt.Fprintln(os.Stderr, "melody: drained, shutting down")
+	logger.Info("job service drained, shutting down")
 	return 0
 }

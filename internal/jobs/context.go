@@ -1,0 +1,20 @@
+package jobs
+
+import "context"
+
+// jobIDKey is the context key carrying the executing job's id.
+type jobIDKey struct{}
+
+// WithJobID returns ctx carrying the job id. The manager wraps the
+// executor's context with it so the execution layer can stamp the same
+// correlation id on its own log lines without the Executor signature
+// knowing about jobs.
+func WithJobID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, jobIDKey{}, id)
+}
+
+// JobIDFrom extracts the job id installed by WithJobID ("" if absent).
+func JobIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(jobIDKey{}).(string)
+	return id
+}

@@ -19,18 +19,31 @@
 //     capacity (ErrQueueFull → HTTP 429) or the manager is draining
 //     (ErrDraining → HTTP 503).
 //
-// The package depends only on spec and the standard library: the
-// executor is injected, so tests drive the queue with fakes and the
-// cmd layer plugs in melody.Execute.
+// The package depends only on spec, the obs instrument types and the
+// standard library: the executor is injected, so tests drive the queue
+// with fakes and the cmd layer plugs in melody.Execute.
+//
+// Observability: the manager is silent and uninstrumented by default.
+// Set Log for structured state-transition lines (each carrying job_id
+// and spec_hash, the correlation ids shared with the HTTP layer's
+// access logs, the per-job SSE stream and /runs/{id}), and SetMetrics
+// to record queue-wait and execution-duration histograms plus
+// terminal-state counters into a registry — the observatory points it
+// at its self-registry, never at an engine registry, so job telemetry
+// can never leak into a run manifest.
 package jobs
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
+	"time"
 
 	"github.com/moatlab/melody/internal/melody/spec"
+	"github.com/moatlab/melody/internal/obs"
+	"github.com/moatlab/melody/internal/obs/svclog"
 )
 
 // Admission errors. The HTTP layer maps these onto status codes.
@@ -72,9 +85,13 @@ const (
 	EventFinished        = "job_finished"
 )
 
-// Event is one job-lifecycle notification.
+// Event is one job-lifecycle notification. JobID and SpecHash are the
+// correlation ids: the manager stamps both on every job-level event so
+// consumers (the per-job SSE stream) carry the same join keys as the
+// structured logs and /runs/{id}.
 type Event struct {
 	JobID       string
+	SpecHash    string
 	Type        string
 	State       State
 	Experiment  string
@@ -113,6 +130,14 @@ type Status struct {
 	// QueuePos is the 1-based position among queued jobs (0 once
 	// running or terminal).
 	QueuePos int `json:"queue_position,omitempty"`
+	// QueueWaitS is the time the job spent queued before execution
+	// began (0 while still queued, and for store-answered jobs that
+	// never executed). ExecS is the execution duration — still ticking
+	// for a running job, final once terminal. Both mirror the
+	// jobs/queue_wait_seconds and jobs/exec_seconds histograms on
+	// /metrics, so one job's latency is joinable against the fleet's.
+	QueueWaitS float64 `json:"queue_wait_s,omitempty"`
+	ExecS      float64 `json:"exec_s,omitempty"`
 	// Experiment/Done/Total track the in-flight experiment's cells.
 	Experiment  string `json:"experiment,omitempty"`
 	Done        int    `json:"done,omitempty"`
@@ -135,6 +160,10 @@ type job struct {
 	interrupted bool
 	err         error
 	res         ExecResult
+
+	submittedAt time.Time
+	startedAt   time.Time
+	finishedAt  time.Time
 }
 
 // Manager owns the queue, the job table, and the run store. One
@@ -148,6 +177,18 @@ type Manager struct {
 	// validity (the cmd layer installs melody.VetSpec so unknown
 	// experiment ids are rejected at POST time). Set before Run.
 	Vet func(spec.RunSpec) error
+
+	// Log, when set, receives structured state-transition lines
+	// (queued, started, finished, canceled — each with job_id,
+	// spec_hash, queue depth and durations). Set before Run; nil is
+	// silent.
+	Log *slog.Logger
+
+	// now is the clock behind queue-wait/execution timing; tests pin
+	// it for deterministic durations.
+	now func() time.Time
+
+	met *metrics
 
 	notifyMu sync.Mutex
 	notify   func(Event)
@@ -179,11 +220,47 @@ func New(exec Executor, queueCap int) *Manager {
 	return &Manager{
 		exec:     exec,
 		queueCap: queueCap,
+		now:      time.Now,
 		byID:     map[string]*job{},
 		live:     map[string]*job{},
 		store:    map[string]ExecResult{},
 		wake:     make(chan struct{}, 1),
 	}
+}
+
+// metrics is the manager's optional instrument set.
+type metrics struct {
+	queueWait *obs.Histogram
+	execDur   *obs.Histogram
+	done      *obs.Counter
+	failed    *obs.Counter
+	canceled  *obs.Counter
+}
+
+// SetMetrics points the manager's job-lifecycle instruments at reg:
+// jobs/queue_wait_seconds and jobs/exec_seconds histograms, plus one
+// jobs/finished counter per terminal state (rendered as
+// <ns>_jobs_finished_total{state="done"|"failed"|"canceled"} by the
+// prom encoder). Call before Run.
+func (m *Manager) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	m.met = &metrics{
+		queueWait: reg.Histogram("jobs/queue_wait_seconds"),
+		execDur:   reg.Histogram("jobs/exec_seconds"),
+		done:      reg.Counter("jobs/finished|state=done"),
+		failed:    reg.Counter("jobs/finished|state=failed"),
+		canceled:  reg.Counter("jobs/finished|state=canceled"),
+	}
+}
+
+// logger returns the installed logger or a silent one.
+func (m *Manager) logger() *slog.Logger {
+	if m.Log != nil {
+		return m.Log
+	}
+	return svclog.Discard()
 }
 
 // SetNotify installs the event observer (the HTTP layer routes events
@@ -228,6 +305,8 @@ func (m *Manager) Submit(sp spec.RunSpec) (Status, error) {
 	if j := m.live[hash]; j != nil {
 		st := m.statusLocked(j)
 		m.mu.Unlock()
+		m.logger().Debug("job coalesced onto live duplicate",
+			svclog.KeyJobID, j.id, svclog.KeySpecHash, hash)
 		return st, nil
 	}
 	// Identical spec already solved: answer from the store.
@@ -238,25 +317,35 @@ func (m *Manager) Submit(sp spec.RunSpec) (Status, error) {
 		j.res = res
 		st := m.statusLocked(j)
 		m.mu.Unlock()
-		m.emit(Event{JobID: j.id, Type: EventFinished, State: StateDone, CacheHit: true})
+		m.logger().Info("job served from store",
+			svclog.KeyJobID, j.id, svclog.KeySpecHash, hash)
+		m.emit(Event{JobID: j.id, SpecHash: hash, Type: EventFinished, State: StateDone, CacheHit: true})
 		return st, nil
 	}
 	if m.draining {
 		m.mu.Unlock()
+		m.logger().Warn("job rejected", "reason", "draining", svclog.KeySpecHash, hash)
 		return Status{}, ErrDraining
 	}
 	if len(m.queue) >= m.queueCap {
 		m.mu.Unlock()
+		m.logger().Warn("job rejected", "reason", "queue_full",
+			svclog.KeySpecHash, hash, "queue_depth", m.QueueDepth(), "queue_cap", m.queueCap)
 		return Status{}, ErrQueueFull
 	}
 	j := m.newJobLocked(n, hash)
 	j.state = StateQueued
+	j.submittedAt = m.now()
 	m.queue = append(m.queue, j)
 	m.live[hash] = j
+	depth := len(m.queue)
 	st := m.statusLocked(j)
 	m.mu.Unlock()
 
-	m.emit(Event{JobID: j.id, Type: EventQueued, State: StateQueued})
+	m.logger().Info("job queued",
+		svclog.KeyJobID, j.id, svclog.KeySpecHash, hash,
+		"queue_depth", depth, "queue_cap", m.queueCap)
+	m.emit(Event{JobID: j.id, SpecHash: hash, Type: EventQueued, State: StateQueued})
 	select {
 	case m.wake <- struct{}{}:
 	default:
@@ -285,10 +374,13 @@ func (m *Manager) Run(ctx context.Context) {
 	for {
 		m.mu.Lock()
 		var j *job
+		var depth int
 		if ctx.Err() == nil && len(m.queue) > 0 {
 			j = m.queue[0]
 			m.queue = m.queue[1:]
 			j.state = StateRunning
+			j.startedAt = m.now()
+			depth = len(m.queue)
 		}
 		m.mu.Unlock()
 
@@ -302,21 +394,34 @@ func (m *Manager) Run(ctx context.Context) {
 			}
 		}
 
-		m.emit(Event{JobID: j.id, Type: EventStarted, State: StateRunning})
-		res, err := m.exec(ctx, j.sp, func(ev Event) {
+		queueWait := j.startedAt.Sub(j.submittedAt).Seconds()
+		if m.met != nil {
+			m.met.queueWait.Record(queueWait)
+		}
+		m.logger().Info("job started",
+			svclog.KeyJobID, j.id, svclog.KeySpecHash, j.hash,
+			"queue_wait_s", queueWait, "queue_depth", depth)
+		m.emit(Event{JobID: j.id, SpecHash: j.hash, Type: EventStarted, State: StateRunning})
+		// The executor's ctx carries the job id so the execution layer
+		// (melody.Execute hooks, its logger) can stamp the same
+		// correlation id without widening the Executor signature.
+		res, err := m.exec(WithJobID(ctx, j.id), j.sp, func(ev Event) {
 			ev.JobID = j.id
+			ev.SpecHash = j.hash
 			m.progress(j, ev)
 			m.emit(ev)
 		})
 
 		m.mu.Lock()
 		delete(m.live, j.hash)
+		j.finishedAt = m.now()
+		execS := j.finishedAt.Sub(j.startedAt).Seconds()
 		var fin Event
 		switch {
 		case err != nil:
 			j.state = StateFailed
 			j.err = err
-			fin = Event{JobID: j.id, Type: EventFinished, State: StateFailed, Error: err.Error()}
+			fin = Event{JobID: j.id, SpecHash: j.hash, Type: EventFinished, State: StateFailed, Error: err.Error()}
 		default:
 			j.state = StateDone
 			j.res = res
@@ -324,10 +429,42 @@ func (m *Manager) Run(ctx context.Context) {
 			if !res.Interrupted {
 				m.store[j.hash] = res
 			}
-			fin = Event{JobID: j.id, Type: EventFinished, State: StateDone, Interrupted: res.Interrupted}
+			fin = Event{JobID: j.id, SpecHash: j.hash, Type: EventFinished, State: StateDone, Interrupted: res.Interrupted}
 		}
 		m.mu.Unlock()
+		if m.met != nil {
+			m.met.execDur.Record(execS)
+		}
+		switch {
+		case err != nil:
+			m.met.counter(StateFailed).Inc()
+			m.logger().Error("job failed",
+				svclog.KeyJobID, j.id, svclog.KeySpecHash, j.hash,
+				"exec_s", execS, "err", err.Error())
+		default:
+			m.met.counter(StateDone).Inc()
+			m.logger().Info("job finished",
+				svclog.KeyJobID, j.id, svclog.KeySpecHash, j.hash,
+				"exec_s", execS, "interrupted", res.Interrupted)
+		}
 		m.emit(fin)
+	}
+}
+
+// counter maps a terminal state onto its jobs/finished counter. Both
+// the nil *metrics receiver and the nil counters it would return are
+// no-op-safe, so call sites need no guards.
+func (mt *metrics) counter(s State) *obs.Counter {
+	if mt == nil {
+		return nil
+	}
+	switch s {
+	case StateFailed:
+		return mt.failed
+	case StateCanceled:
+		return mt.canceled
+	default:
+		return mt.done
 	}
 }
 
@@ -357,13 +494,20 @@ func (m *Manager) StartDrain() {
 	m.draining = true
 	canceled := m.queue
 	m.queue = nil
+	now := m.now()
 	for _, j := range canceled {
 		j.state = StateCanceled
+		j.finishedAt = now
 		delete(m.live, j.hash)
 	}
 	m.mu.Unlock()
+	m.logger().Info("draining", "canceled_jobs", len(canceled))
 	for _, j := range canceled {
-		m.emit(Event{JobID: j.id, Type: EventFinished, State: StateCanceled})
+		m.met.counter(StateCanceled).Inc()
+		m.logger().Info("job canceled",
+			svclog.KeyJobID, j.id, svclog.KeySpecHash, j.hash,
+			"queue_wait_s", now.Sub(j.submittedAt).Seconds())
+		m.emit(Event{JobID: j.id, SpecHash: j.hash, Type: EventFinished, State: StateCanceled})
 	}
 }
 
@@ -449,6 +593,15 @@ func (m *Manager) statusLocked(j *job) Status {
 		CacheHit:    j.cacheHit,
 		Interrupted: j.interrupted,
 		Address:     j.res.Address,
+	}
+	if !j.startedAt.IsZero() {
+		st.QueueWaitS = j.startedAt.Sub(j.submittedAt).Seconds()
+		if !j.finishedAt.IsZero() {
+			st.ExecS = j.finishedAt.Sub(j.startedAt).Seconds()
+		} else if j.state == StateRunning {
+			// Still executing: echo the duration so far.
+			st.ExecS = m.now().Sub(j.startedAt).Seconds()
+		}
 	}
 	if j.err != nil {
 		st.Error = j.err.Error()

@@ -3,9 +3,11 @@ package melody
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"time"
 
 	"github.com/moatlab/melody/internal/melody/spec"
+	"github.com/moatlab/melody/internal/obs/svclog"
 )
 
 // This file is the one execution path behind every melody front end.
@@ -36,6 +38,13 @@ type ExecHooks struct {
 	// ReportDone delivers each completed experiment's report in spec
 	// order; interrupted experiments never reach it.
 	ReportDone func(id string, rep *Report, wallS float64)
+
+	// Log, when set, receives structured run/experiment lifecycle lines,
+	// each stamped with the spec's content hash. The job service passes
+	// a logger pre-bound with job_id so one job's execution lines join
+	// its queue-transition lines; nil is silent. Logging is pure
+	// observation: manifests are byte-identical with and without it.
+	Log *slog.Logger
 }
 
 // ExecOutcome is what one spec execution produced.
@@ -95,6 +104,21 @@ func Execute(ctx context.Context, sp spec.RunSpec, h ExecHooks) (ExecOutcome, er
 	}
 	RegisterWorkloads()
 
+	log := h.Log
+	if log == nil {
+		log = svclog.Discard()
+	}
+	// The spec hash is the run's identity everywhere (manifest SpecHash,
+	// job store key, log correlation); compute it once up front.
+	hash, hashErr := n.Hash()
+	log.Info("run started",
+		svclog.KeySpecHash, hash,
+		"experiments", len(exps),
+		"workloads", n.Workloads,
+		"workers", n.Workers,
+		"seed", n.Seed,
+	)
+
 	eng := NewEngine(Options{
 		MaxWorkloads:      n.Workloads,
 		Instructions:      n.Instructions,
@@ -116,12 +140,16 @@ func Execute(ctx context.Context, sp spec.RunSpec, h ExecHooks) (ExecOutcome, er
 		if h.ExperimentStart != nil {
 			h.ExperimentStart(e.ID, e.Title)
 		}
+		log.Debug("experiment started", svclog.KeySpecHash, hash, "experiment", e.ID, "title", e.Title)
 		start := time.Now()
 		rep := eng.Run(ctx, e)
 		wallS := time.Since(start).Seconds()
 		if h.ExperimentEnd != nil {
 			h.ExperimentEnd(e.ID, wallS)
 		}
+		log.Info("experiment finished",
+			svclog.KeySpecHash, hash, "experiment", e.ID,
+			"wall_s", wallS, "interrupted", ctx.Err() != nil)
 		if ctx.Err() != nil {
 			// The experiment was cut mid-flight: its report covers an
 			// arbitrary prefix of its cells, so it is not recorded.
@@ -138,10 +166,15 @@ func Execute(ctx context.Context, sp spec.RunSpec, h ExecHooks) (ExecOutcome, er
 	if h.Telemetry != nil {
 		m := BuildManifest(n.Seed, n.Workers, n.Workloads, out.Timings, h.Telemetry)
 		m.Interrupted = out.Interrupted
-		if hash, err := n.Hash(); err == nil {
+		if hashErr == nil {
 			m.SpecHash = hash
 		}
 		out.Manifest = &m
 	}
+	log.Info("run finished",
+		svclog.KeySpecHash, hash,
+		"experiments_completed", len(out.Reports),
+		"interrupted", out.Interrupted,
+	)
 	return out, nil
 }

@@ -16,6 +16,14 @@
 //     melody_device_latency_ns{platform="EMR2S",config="CXL-B"}
 //     so dashboards select configurations by label instead of by
 //     pattern-matching metric names.
+//   - Explicitly labeled paths "name|k=v|k=v" split at "|": the first
+//     segment names the family, the rest become labels. The serve
+//     middleware's RED metrics use this —
+//     "http/requests|route=/progress|class=2xx" →
+//     http_requests_total{route="/progress",class="2xx"} — because
+//     route patterns contain "/" and so cannot ride the
+//     segment-per-label device rule. Label order in the path is
+//     preserved; label values escape but are otherwise verbatim.
 //   - obs.Histogram exports map onto native Prometheus histograms:
 //     cumulative `_bucket{le="..."}` series (only boundaries where the
 //     cumulative count grows, plus the mandatory le="+Inf"), `_sum`,
@@ -154,11 +162,25 @@ func writeSeries(w io.Writer, f *family, s series) error {
 }
 
 // mapPath turns a registry path into (family name, label block).
-// Device paths split into a shared family plus platform/config labels;
-// everything else sanitizes whole.
+// Pipe-delimited paths carry their labels explicitly; device paths
+// split into a shared family plus platform/config labels; everything
+// else sanitizes whole.
 func mapPath(namespace, path string, k kind) (string, string) {
 	name, labels := path, ""
-	if parts := strings.Split(path, "/"); len(parts) == 4 && parts[0] == "device" {
+	if parts := strings.Split(path, "|"); len(parts) > 1 {
+		name = parts[0]
+		pairs := make([]string, 0, len(parts)-1)
+		for _, p := range parts[1:] {
+			key, value, ok := strings.Cut(p, "=")
+			if !ok {
+				// A label segment without "=" is a path bug; surface it
+				// as a value under a stable key rather than dropping it.
+				key, value = "label", p
+			}
+			pairs = append(pairs, label(key, value))
+		}
+		labels = "{" + strings.Join(pairs, ",") + "}"
+	} else if parts := strings.Split(path, "/"); len(parts) == 4 && parts[0] == "device" {
 		name = "device_" + parts[3]
 		labels = "{" + label("platform", parts[1]) + "," + label("config", parts[2]) + "}"
 	}

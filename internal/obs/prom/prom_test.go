@@ -237,6 +237,45 @@ func TestNameSanitization(t *testing.T) {
 	}
 }
 
+// TestExplicitlyLabeledPaths pins the "name|k=v" rule the serve
+// middleware's RED metrics ride: one family per metric, route/class
+// as labels, label order preserved, slashes legal inside values.
+func TestExplicitlyLabeledPaths(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("http/requests|route=/runs/{id}|class=2xx").Add(4)
+	reg.Counter("http/requests|route=/runs/{id}|class=4xx").Inc()
+	reg.Counter("http/requests|route=/metrics|class=2xx").Add(9)
+	reg.Histogram("http/request_seconds|route=/metrics").Record(0.012)
+	reg.Counter("jobs/finished|state=done").Add(2)
+	out := render(t, reg)
+	for _, want := range []string{
+		`melody_http_requests_total{route="/runs/{id}",class="2xx"} 4`,
+		`melody_http_requests_total{route="/runs/{id}",class="4xx"} 1`,
+		`melody_http_requests_total{route="/metrics",class="2xx"} 9`,
+		`melody_http_request_seconds_count{route="/metrics"} 1`,
+		`melody_jobs_finished_total{state="done"} 2`,
+		"# TYPE melody_http_requests_total counter",
+		"# TYPE melody_http_request_seconds histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("labeled-path exposition missing %q:\n%s", want, out)
+		}
+	}
+	validateExposition(t, out)
+}
+
+// TestLabeledPathWithoutEquals keeps a malformed label segment visible
+// instead of dropping it.
+func TestLabeledPathWithoutEquals(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("http/requests|oops").Inc()
+	out := render(t, reg)
+	if !strings.Contains(out, `melody_http_requests_total{label="oops"} 1`) {
+		t.Fatalf("malformed label segment lost:\n%s", out)
+	}
+	validateExposition(t, out)
+}
+
 func TestMixedKindCollisionRejected(t *testing.T) {
 	reg := obs.NewRegistry()
 	reg.Gauge("x/y").Set(1)

@@ -2,10 +2,16 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"sync"
 
 	"github.com/moatlab/melody/internal/obs"
 )
+
+// marshalEvent encodes one SSE event. It is a seam (swapped in tests)
+// so the encode-failure accounting is exercisable even though Event's
+// fields can never actually fail to marshal today.
+var marshalEvent = json.Marshal
 
 // Event is one run-lifecycle notification on the /events SSE stream.
 // Seq is hub-assigned and strictly increasing, so a client that was
@@ -22,8 +28,12 @@ type Event struct {
 	Total       int     `json:"total,omitempty"`
 	WallS       float64 `json:"wall_s,omitempty"`
 	Interrupted bool    `json:"interrupted,omitempty"`
-	// Job-API fields (per-job /runs/{id}/events streams only).
+	// Job-API fields (per-job /runs/{id}/events streams only). Job and
+	// SpecHash are the correlation ids: the same values appear in the
+	// job's structured log lines and /runs/{id} payload, so one job is
+	// joinable across logs, metrics, events and manifests.
 	Job      string `json:"job,omitempty"`
+	SpecHash string `json:"spec_hash,omitempty"`
 	State    string `json:"state,omitempty"`
 	CacheHit bool   `json:"cache_hit,omitempty"`
 	Error    string `json:"error,omitempty"`

@@ -11,6 +11,7 @@ import (
 	"github.com/moatlab/melody/internal/jobs"
 	"github.com/moatlab/melody/internal/melody/spec"
 	"github.com/moatlab/melody/internal/obs"
+	"github.com/moatlab/melody/internal/obs/svclog"
 )
 
 // jobAPI mounts an internal/jobs.Manager on the observatory mux: spec
@@ -25,6 +26,7 @@ import (
 // perturb any run's manifest.
 type jobAPI struct {
 	mgr      *jobs.Manager
+	srv      *Server
 	queueCap int // per-subscriber SSE queue bound
 
 	submits     *obs.Counter
@@ -41,11 +43,17 @@ type jobAPI struct {
 }
 
 // AttachJobs mounts mgr as the observatory's job API (call before
-// Handler/Start). The server subscribes to the manager's event stream;
-// events fan out to per-job hubs backing /runs/{id}/events.
+// Handler/Start, after SetLogger). The server subscribes to the
+// manager's event stream; events fan out to per-job hubs backing
+// /runs/{id}/events. The manager's lifecycle instruments (queue-wait
+// and execution histograms, terminal-state counters) are pointed at
+// the self-registry so they surface on /metrics without ever touching
+// an engine registry.
 func (s *Server) AttachJobs(mgr *jobs.Manager) {
+	mgr.SetMetrics(s.self)
 	api := &jobAPI{
 		mgr:         mgr,
+		srv:         s,
 		queueCap:    s.JobEventQueueCap,
 		submits:     s.self.Counter("serve/jobs_submitted"),
 		accepted:    s.self.Counter("serve/jobs_accepted"),
@@ -81,6 +89,7 @@ func (a *jobAPI) onEvent(ev jobs.Event) {
 	a.hub(ev.JobID).Publish(Event{
 		Type:        ev.Type,
 		Job:         ev.JobID,
+		SpecHash:    ev.SpecHash,
 		State:       string(ev.State),
 		Experiment:  ev.Experiment,
 		Title:       ev.Title,
@@ -133,6 +142,17 @@ func (a *jobAPI) submit(w http.ResponseWriter, r *http.Request) {
 		a.cacheHits.Inc()
 		code = http.StatusOK
 	}
+	// The one log line that joins the HTTP exchange to the job: req_id
+	// ties it to the access log, job_id/spec_hash to the manager's
+	// lifecycle lines, SSE events and the manifest store.
+	a.srv.log.Info("job submitted",
+		svclog.KeyReqID, svclog.ReqID(r.Context()),
+		svclog.KeyJobID, st.ID,
+		svclog.KeySpecHash, st.SpecHash,
+		"state", string(st.State),
+		"cache_hit", st.CacheHit,
+		"queue_position", st.QueuePos,
+	)
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Location", "/runs/"+st.ID)
 	w.WriteHeader(code)
@@ -233,8 +253,9 @@ func (a *jobAPI) events(w http.ResponseWriter, r *http.Request) {
 		}
 		finished := false
 		for _, ev := range evs {
-			data, err := json.Marshal(ev)
+			data, err := marshalEvent(ev)
 			if err != nil {
+				a.srv.encodeFails.Inc()
 				continue
 			}
 			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)

@@ -1,0 +1,155 @@
+package serve
+
+// HTTP middleware: every observatory route is wrapped with one
+// instrument-and-recover layer that gives the serving plane the same
+// visibility the engine's memory path already has —
+//
+//   - RED metrics in the self-registry: a request counter per
+//     (route, status class), a latency histogram per route, one
+//     process-wide in-flight gauge, and a panic counter per route.
+//     They render on /metrics under the melody_observatory_http_*
+//     families (the "name|k=v" labeled-path rule in obs/prom).
+//   - Panic recovery: a panicking handler answers 500 and logs the
+//     stack instead of killing the whole observatory — one bad request
+//     must never take down a server with a half-hour sweep in flight.
+//   - Access logs with correlation: each request gets a req_id
+//     (honored from an incoming X-Request-Id header, generated
+//     otherwise), echoed on the response header, stored in the request
+//     context for handlers, and stamped on the access log line.
+//
+// Everything records into the self-registry only — the middleware
+// upholds the observatory isolation contract: a run's -metrics
+// manifest is byte-identical with and without the middleware attached.
+
+import (
+	"fmt"
+	"log/slog"
+	"net/http"
+	"runtime/debug"
+	"time"
+
+	"github.com/moatlab/melody/internal/obs/svclog"
+)
+
+// statusWriter captures the response status and size for the metrics
+// and access-log layer. It forwards Flush so the SSE handlers'
+// http.Flusher assertion still holds through the wrapper, and Unwrap
+// so http.ResponseController reaches the real writer.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.status = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if !w.wrote {
+		w.status = http.StatusOK
+		w.wrote = true
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// statusClass buckets an HTTP status for the request counter's class
+// label: "2xx", "4xx", …
+func statusClass(code int) string {
+	if code < 100 || code > 599 {
+		return "other"
+	}
+	return fmt.Sprintf("%dxx", code/100)
+}
+
+// wrap instruments h as route. The route string is the label value on
+// every RED family — the mux pattern ("/runs/{id}"), not the concrete
+// path, so cardinality stays bounded however many jobs exist.
+func (s *Server) wrap(route string, h http.HandlerFunc) http.Handler {
+	latency := s.self.Histogram("http/request_seconds|route=" + route)
+	panics := s.self.Counter("http/panics|route=" + route)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqID := r.Header.Get("X-Request-Id")
+		if reqID == "" {
+			reqID = svclog.NewReqID()
+		}
+		w.Header().Set("X-Request-Id", reqID)
+		r = r.WithContext(svclog.WithReqID(r.Context(), reqID))
+
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		s.inflight.Set(float64(s.inflightN.Add(1)))
+		defer func() {
+			s.inflight.Set(float64(s.inflightN.Add(-1)))
+			if rec := recover(); rec != nil {
+				panics.Inc()
+				if rec == http.ErrAbortHandler {
+					// The handler aborted the connection on purpose;
+					// net/http suppresses this panic's noise and so do we.
+					panic(rec)
+				}
+				s.log.Error("handler panic",
+					"method", r.Method,
+					"route", route,
+					"path", r.URL.Path,
+					svclog.KeyReqID, reqID,
+					"panic", fmt.Sprint(rec),
+					"stack", string(debug.Stack()),
+				)
+				if !sw.wrote {
+					http.Error(sw, "internal server error", http.StatusInternalServerError)
+				}
+			}
+			dur := time.Since(start)
+			latency.Record(dur.Seconds())
+			s.self.Counter("http/requests|route=" + route + "|class=" + statusClass(sw.status)).Inc()
+			level := accessLevel(sw.status)
+			s.log.Log(r.Context(), level, "http request",
+				"method", r.Method,
+				"route", route,
+				"path", r.URL.Path,
+				"status", sw.status,
+				"dur_ms", float64(dur.Microseconds())/1000,
+				"bytes", sw.bytes,
+				svclog.KeyReqID, reqID,
+				"remote", r.RemoteAddr,
+			)
+		}()
+		h(sw, r)
+	})
+}
+
+// accessLevel maps a response status onto the access-log level: client
+// errors warn, server errors error, everything routine stays at debug
+// so an idle scrape loop does not flood the log at the default info
+// level.
+func accessLevel(status int) slog.Level {
+	switch {
+	case status >= 500:
+		return slog.LevelError
+	case status >= 400:
+		return slog.LevelWarn
+	default:
+		return slog.LevelDebug
+	}
+}
+
+// PanicCount returns the middleware's panic counter for route (tests).
+func (s *Server) PanicCount(route string) uint64 {
+	return s.self.Counter("http/panics|route=" + route).Value()
+}

@@ -1,0 +1,73 @@
+package serve
+
+// Go runtime telemetry for the service plane, sampled lazily at scrape
+// time: a /metrics GET refreshes the gauges right before the export,
+// so an idle observatory costs nothing between scrapes and a scraped
+// one is never more than one scrape interval stale. Everything lands
+// in the self-registry (melody_observatory_runtime_* families) —
+// runtime state describes the serving process, never the simulation,
+// so it must stay out of every run manifest.
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/moatlab/melody/internal/obs"
+)
+
+// runtimeSampler owns the runtime/* instruments in the self-registry.
+type runtimeSampler struct {
+	start      time.Time
+	goroutines *obs.Gauge
+	heapAlloc  *obs.Gauge
+	heapSys    *obs.Gauge
+	gcRuns     *obs.Gauge
+	uptime     *obs.Gauge
+	gcPause    *obs.Histogram
+
+	mu        sync.Mutex
+	lastNumGC uint32
+}
+
+func newRuntimeSampler(reg *obs.Registry, start time.Time) *runtimeSampler {
+	return &runtimeSampler{
+		start:      start,
+		goroutines: reg.Gauge("runtime/goroutines"),
+		heapAlloc:  reg.Gauge("runtime/heap_alloc_bytes"),
+		heapSys:    reg.Gauge("runtime/heap_sys_bytes"),
+		gcRuns:     reg.Gauge("runtime/gc_runs"),
+		uptime:     reg.Gauge("runtime/uptime_seconds"),
+		gcPause:    reg.Histogram("runtime/gc_pause_ns"),
+	}
+}
+
+// sample refreshes every runtime instrument. ReadMemStats stops the
+// world for microseconds of *host* time; simulated results cannot
+// observe it, so sampling at scrape time upholds the isolation
+// contract.
+func (rs *runtimeSampler) sample() {
+	rs.goroutines.Set(float64(runtime.NumGoroutine()))
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	rs.heapAlloc.Set(float64(ms.HeapAlloc))
+	rs.heapSys.Set(float64(ms.HeapSys))
+	rs.gcRuns.Set(float64(ms.NumGC))
+	rs.uptime.Set(time.Since(rs.start).Seconds())
+
+	// Record the pauses of GC cycles completed since the last sample.
+	// PauseNs is a ring of the most recent 256 pauses (cycle c lands at
+	// (c+255)%256), so a scrape gap longer than 256 cycles loses the
+	// overwritten ones — the histogram's count tracking gc_runs within
+	// 256 is the accuracy contract, not exactly-once capture.
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	from := rs.lastNumGC + 1
+	if ms.NumGC > 256 && from < ms.NumGC-255 {
+		from = ms.NumGC - 255
+	}
+	for c := from; c <= ms.NumGC; c++ {
+		rs.gcPause.Record(float64(ms.PauseNs[(c+255)%256]))
+	}
+	rs.lastNumGC = ms.NumGC
+}

@@ -30,25 +30,39 @@
 //	GET  /runs/{id}/events     per-job SSE stream (same bounded
 //	                           drop-oldest queues as /events)
 //
+// Every route mounts through one middleware layer (middleware.go):
+// per-route RED metrics (request counters by status class, latency
+// histograms, an in-flight gauge), panic recovery that answers 500 and
+// logs instead of killing the observatory, and access logs carrying a
+// per-request correlation id (X-Request-Id in, echoed out). A Go
+// runtime collector (runtime.go) samples goroutines, heap, GC pauses
+// and uptime at scrape time. All of it renders on /metrics under the
+// melody_observatory_ namespace; install a logger with SetLogger
+// (silent by default).
+//
 // Isolation contract: serving reads only lock-free or short-critical-
 // section snapshots (atomic counter loads, a progress snapshot behind
 // an atomic pointer, histogram exports holding only that histogram's
 // lock). The server never creates instruments in the engine's registry
-// — its own counters live in a separate self-registry exposed only on
+// — its own counters, the HTTP middleware's RED metrics and the
+// runtime gauges all live in a separate self-registry exposed only on
 // /metrics — so a run's -metrics manifest is byte-identical with and
-// without -serve, and scraping perturbs neither results nor the hot
-// path.
+// without -serve (and with or without logging), and scraping perturbs
+// neither results nor the hot path.
 package serve
 
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"github.com/moatlab/melody/internal/obs"
 	"github.com/moatlab/melody/internal/obs/prom"
+	"github.com/moatlab/melody/internal/obs/svclog"
 )
 
 // Namespaces used on /metrics: the engine registry and the server's
@@ -68,13 +82,18 @@ type Server struct {
 	self     *obs.Registry
 	start    time.Time
 	jobs     *jobAPI
+	log      *slog.Logger
+	rt       *runtimeSampler
 
 	// JobEventQueueCap overrides the per-client queue bound on per-job
 	// SSE streams (0 = DefaultQueueCap). Set before AttachJobs.
 	JobEventQueueCap int
 
-	scrapes   *obs.Counter
-	progReads *obs.Counter
+	scrapes     *obs.Counter
+	progReads   *obs.Counter
+	encodeFails *obs.Counter
+	inflight    *obs.Gauge
+	inflightN   atomic.Int64
 }
 
 // New builds a Server. registry is the engine's telemetry registry
@@ -83,16 +102,31 @@ type Server struct {
 // self-registry and event hub.
 func New(registry *obs.Registry, progress func() any) *Server {
 	self := obs.NewRegistry()
+	start := time.Now()
 	s := &Server{
-		registry:  registry,
-		progress:  progress,
-		self:      self,
-		start:     time.Now(),
-		scrapes:   self.Counter("serve/metrics_scrapes"),
-		progReads: self.Counter("serve/progress_reads"),
+		registry:    registry,
+		progress:    progress,
+		self:        self,
+		start:       start,
+		log:         svclog.Discard(),
+		rt:          newRuntimeSampler(self, start),
+		scrapes:     self.Counter("serve/metrics_scrapes"),
+		progReads:   self.Counter("serve/progress_reads"),
+		encodeFails: self.Counter("serve/event_encode_failures"),
+		inflight:    self.Gauge("http/in_flight"),
 	}
 	s.hub = NewHub(0, self.Counter("serve/events_published"), self.Counter("serve/events_dropped"))
 	return s
+}
+
+// SetLogger installs the observatory's structured logger (access logs,
+// panic reports, listener failures). A nil l restores the default
+// silent logger. Call before Handler/Start.
+func (s *Server) SetLogger(l *slog.Logger) {
+	if l == nil {
+		l = svclog.Discard()
+	}
+	s.log = l
 }
 
 // Hub returns the server's event hub for publishers.
@@ -103,24 +137,27 @@ func (s *Server) Hub() *Hub { return s.hub }
 func (s *Server) SelfRegistry() *obs.Registry { return s.self }
 
 // Handler returns the observatory's route table. Call AttachJobs
-// first to mount the job API.
+// first to mount the job API. Every route mounts through the RED
+// middleware (see middleware.go); the route label on the emitted
+// metrics is the mux pattern, so /runs/{id} stays one series however
+// many jobs exist.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/", s.index)
-	mux.HandleFunc("/metrics", s.metrics)
-	mux.HandleFunc("/progress", s.progressHandler)
-	mux.HandleFunc("/events", s.events)
-	mux.HandleFunc("/healthz", s.healthz)
-	mux.HandleFunc("GET /readyz", s.readyz)
+	mux.Handle("/", s.wrap("/", s.index))
+	mux.Handle("/metrics", s.wrap("/metrics", s.metrics))
+	mux.Handle("/progress", s.wrap("/progress", s.progressHandler))
+	mux.Handle("/events", s.wrap("/events", s.events))
+	mux.Handle("/healthz", s.wrap("/healthz", s.healthz))
+	mux.Handle("GET /readyz", s.wrap("/readyz", s.readyz))
 	if s.jobs != nil {
-		mux.HandleFunc("POST /runs", s.jobs.submit)
-		mux.HandleFunc("GET /runs", s.jobs.list)
-		mux.HandleFunc("GET /runs/{id}", s.jobs.status)
-		mux.HandleFunc("GET /runs/{id}/manifest", s.jobs.manifest)
-		mux.HandleFunc("GET /runs/{id}/events", s.jobs.events)
+		mux.Handle("POST /runs", s.wrap("/runs", s.jobs.submit))
+		mux.Handle("GET /runs", s.wrap("/runs", s.jobs.list))
+		mux.Handle("GET /runs/{id}", s.wrap("/runs/{id}", s.jobs.status))
+		mux.Handle("GET /runs/{id}/manifest", s.wrap("/runs/{id}/manifest", s.jobs.manifest))
+		mux.Handle("GET /runs/{id}/events", s.wrap("/runs/{id}/events", s.jobs.events))
 	} else {
-		mux.HandleFunc("/runs", s.noJobs)
-		mux.HandleFunc("/runs/", s.noJobs)
+		mux.Handle("/runs", s.wrap("/runs", s.noJobs))
+		mux.Handle("/runs/", s.wrap("/runs", s.noJobs))
 	}
 	return mux
 }
@@ -139,10 +176,18 @@ func (s *Server) index(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 	s.scrapes.Inc()
+	// Runtime gauges refresh lazily, right before the export, so every
+	// scrape sees current goroutine/heap/GC state.
+	s.rt.sample()
 	w.Header().Set("Content-Type", prom.ContentType)
-	if err := prom.Write(w, EngineNamespace, s.registry.Export()); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
+	// New's contract: a nil engine registry renders an empty engine
+	// section (the `melody serve` observatory has no process-wide
+	// engine registry; each job's lands in its manifest).
+	if s.registry != nil {
+		if err := prom.Write(w, EngineNamespace, s.registry.Export()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
 	}
 	if err := prom.Write(w, SelfNamespace, s.self.Export()); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -222,8 +267,11 @@ func (s *Server) events(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		for _, ev := range evs {
-			data, err := json.Marshal(ev)
+			data, err := marshalEvent(ev)
 			if err != nil {
+				// The event is lost to this client; make the loss
+				// measurable instead of silent.
+				s.encodeFails.Inc()
 				continue
 			}
 			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
@@ -261,11 +309,14 @@ func (s *Server) Start(addr string) (*Running, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.log.Info("observatory listening", "addr", ln.Addr().String())
 	srv := &http.Server{Handler: s.Handler()}
 	go func() {
 		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
-			// The observatory must never take the run down with it.
-			_ = err
+			// The observatory must never take the run down with it — but
+			// a dead listener must not be invisible either: the run
+			// would finish fine while every scrape silently failed.
+			s.log.Error("observatory listener failed", "addr", ln.Addr().String(), "err", err)
 		}
 	}()
 	return &Running{ln: ln, srv: srv}, nil

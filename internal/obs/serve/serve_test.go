@@ -68,9 +68,28 @@ func TestServeSelfCountersStayOutOfEngineRegistry(t *testing.T) {
 	get(t, ts.URL+"/metrics")
 	get(t, ts.URL+"/progress")
 	snap := reg.Snapshot()
+	// serve/ self counters, http/ RED middleware instruments and
+	// runtime/ gauges all belong to the self-registry; any of them in
+	// the engine registry would break manifest byte-identity.
+	leaked := func(name string) bool {
+		return strings.HasPrefix(name, "serve/") ||
+			strings.HasPrefix(name, "http/") ||
+			strings.HasPrefix(name, "runtime/") ||
+			strings.HasPrefix(name, "jobs/")
+	}
 	for name := range snap.Counters {
-		if strings.HasPrefix(name, "serve/") {
-			t.Fatalf("observatory counter %q leaked into the engine registry (would break manifest byte-identity)", name)
+		if leaked(name) {
+			t.Fatalf("observatory counter %q leaked into the engine registry", name)
+		}
+	}
+	for name := range snap.Gauges {
+		if leaked(name) {
+			t.Fatalf("observatory gauge %q leaked into the engine registry", name)
+		}
+	}
+	for name := range snap.Histograms {
+		if leaked(name) {
+			t.Fatalf("observatory histogram %q leaked into the engine registry", name)
 		}
 	}
 }

@@ -1,0 +1,129 @@
+// Package svclog is the service plane's structured logger: a thin
+// log/slog configuration layer shared by `melody run`, `melody serve`
+// and the packages behind them, plus the correlation-ID convention
+// that lets one job be traced across every observability surface.
+//
+// The engine itself stays silent — simulated results never depend on
+// logging, and the hot path records into obs instruments, not log
+// lines. What logs is the *service* plane: HTTP requests, job
+// lifecycle transitions, server startup and drain. Three attribute
+// keys tie those lines to the other surfaces:
+//
+//	job_id     the jobs.Manager-assigned run id ("run-000042") — the
+//	           same id appears in /runs/{id}, per-job SSE events, and
+//	           every log line about that job
+//	spec_hash  the RunSpec content address ("sha256:…") — joins log
+//	           lines to manifests and the content-addressed run store
+//	req_id     one HTTP exchange — generated (or honored from an
+//	           incoming X-Request-Id header) by the serve middleware,
+//	           echoed on the response, carried by the access log
+//
+// Handlers are exactly slog's: "text" for humans at a terminal,
+// "json" for anything that ships lines to a collector. Both write to
+// one io.Writer (stderr in the CLI) so logs never interleave with
+// report output on stdout.
+package svclog
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Correlation attribute keys. Use these constants — not literals — so
+// the fields stay greppable and the name-sync tests can pin them.
+const (
+	KeyJobID    = "job_id"
+	KeySpecHash = "spec_hash"
+	KeyReqID    = "req_id"
+)
+
+// Options selects a handler. Zero values mean text format at info
+// level.
+type Options struct {
+	// Format is "text" (default) or "json".
+	Format string
+	// Level is "debug", "info" (default), "warn" or "error".
+	Level string
+}
+
+// ParseLevel maps a -log-level flag value onto a slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "debug":
+		return slog.LevelDebug, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("svclog: unknown level %q (want debug, info, warn or error)", s)
+}
+
+// New builds a logger writing to w per opts. Unknown formats and
+// levels are errors so a typoed flag fails at startup, not silently.
+func New(w io.Writer, opts Options) (*slog.Logger, error) {
+	level, err := ParseLevel(opts.Level)
+	if err != nil {
+		return nil, err
+	}
+	ho := &slog.HandlerOptions{Level: level}
+	switch strings.ToLower(opts.Format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, ho)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, ho)), nil
+	}
+	return nil, fmt.Errorf("svclog: unknown format %q (want text or json)", opts.Format)
+}
+
+// Discard returns a logger that drops everything. Packages that accept
+// an optional *slog.Logger default to this so call sites need no nil
+// guards (slog methods on a nil *Logger panic; on Discard they cost a
+// level check and nothing else).
+func Discard() *slog.Logger { return discard }
+
+var discard = slog.New(discardHandler{})
+
+// discardHandler is the stdlib slog.DiscardHandler, which arrives only
+// in Go 1.24 — this module pins 1.22.
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
+// NewReqID returns a fresh request correlation id: 16 hex characters,
+// unique for any realistic request volume, short enough to read in a
+// log line.
+func NewReqID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing means the platform is broken; a fixed id
+		// keeps requests flowing and the failure debuggable.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ctxKey keys the request id in a context.Context.
+type ctxKey struct{}
+
+// WithReqID returns ctx carrying id; handlers down the chain recover
+// it with ReqID to stamp their own log lines and payloads.
+func WithReqID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxKey{}, id)
+}
+
+// ReqID returns the request id carried by ctx ("" if none).
+func ReqID(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKey{}).(string)
+	return id
+}

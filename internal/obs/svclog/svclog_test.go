@@ -1,0 +1,115 @@
+package svclog
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"":        slog.LevelInfo,
+		"info":    slog.LevelInfo,
+		"DEBUG":   slog.LevelDebug,
+		"warn":    slog.LevelWarn,
+		"warning": slog.LevelWarn,
+		"Error":   slog.LevelError,
+	}
+	for in, want := range cases {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("ParseLevel accepted an unknown level")
+	}
+}
+
+func TestNewJSONLinesAreValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := New(&buf, Options{Format: "json", Level: "debug"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("job queued", KeyJobID, "run-000001", KeySpecHash, "sha256:abc")
+	log.Debug("access", KeyReqID, "deadbeefdeadbeef")
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line not JSON: %v\n%s", err, lines[0])
+	}
+	if first["msg"] != "job queued" || first[KeyJobID] != "run-000001" || first[KeySpecHash] != "sha256:abc" {
+		t.Fatalf("fields = %v", first)
+	}
+	var second map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatal(err)
+	}
+	if second["level"] != "DEBUG" || second[KeyReqID] != "deadbeefdeadbeef" {
+		t.Fatalf("fields = %v", second)
+	}
+}
+
+func TestNewTextRespectsLevel(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := New(&buf, Options{Format: "text", Level: "warn"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("suppressed")
+	log.Warn("kept", KeyJobID, "run-000002")
+	out := buf.String()
+	if strings.Contains(out, "suppressed") {
+		t.Fatalf("info line leaked past warn level:\n%s", out)
+	}
+	if !strings.Contains(out, "kept") || !strings.Contains(out, "job_id=run-000002") {
+		t.Fatalf("warn line missing or unstructured:\n%s", out)
+	}
+}
+
+func TestNewRejectsUnknownFormat(t *testing.T) {
+	if _, err := New(&bytes.Buffer{}, Options{Format: "yaml"}); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+	if _, err := New(&bytes.Buffer{}, Options{Level: "loud"}); err == nil {
+		t.Fatal("unknown level accepted")
+	}
+}
+
+func TestDiscardIsSafeAndSilent(t *testing.T) {
+	log := Discard()
+	log.Info("nothing", "k", "v")
+	log.With("a", 1).WithGroup("g").Error("still nothing")
+	if log.Enabled(context.Background(), slog.LevelError) {
+		t.Fatal("discard logger claims to be enabled")
+	}
+}
+
+func TestNewReqID(t *testing.T) {
+	a, b := NewReqID(), NewReqID()
+	if len(a) != 16 || len(b) != 16 {
+		t.Fatalf("req ids %q/%q not 16 hex chars", a, b)
+	}
+	if a == b {
+		t.Fatalf("two req ids collided: %q", a)
+	}
+}
+
+func TestReqIDContextRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	if got := ReqID(ctx); got != "" {
+		t.Fatalf("empty context carried req id %q", got)
+	}
+	ctx = WithReqID(ctx, "abc123")
+	if got := ReqID(ctx); got != "abc123" {
+		t.Fatalf("ReqID = %q, want abc123", got)
+	}
+}
