@@ -42,6 +42,12 @@ func startObservatory(addr string, tel *melody.Telemetry, ids []string, log *slo
 
 	srv := serve.New(tel.Registry, func() any { return status.Snapshot() })
 	srv.SetLogger(log)
+	if tel.Trace != nil {
+		// Mirror completed request/queue/exec spans onto the run's
+		// Perfetto trace: service spans render as their own process row
+		// beside the engine (pid 1) and worker (pid 2) tracks.
+		srv.Tracer().SetMirror(tel.Trace, 3)
+	}
 	run, err := srv.Start(addr)
 	if err != nil {
 		return nil, err

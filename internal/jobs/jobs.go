@@ -44,6 +44,7 @@ import (
 	"github.com/moatlab/melody/internal/melody/spec"
 	"github.com/moatlab/melody/internal/obs"
 	"github.com/moatlab/melody/internal/obs/svclog"
+	"github.com/moatlab/melody/internal/obs/tracespan"
 )
 
 // Admission errors. The HTTP layer maps these onto status codes.
@@ -164,6 +165,11 @@ type job struct {
 	submittedAt time.Time
 	startedAt   time.Time
 	finishedAt  time.Time
+
+	// parent is the submitting request's span context, captured at
+	// SubmitCtx time — the hand-off that keeps a trace connected across
+	// the queue boundary after the HTTP span has long since answered 202.
+	parent tracespan.SpanContext
 }
 
 // Manager owns the queue, the job table, and the run store. One
@@ -189,6 +195,12 @@ type Manager struct {
 	now func() time.Time
 
 	met *metrics
+
+	// tracer, when set, turns each traced submission into a queue span
+	// (reconstructed post-hoc from the submit/start stamps) and a live
+	// exec span parenting everything melody.Execute records. Set before
+	// Run; nil (and untraced submissions) record nothing.
+	tracer *tracespan.Tracer
 
 	notifyMu sync.Mutex
 	notify   func(Event)
@@ -255,6 +267,10 @@ func (m *Manager) SetMetrics(reg *obs.Registry) {
 	}
 }
 
+// SetTracer installs the span tracer queue/exec spans record into.
+// Call before Run.
+func (m *Manager) SetTracer(tr *tracespan.Tracer) { m.tracer = tr }
+
 // logger returns the installed logger or a silent one.
 func (m *Manager) logger() *slog.Logger {
 	if m.Log != nil {
@@ -286,6 +302,18 @@ func (m *Manager) emit(ev Event) {
 // StateDone with CacheHit for store answers, StateQueued otherwise
 // (or the coalesced-onto job's current state).
 func (m *Manager) Submit(sp spec.RunSpec) (Status, error) {
+	return m.SubmitCtx(context.Background(), sp)
+}
+
+// SubmitCtx is Submit with the submitting request's context: when ctx
+// carries an active tracespan span (the HTTP middleware's root), its
+// SpanContext is captured on the job so the queue/exec spans the worker
+// later records stay children of the originating request — the context
+// itself is NOT retained (the request will be long gone when the job
+// runs). Cache-hit and coalesced answers capture nothing: no queue or
+// exec work happens on their behalf.
+func (m *Manager) SubmitCtx(ctx context.Context, sp spec.RunSpec) (Status, error) {
+	parent := tracespan.ContextFrom(ctx)
 	n := sp.Normalized()
 	if err := n.Validate(); err != nil {
 		return Status{}, err
@@ -335,6 +363,7 @@ func (m *Manager) Submit(sp spec.RunSpec) (Status, error) {
 	}
 	j := m.newJobLocked(n, hash)
 	j.state = StateQueued
+	j.parent = parent
 	j.submittedAt = m.now()
 	m.queue = append(m.queue, j)
 	m.live[hash] = j
@@ -405,7 +434,24 @@ func (m *Manager) Run(ctx context.Context) {
 		// The executor's ctx carries the job id so the execution layer
 		// (melody.Execute hooks, its logger) can stamp the same
 		// correlation id without widening the Executor signature.
-		res, err := m.exec(WithJobID(ctx, j.id), j.sp, func(ev Event) {
+		execCtx := WithJobID(ctx, j.id)
+		// Traced submission: the wait the job just served becomes a
+		// post-hoc queue span under the submitting request, and the
+		// execution ahead becomes a live exec span (carried in execCtx,
+		// so melody.Execute's run/experiment/cell spans parent onto it).
+		// Record on a nil tracer or an untraced job yields the zero
+		// SpanContext and StartChild then no-ops.
+		var execSpan *tracespan.Span
+		if qsc := m.tracer.Record(j.parent, "queue", j.submittedAt, j.startedAt,
+			tracespan.String(svclog.KeyJobID, j.id),
+			tracespan.String(svclog.KeySpecHash, j.hash),
+		); qsc.Valid() {
+			execCtx, execSpan = m.tracer.StartChild(execCtx, qsc, "exec",
+				tracespan.String(svclog.KeyJobID, j.id),
+				tracespan.String(svclog.KeySpecHash, j.hash),
+			)
+		}
+		res, err := m.exec(execCtx, j.sp, func(ev Event) {
 			ev.JobID = j.id
 			ev.SpecHash = j.hash
 			m.progress(j, ev)
@@ -432,6 +478,14 @@ func (m *Manager) Run(ctx context.Context) {
 			fin = Event{JobID: j.id, SpecHash: j.hash, Type: EventFinished, State: StateDone, Interrupted: res.Interrupted}
 		}
 		m.mu.Unlock()
+		if err != nil {
+			execSpan.SetError(err.Error())
+		}
+		execSpan.SetAttr("state", string(fin.State))
+		if res.Interrupted {
+			execSpan.SetAttr("interrupted", "true")
+		}
+		execSpan.End()
 		if m.met != nil {
 			m.met.execDur.Record(execS)
 		}

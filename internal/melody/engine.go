@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/moatlab/melody/internal/obs/tracespan"
 	"github.com/moatlab/melody/internal/platform"
 	"github.com/moatlab/melody/internal/workload"
 )
@@ -47,7 +48,13 @@ func (g *Engine) Run(ctx context.Context, e Experiment) *Report {
 	RegisterWorkloads()
 	g.Obs.beginExperiment(e.ID)
 	sp := g.Obs.experimentSpan(e.ID, e.Title)
+	// A request-plane span mirrors the engine-plane one when the caller's
+	// ctx is traced (nil no-op otherwise): the experiment becomes a child
+	// of Execute's run span and the parent of the Runner's cell spans.
+	ctx, tsp := tracespan.Start(ctx, "experiment",
+		tracespan.String("experiment", e.ID))
 	rep := e.Run(g.context(ctx, e.ID))
+	tsp.End()
 	sp.End()
 	if g.Obs != nil {
 		g.Obs.Registry.Counter("engine/experiments_run").Inc()

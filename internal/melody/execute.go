@@ -8,6 +8,7 @@ import (
 
 	"github.com/moatlab/melody/internal/melody/spec"
 	"github.com/moatlab/melody/internal/obs/svclog"
+	"github.com/moatlab/melody/internal/obs/tracespan"
 )
 
 // This file is the one execution path behind every melody front end.
@@ -111,6 +112,16 @@ func Execute(ctx context.Context, sp spec.RunSpec, h ExecHooks) (ExecOutcome, er
 	// The spec hash is the run's identity everywhere (manifest SpecHash,
 	// job store key, log correlation); compute it once up front.
 	hash, hashErr := n.Hash()
+	// When the caller's ctx carries an active span (the job worker's
+	// exec span, or any traced entry point), the whole run becomes a
+	// child span and each experiment below it another — purely
+	// observational, like the log lines: with no span in ctx every
+	// tracespan call is a nil no-op and nothing here allocates.
+	ctx, runSpan := tracespan.Start(ctx, "run",
+		tracespan.String(svclog.KeySpecHash, hash),
+		tracespan.String("experiments", fmt.Sprint(len(exps))),
+	)
+	defer runSpan.End()
 	log.Info("run started",
 		svclog.KeySpecHash, hash,
 		"experiments", len(exps),
@@ -135,6 +146,7 @@ func Execute(ctx context.Context, sp spec.RunSpec, h ExecHooks) (ExecOutcome, er
 	for _, e := range exps {
 		if ctx.Err() != nil {
 			out.Interrupted = true
+			runSpan.SetAttr("interrupted", "true")
 			break
 		}
 		if h.ExperimentStart != nil {
@@ -154,6 +166,7 @@ func Execute(ctx context.Context, sp spec.RunSpec, h ExecHooks) (ExecOutcome, er
 			// The experiment was cut mid-flight: its report covers an
 			// arbitrary prefix of its cells, so it is not recorded.
 			out.Interrupted = true
+			runSpan.SetAttr("interrupted", "true")
 			break
 		}
 		out.Reports = append(out.Reports, rep)

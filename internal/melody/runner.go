@@ -21,6 +21,7 @@ import (
 	"github.com/moatlab/melody/internal/mem"
 	"github.com/moatlab/melody/internal/obs"
 	"github.com/moatlab/melody/internal/obs/sampler"
+	"github.com/moatlab/melody/internal/obs/tracespan"
 	"github.com/moatlab/melody/internal/platform"
 	"github.com/moatlab/melody/internal/workload"
 )
@@ -271,8 +272,16 @@ func (r *Runner) RunAll(ctx context.Context, reqs []RunRequest) ([]Result, error
 
 // runAll fans reqs out over min(workers, len(reqs)) goroutines; onDone
 // (optional) observes completions for progress reporting.
+//
+// When ctx carries a request-plane span (a traced job submission), each
+// completed cell is additionally reported post-completion as a "cell"
+// child span, from the timestamps this loop already takes — the
+// simulated path below runCtx never sees the tracer, and with no span
+// in ctx the per-cell cost is one nil comparison (zero allocations,
+// benchmark-pinned in tracing_test.go).
 func (r *Runner) runAll(ctx context.Context, reqs []RunRequest, onDone func()) ([]Result, error) {
 	results := make([]Result, len(reqs))
+	parent := tracespan.SpanFrom(ctx)
 	workers := r.workers()
 	if workers > len(reqs) {
 		workers = len(reqs)
@@ -280,11 +289,16 @@ func (r *Runner) runAll(ctx context.Context, reqs []RunRequest, onDone func()) (
 	if workers <= 1 {
 		for i, req := range reqs {
 			sp := r.Obs.cellSpan(0, req)
+			var t0 time.Time
+			if parent != nil {
+				t0 = time.Now()
+			}
 			res, oc, err := r.runCtx(ctx, req)
 			endCellSpan(sp, oc)
 			if err != nil {
 				return nil, err
 			}
+			cellChild(parent, 0, req, t0, oc)
 			results[i] = res
 			if onDone != nil {
 				onDone()
@@ -305,6 +319,10 @@ func (r *Runner) runAll(ctx context.Context, reqs []RunRequest, onDone func()) (
 			defer wg.Done()
 			for i := range next {
 				sp := r.Obs.cellSpan(worker, reqs[i])
+				var t0 time.Time
+				if parent != nil {
+					t0 = time.Now()
+				}
 				res, oc, err := r.runCtx(ctx, reqs[i])
 				endCellSpan(sp, oc)
 				if err != nil {
@@ -315,6 +333,7 @@ func (r *Runner) runAll(ctx context.Context, reqs []RunRequest, onDone func()) (
 					errMu.Unlock()
 					continue
 				}
+				cellChild(parent, worker, reqs[i], t0, oc)
 				results[i] = res
 				if onDone != nil {
 					onDone()
@@ -331,6 +350,22 @@ func (r *Runner) runAll(ctx context.Context, reqs []RunRequest, onDone func()) (
 		return nil, firstEr
 	}
 	return results, nil
+}
+
+// cellChild reports one completed cell as a child span of the request
+// trace. Recording is post-completion — the caller measured, then
+// reports — so the simulated hot path never interacts with the tracer;
+// a nil parent (untraced run) records nothing and allocates nothing.
+func cellChild(parent *tracespan.Span, worker int, req RunRequest, t0 time.Time, oc cacheOutcome) {
+	if parent == nil {
+		return
+	}
+	parent.Child("cell", t0, time.Now(),
+		tracespan.String("workload", req.Spec.Name),
+		tracespan.String("config", req.Config.Name),
+		tracespan.String("outcome", oc.String()),
+		tracespan.String("worker", fmt.Sprint(worker)),
+	)
 }
 
 // buildDevice is the single call site for MemConfig.Build: every device

@@ -1,0 +1,171 @@
+package melody
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"github.com/moatlab/melody/internal/melody/spec"
+	"github.com/moatlab/melody/internal/obs/tracespan"
+	"github.com/moatlab/melody/internal/workload"
+)
+
+// tracingSpec is a cheap but real run: one experiment, a few cells.
+func tracingSpec() spec.RunSpec {
+	return spec.RunSpec{
+		Version:      spec.Version,
+		Experiments:  []string{"fig8f"},
+		Workloads:    5,
+		Instructions: 120_000,
+		Warmup:       30_000,
+		Seed:         1,
+		Workers:      2,
+	}
+}
+
+// TestExecuteSpanTree drives the real execution path under a traced
+// context and asserts the acceptance-criteria chain: the caller's span
+// (the job worker's "exec" in production) parents a run span, which
+// parents an experiment span, whose leaves are cell spans.
+func TestExecuteSpanTree(t *testing.T) {
+	store := tracespan.NewStore(0, 0)
+	tr := tracespan.NewTracer(store)
+	ctx, execSpan := tr.StartRoot(context.Background(), "exec", tracespan.SpanContext{})
+
+	sp := tracingSpec()
+	out, err := Execute(ctx, sp, ExecHooks{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Interrupted {
+		t.Fatal("run interrupted")
+	}
+	execSpan.End()
+
+	sum, spans, ok := store.Get(execSpan.TraceID())
+	if !ok {
+		t.Fatal("trace not stored")
+	}
+	roots := tracespan.BuildTree(spans)
+	if len(roots) != 1 || roots[0].Name != "exec" {
+		t.Fatalf("tree roots = %d (%q), want single exec root", len(roots), sum.Root)
+	}
+	if len(roots[0].Children) != 1 || roots[0].Children[0].Name != "run" {
+		t.Fatalf("exec children = %+v, want one run span", roots[0].Children)
+	}
+	run := roots[0].Children[0]
+	hash, _ := sp.Normalized().Hash()
+	if got := run.Attr("spec_hash"); got != hash {
+		t.Fatalf("run span spec_hash = %q, want %q", got, hash)
+	}
+	if len(run.Children) != 1 || run.Children[0].Name != "experiment" {
+		t.Fatalf("run children = %+v, want one experiment span", run.Children)
+	}
+	exp := run.Children[0]
+	if got := exp.Attr("experiment"); got != "fig8f" {
+		t.Fatalf("experiment span id attr = %q", got)
+	}
+	if len(exp.Children) == 0 {
+		t.Fatal("experiment span has no cell children")
+	}
+	for _, cell := range exp.Children {
+		if cell.Name != "cell" {
+			t.Fatalf("experiment child = %q, want cell", cell.Name)
+		}
+		if len(cell.Children) != 0 {
+			t.Fatal("cell spans must be leaves")
+		}
+		if cell.Attr("workload") == "" || cell.Attr("config") == "" || cell.Attr("outcome") == "" {
+			t.Fatalf("cell span missing attrs: %+v", cell.Attrs)
+		}
+	}
+	// The trace summary's spec hash joins /traces to the manifest store.
+	if sum.SpecHash != hash {
+		t.Fatalf("trace summary spec_hash = %q, want %q", sum.SpecHash, hash)
+	}
+}
+
+// TestManifestParityTracingOnOff pins the observation-only contract:
+// the same spec run with and without a traced context yields
+// byte-identical manifests under StripHostTime.
+func TestManifestParityTracingOnOff(t *testing.T) {
+	sp := tracingSpec()
+	run := func(ctx context.Context) []byte {
+		tel := NewTelemetry()
+		out, err := Execute(ctx, sp, ExecHooks{Telemetry: tel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := *out.Manifest
+		m.StripHostTime()
+		raw, err := EncodeManifest(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+
+	plain := run(context.Background())
+
+	tr := tracespan.NewTracer(tracespan.NewStore(0, 0))
+	ctx, span := tr.StartRoot(context.Background(), "exec", tracespan.SpanContext{})
+	traced := run(ctx)
+	span.End()
+
+	if !bytes.Equal(plain, traced) {
+		i := 0
+		for i < len(plain) && i < len(traced) && plain[i] == traced[i] {
+			i++
+		}
+		t.Fatalf("manifests differ at byte %d with tracing on vs off", i)
+	}
+	// Sanity: the traced run actually recorded spans.
+	if tr.Store().Stats().Added == 0 {
+		t.Fatal("traced run recorded no spans — parity check proved nothing")
+	}
+	// And neither manifest mentions tracing at all.
+	var m map[string]any
+	if err := json.Unmarshal(plain, &m); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(plain, []byte("trace_id")) {
+		t.Fatal("manifest leaked trace ids")
+	}
+}
+
+// TestNoTracerCellPathZeroAlloc pins the disabled path's cost at zero
+// allocations: the per-cell instrumentation sequence (span lookup plus
+// post-completion reporting) with no span in ctx.
+func TestNoTracerCellPathZeroAlloc(t *testing.T) {
+	ctx := context.Background()
+	req := RunRequest{Spec: workload.Spec{Name: "w0"}, Config: MemConfig{Name: "Local"}}
+	allocs := testing.AllocsPerRun(1000, func() {
+		parent := tracespan.SpanFrom(ctx)
+		var t0 time.Time
+		if parent != nil {
+			t0 = time.Now()
+		}
+		cellChild(parent, 0, req, t0, cacheHit)
+	})
+	if allocs != 0 {
+		t.Fatalf("untraced cell path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// BenchmarkUntracedCellOverhead is the benchmark guard behind the
+// acceptance criterion; run with -benchmem to see 0 B/op, 0 allocs/op.
+func BenchmarkUntracedCellOverhead(b *testing.B) {
+	ctx := context.Background()
+	req := RunRequest{Spec: workload.Spec{Name: "w0"}, Config: MemConfig{Name: "Local"}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		parent := tracespan.SpanFrom(ctx)
+		var t0 time.Time
+		if parent != nil {
+			t0 = time.Now()
+		}
+		cellChild(parent, 0, req, t0, cacheHit)
+	}
+}

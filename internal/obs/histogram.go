@@ -17,6 +17,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 )
 
 // Histogram bucket geometry: histSubBuckets buckets per power of two
@@ -52,6 +53,20 @@ type Histogram struct {
 	merged []float64
 	min    float64
 	max    float64
+	// exemplars maps bucket index → the most recent exemplar that
+	// landed there (lazily allocated: histograms that never see
+	// RecordExemplar pay nothing). Exemplars join metrics to traces:
+	// the prom encoder renders them as OpenMetrics `# {trace_id="..."}`
+	// suffixes so an operator walks alert → bucket → trace.
+	exemplars map[int]Exemplar
+}
+
+// Exemplar is one sampled observation annotated with the trace that
+// produced it. Time is when the sample was recorded.
+type Exemplar struct {
+	Value   float64
+	TraceID string
+	Time    time.Time
 }
 
 // NewHistogram returns an empty histogram. This is the only allocation
@@ -96,6 +111,36 @@ func (h *Histogram) Record(v float64) {
 	h.n++
 	h.sum += v
 	h.counts[bucketIndex(v)]++
+	h.mu.Unlock()
+}
+
+// RecordExemplar adds one sample like Record and, when traceID is
+// non-empty, remembers it as the exemplar for the bucket it fell in
+// (latest sample wins — the freshest trace is the one an operator can
+// still act on). Distribution state is identical to a plain Record:
+// exemplars only surface in Export, never in Summarize, so manifests
+// are unaffected by who recorded with a trace attached.
+func (h *Histogram) RecordExemplar(v float64, traceID string) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	h.mu.Lock()
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if h.n == 0 || v > h.max {
+		h.max = v
+	}
+	h.n++
+	h.sum += v
+	idx := bucketIndex(v)
+	h.counts[idx]++
+	if traceID != "" {
+		if h.exemplars == nil {
+			h.exemplars = map[int]Exemplar{}
+		}
+		h.exemplars[idx] = Exemplar{Value: v, TraceID: traceID, Time: time.Now()}
+	}
 	h.mu.Unlock()
 }
 
@@ -204,6 +249,13 @@ func (h *Histogram) Merge(o *Histogram) {
 	counts := o.counts
 	n, min, max := o.n, o.min, o.max
 	parts := append([]float64{o.sum}, o.merged...)
+	var exemplars map[int]Exemplar
+	if len(o.exemplars) > 0 {
+		exemplars = make(map[int]Exemplar, len(o.exemplars))
+		for i, e := range o.exemplars {
+			exemplars[i] = e
+		}
+	}
 	o.mu.Unlock()
 	if n == 0 {
 		return
@@ -223,6 +275,14 @@ func (h *Histogram) Merge(o *Histogram) {
 	for i := range counts {
 		h.counts[i] += counts[i]
 	}
+	for i, e := range exemplars {
+		if cur, ok := h.exemplars[i]; !ok || e.Time.After(cur.Time) {
+			if h.exemplars == nil {
+				h.exemplars = map[int]Exemplar{}
+			}
+			h.exemplars[i] = e
+		}
+	}
 	h.mu.Unlock()
 }
 
@@ -234,6 +294,10 @@ func (h *Histogram) Merge(o *Histogram) {
 type HistogramBucket struct {
 	UpperBound float64
 	Count      uint64
+	// Exemplar, when non-nil, is the most recent trace-annotated sample
+	// that fell in this bucket (the non-cumulative bucket, even though
+	// Count is cumulative — per OpenMetrics exemplar semantics).
+	Exemplar *Exemplar
 }
 
 // HistogramExport is the full-fidelity dump encoders (e.g. obs/prom)
@@ -259,10 +323,15 @@ func (h *Histogram) Export() HistogramExport {
 			continue
 		}
 		cum += h.counts[i]
-		ex.Buckets = append(ex.Buckets, HistogramBucket{
+		b := HistogramBucket{
 			UpperBound: bucketUpperBound(i),
 			Count:      cum,
-		})
+		}
+		if e, ok := h.exemplars[i]; ok {
+			e := e
+			b.Exemplar = &e
+		}
+		ex.Buckets = append(ex.Buckets, b)
 	}
 	return ex
 }

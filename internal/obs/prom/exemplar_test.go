@@ -1,0 +1,83 @@
+package prom
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/moatlab/melody/internal/obs"
+)
+
+// exemplarLine matches a bucket sample with an OpenMetrics exemplar
+// clause: name{labels} count # {trace_id="hex"} value [timestamp].
+var exemplarLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*\{[^}]*le="[^"]+"\} \d+ # \{trace_id="[0-9a-f]+"\} \S+( \d+\.\d+)?$`)
+
+func TestWriteExemplars(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("http/request_seconds|route=/runs")
+	h.Record(0.001)
+	h.RecordExemplar(0.25, "4bf92f3577b34da6a3ce929d0e0e4736")
+
+	var buf bytes.Buffer
+	if err := Write(&buf, "melody_observatory", reg.Export()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	var hits int
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if !strings.Contains(line, " # {") {
+			continue
+		}
+		hits++
+		if !exemplarLine.MatchString(line) {
+			t.Errorf("malformed exemplar line: %q", line)
+		}
+		if !strings.Contains(line, `trace_id="4bf92f3577b34da6a3ce929d0e0e4736"`) {
+			t.Errorf("exemplar carries wrong trace id: %q", line)
+		}
+	}
+	if hits != 1 {
+		t.Fatalf("found %d exemplar lines, want exactly 1 (only the annotated bucket):\n%s", hits, out)
+	}
+	// Exemplars attach to bucket lines only, never _sum/_count.
+	for _, suffix := range []string{"_sum", "_count"} {
+		for _, line := range strings.Split(out, "\n") {
+			if strings.Contains(line, suffix) && strings.Contains(line, "#") {
+				t.Errorf("exemplar leaked onto %s line: %q", suffix, line)
+			}
+		}
+	}
+}
+
+func TestExemplarSuffixRendering(t *testing.T) {
+	if got := exemplarSuffix(nil); got != "" {
+		t.Fatalf("nil exemplar rendered %q", got)
+	}
+	if got := exemplarSuffix(&obs.Exemplar{Value: 1, TraceID: ""}); got != "" {
+		t.Fatalf("trace-less exemplar rendered %q", got)
+	}
+	e := &obs.Exemplar{Value: 0.25, TraceID: "abcd", Time: time.Unix(1700000000, 250_000_000)}
+	want := ` # {trace_id="abcd"} 0.25 1700000000.250`
+	if got := exemplarSuffix(e); got != want {
+		t.Fatalf("exemplarSuffix = %q, want %q", got, want)
+	}
+	// No timestamp when the exemplar has no time.
+	e.Time = time.Time{}
+	if got := exemplarSuffix(e); got != ` # {trace_id="abcd"} 0.25` {
+		t.Fatalf("timeless exemplarSuffix = %q", got)
+	}
+}
+
+func TestGoldenUnchangedWithoutExemplars(t *testing.T) {
+	// A registry that never calls RecordExemplar renders byte-identically
+	// to the pre-exemplar format — scrapers see no new syntax unless a
+	// trace-annotated sample actually exists.
+	if out := render(t, goldenRegistry()); strings.Contains(out, "#") &&
+		strings.Contains(out, "trace_id") {
+		t.Fatal("exemplar syntax appeared without any RecordExemplar call")
+	}
+}

@@ -144,8 +144,9 @@ func writeSeries(w io.Writer, f *family, s series) error {
 		return err
 	default:
 		for _, b := range s.hist.Buckets {
-			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
-				f.name, withLabel(s.labels, "le", formatValue(b.UpperBound)), b.Count); err != nil {
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n",
+				f.name, withLabel(s.labels, "le", formatValue(b.UpperBound)), b.Count,
+				exemplarSuffix(b.Exemplar)); err != nil {
 				return err
 			}
 		}
@@ -159,6 +160,27 @@ func writeSeries(w io.Writer, f *family, s series) error {
 		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, s.labels, s.hist.Count)
 		return err
 	}
+}
+
+// exemplarSuffix renders one bucket exemplar as an OpenMetrics
+// exemplar clause — ` # {trace_id="..."} value timestamp` — or "" when
+// the bucket carries none. Strictly, exemplars belong to the
+// OpenMetrics exposition; Prometheus's text parser tolerates (and its
+// scraper honours) the clause on the 0.0.4 format too, and tools that
+// don't understand it see it start with "#" mid-line only after a
+// complete sample, which the grammar treats as trailing content on
+// bucket lines specifically emitted with exemplars enabled. The
+// timestamp is Unix seconds with millisecond precision, omitted when
+// the exemplar has no time.
+func exemplarSuffix(e *obs.Exemplar) string {
+	if e == nil || e.TraceID == "" {
+		return ""
+	}
+	s := ` # {trace_id="` + escapeLabelValue(e.TraceID) + `"} ` + formatValue(e.Value)
+	if !e.Time.IsZero() {
+		s += " " + strconv.FormatFloat(float64(e.Time.UnixMilli())/1000, 'f', 3, 64)
+	}
+	return s
 }
 
 // mapPath turns a registry path into (family name, label block).

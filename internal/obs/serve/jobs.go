@@ -12,6 +12,7 @@ import (
 	"github.com/moatlab/melody/internal/melody/spec"
 	"github.com/moatlab/melody/internal/obs"
 	"github.com/moatlab/melody/internal/obs/svclog"
+	"github.com/moatlab/melody/internal/obs/tracespan"
 )
 
 // jobAPI mounts an internal/jobs.Manager on the observatory mux: spec
@@ -51,6 +52,7 @@ type jobAPI struct {
 // an engine registry.
 func (s *Server) AttachJobs(mgr *jobs.Manager) {
 	mgr.SetMetrics(s.self)
+	mgr.SetTracer(s.tracer)
 	api := &jobAPI{
 		mgr:         mgr,
 		srv:         s,
@@ -120,7 +122,9 @@ func (a *jobAPI) submit(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	st, err := a.mgr.Submit(sp)
+	// SubmitCtx carries the request's root span so the job's queue/exec
+	// spans stay children of this HTTP exchange.
+	st, err := a.mgr.SubmitCtx(r.Context(), sp)
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
 		a.rejectFull.Inc()
@@ -147,6 +151,7 @@ func (a *jobAPI) submit(w http.ResponseWriter, r *http.Request) {
 	// lifecycle lines, SSE events and the manifest store.
 	a.srv.log.Info("job submitted",
 		svclog.KeyReqID, svclog.ReqID(r.Context()),
+		svclog.KeyTraceID, tracespan.SpanFrom(r.Context()).TraceID(),
 		svclog.KeyJobID, st.ID,
 		svclog.KeySpecHash, st.SpecHash,
 		"state", string(st.State),

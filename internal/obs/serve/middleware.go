@@ -16,6 +16,16 @@ package serve
 //     (honored from an incoming X-Request-Id header, generated
 //     otherwise), echoed on the response header, stored in the request
 //     context for handlers, and stamped on the access log line.
+//   - Request tracing: each request becomes the root span of a
+//     tracespan trace — continuing an incoming W3C traceparent when
+//     one arrives, minting a fresh trace id otherwise. The trace id is
+//     echoed as X-Trace-Id, stamped on the access log (trace_id), and
+//     recorded as the latency histogram's exemplar so /metrics links
+//     straight into /traces. req_id and trace_id are independent
+//     correlation keys: req_id names one HTTP exchange, trace_id the
+//     whole causal chain (which may span queue hand-offs); when both
+//     headers arrive, both are honored, both appear on the span and
+//     the log line, and neither overrides the other.
 //
 // Everything records into the self-registry only — the middleware
 // upholds the observatory isolation contract: a run's -metrics
@@ -26,9 +36,11 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime/debug"
+	"strconv"
 	"time"
 
 	"github.com/moatlab/melody/internal/obs/svclog"
+	"github.com/moatlab/melody/internal/obs/tracespan"
 )
 
 // statusWriter captures the response status and size for the metrics
@@ -89,7 +101,24 @@ func (s *Server) wrap(route string, h http.HandlerFunc) http.Handler {
 			reqID = svclog.NewReqID()
 		}
 		w.Header().Set("X-Request-Id", reqID)
-		r = r.WithContext(svclog.WithReqID(r.Context(), reqID))
+		ctx := svclog.WithReqID(r.Context(), reqID)
+
+		// Root span: continue the caller's trace when a (well-formed)
+		// traceparent arrived, mint a fresh trace otherwise. A malformed
+		// header is treated as absent — per W3C, a broken propagation
+		// chain restarts rather than failing the request.
+		parent, _ := tracespan.ParseTraceparent(r.Header.Get("traceparent"))
+		ctx, span := s.tracer.StartRoot(ctx, "http "+r.Method+" "+route, parent,
+			tracespan.String("http.method", r.Method),
+			tracespan.String("http.route", route),
+			tracespan.String("http.path", r.URL.Path),
+			tracespan.String(svclog.KeyReqID, reqID),
+		)
+		traceID := span.TraceID()
+		if traceID != "" {
+			w.Header().Set("X-Trace-Id", traceID)
+		}
+		r = r.WithContext(ctx)
 
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
@@ -101,6 +130,8 @@ func (s *Server) wrap(route string, h http.HandlerFunc) http.Handler {
 				if rec == http.ErrAbortHandler {
 					// The handler aborted the connection on purpose;
 					// net/http suppresses this panic's noise and so do we.
+					span.SetError("aborted")
+					span.End()
 					panic(rec)
 				}
 				s.log.Error("handler panic",
@@ -108,16 +139,26 @@ func (s *Server) wrap(route string, h http.HandlerFunc) http.Handler {
 					"route", route,
 					"path", r.URL.Path,
 					svclog.KeyReqID, reqID,
+					svclog.KeyTraceID, traceID,
 					"panic", fmt.Sprint(rec),
 					"stack", string(debug.Stack()),
 				)
+				span.SetError(fmt.Sprint(rec))
 				if !sw.wrote {
 					http.Error(sw, "internal server error", http.StatusInternalServerError)
 				}
 			}
 			dur := time.Since(start)
-			latency.Record(dur.Seconds())
+			// The exemplar joins this bucket's count to one concrete
+			// trace — always the latest, which is the one still in the
+			// store.
+			latency.RecordExemplar(dur.Seconds(), traceID)
 			s.self.Counter("http/requests|route=" + route + "|class=" + statusClass(sw.status)).Inc()
+			span.SetAttr("http.status", strconv.Itoa(sw.status))
+			if sw.status >= 500 {
+				span.SetError(http.StatusText(sw.status))
+			}
+			span.End()
 			level := accessLevel(sw.status)
 			s.log.Log(r.Context(), level, "http request",
 				"method", r.Method,
@@ -127,6 +168,7 @@ func (s *Server) wrap(route string, h http.HandlerFunc) http.Handler {
 				"dur_ms", float64(dur.Microseconds())/1000,
 				"bytes", sw.bytes,
 				svclog.KeyReqID, reqID,
+				svclog.KeyTraceID, traceID,
 				"remote", r.RemoteAddr,
 			)
 		}()

@@ -63,6 +63,7 @@ import (
 	"github.com/moatlab/melody/internal/obs"
 	"github.com/moatlab/melody/internal/obs/prom"
 	"github.com/moatlab/melody/internal/obs/svclog"
+	"github.com/moatlab/melody/internal/obs/tracespan"
 )
 
 // Namespaces used on /metrics: the engine registry and the server's
@@ -84,6 +85,7 @@ type Server struct {
 	jobs     *jobAPI
 	log      *slog.Logger
 	rt       *runtimeSampler
+	tracer   *tracespan.Tracer
 
 	// JobEventQueueCap overrides the per-client queue bound on per-job
 	// SSE streams (0 = DefaultQueueCap). Set before AttachJobs.
@@ -114,10 +116,20 @@ func New(registry *obs.Registry, progress func() any) *Server {
 		progReads:   self.Counter("serve/progress_reads"),
 		encodeFails: self.Counter("serve/event_encode_failures"),
 		inflight:    self.Gauge("http/in_flight"),
+		tracer:      tracespan.NewTracer(tracespan.NewStore(0, 0)),
 	}
 	s.hub = NewHub(0, self.Counter("serve/events_published"), self.Counter("serve/events_dropped"))
 	return s
 }
+
+// Tracer returns the server's span tracer. The serve middleware roots
+// every request's trace here; AttachJobs hands it to the job manager so
+// queue/exec spans land in the same store; cmd wiring may SetMirror it
+// onto the run's obs.Trace for a combined Perfetto view.
+func (s *Server) Tracer() *tracespan.Tracer { return s.tracer }
+
+// TraceStore returns the bounded span store behind /traces.
+func (s *Server) TraceStore() *tracespan.Store { return s.tracer.Store() }
 
 // SetLogger installs the observatory's structured logger (access logs,
 // panic reports, listener failures). A nil l restores the default
@@ -149,6 +161,8 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/events", s.wrap("/events", s.events))
 	mux.Handle("/healthz", s.wrap("/healthz", s.healthz))
 	mux.Handle("GET /readyz", s.wrap("/readyz", s.readyz))
+	mux.Handle("GET /traces", s.wrap("/traces", s.traceList))
+	mux.Handle("GET /traces/{id}", s.wrap("/traces/{id}", s.traceGet))
 	if s.jobs != nil {
 		mux.Handle("POST /runs", s.wrap("/runs", s.jobs.submit))
 		mux.Handle("GET /runs", s.wrap("/runs", s.jobs.list))
@@ -171,7 +185,7 @@ func (s *Server) index(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
-	fmt.Fprint(w, "melody observatory\n\n/metrics   Prometheus exposition\n/progress  JSON run progress\n/events    SSE run events\n/healthz   liveness\n/readyz    readiness (queue state)\n/runs      experiment job API (POST spec, GET status/manifest/events)\n")
+	fmt.Fprint(w, "melody observatory\n\n/metrics   Prometheus exposition\n/progress  JSON run progress\n/events    SSE run events\n/healthz   liveness\n/readyz    readiness (queue state)\n/traces    request trace store (list; /traces/{id} for one span tree)\n/runs      experiment job API (POST spec, GET status/manifest/events)\n")
 }
 
 func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
@@ -204,11 +218,14 @@ func (s *Server) progressHandler(w http.ResponseWriter, r *http.Request) {
 }
 
 // healthz is pure liveness: the process is up and serving. It answers
-// "restart me?" — readiness ("send me work?") lives on /readyz.
+// "restart me?" — readiness ("send me work?") lives on /readyz. Both
+// probes carry build info so a scrape archive correlates behavior
+// changes with deploys without a separate version endpoint.
 func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{
 		"status":   "ok",
 		"uptime_s": time.Since(s.start).Seconds(),
+		"build":    buildInfo(),
 	})
 }
 
@@ -218,7 +235,12 @@ func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 // submissions during shutdown. Without one it is statically ready.
 func (s *Server) readyz(w http.ResponseWriter, r *http.Request) {
 	if s.jobs == nil {
-		writeJSON(w, map[string]any{"status": "ready", "jobs": false})
+		writeJSON(w, map[string]any{
+			"status":   "ready",
+			"jobs":     false,
+			"uptime_s": time.Since(s.start).Seconds(),
+			"build":    buildInfo(),
+		})
 		return
 	}
 	mgr := s.jobs.mgr
@@ -227,6 +249,8 @@ func (s *Server) readyz(w http.ResponseWriter, r *http.Request) {
 		"accepting":   mgr.Accepting(),
 		"queue_depth": mgr.QueueDepth(),
 		"queue_cap":   mgr.QueueCap(),
+		"uptime_s":    time.Since(s.start).Seconds(),
+		"build":       buildInfo(),
 	}
 	if mgr.Accepting() {
 		payload["status"] = "ready"

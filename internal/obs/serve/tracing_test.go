@@ -1,0 +1,291 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+
+	"github.com/moatlab/melody/internal/obs"
+	"github.com/moatlab/melody/internal/obs/svclog"
+	"github.com/moatlab/melody/internal/obs/tracespan"
+)
+
+const (
+	tpHeader  = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	tpTraceID = "4bf92f3577b34da6a3ce929d0e0e4736"
+	tpSpanID  = "00f067aa0ba902b7"
+)
+
+// doGet issues a GET with the given headers and returns the response
+// (body drained and closed).
+func doGet(t *testing.T, url string, hdr map[string]string) *http.Response {
+	t.Helper()
+	req, _ := http.NewRequest(http.MethodGet, url, nil)
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp
+}
+
+// TestTraceparentContinuesTrace: a well-formed incoming traceparent is
+// honored — the request's root span joins the caller's trace, records
+// the remote span as parent, and the trace id is echoed as X-Trace-Id.
+func TestTraceparentContinuesTrace(t *testing.T) {
+	s, ts, _ := newTestServer(t)
+	resp := doGet(t, ts.URL+"/healthz", map[string]string{"traceparent": tpHeader})
+	if got := resp.Header.Get("X-Trace-Id"); got != tpTraceID {
+		t.Fatalf("X-Trace-Id = %q, want %q", got, tpTraceID)
+	}
+	sum, spans, ok := s.TraceStore().Get(tpTraceID)
+	if !ok {
+		t.Fatal("continued trace not stored")
+	}
+	if sum.Root != "http GET /healthz" {
+		t.Fatalf("trace root = %q", sum.Root)
+	}
+	if len(spans) != 1 {
+		t.Fatalf("stored %d spans, want 1", len(spans))
+	}
+	root := spans[0]
+	if root.ParentID != tpSpanID {
+		t.Fatalf("root parent_id = %q, want remote span %q", root.ParentID, tpSpanID)
+	}
+	if root.Attr("http.method") != "GET" || root.Attr("http.route") != "/healthz" {
+		t.Fatalf("root span attrs = %+v", root.Attrs)
+	}
+	if root.Attr("http.status") != "200" {
+		t.Fatalf("root span http.status = %q", root.Attr("http.status"))
+	}
+}
+
+// TestMalformedTraceparentMintsFreshTrace: per W3C, a broken header is
+// treated as absent — the request still gets a (fresh) trace rather
+// than failing or continuing a garbage id.
+func TestMalformedTraceparentMintsFreshTrace(t *testing.T) {
+	s, ts, _ := newTestServer(t)
+	for _, bad := range []string{
+		"totally-not-a-traceparent",
+		"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01", // uppercase
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // zero trace id
+	} {
+		resp := doGet(t, ts.URL+"/healthz", map[string]string{"traceparent": bad})
+		got := resp.Header.Get("X-Trace-Id")
+		if !regexp.MustCompile(`^[0-9a-f]{32}$`).MatchString(got) {
+			t.Fatalf("header %q: X-Trace-Id = %q, want fresh 32-hex id", bad, got)
+		}
+		if got == tpTraceID {
+			t.Fatalf("header %q: malformed traceparent was continued", bad)
+		}
+		if _, spans, ok := s.TraceStore().Get(got); !ok || spans[0].ParentID != "" {
+			t.Fatalf("header %q: fresh trace stored=%v parent=%q, want parentless root",
+				bad, ok, spans[0].ParentID)
+		}
+	}
+}
+
+// TestRequestIDAndTraceIDIndependent pins the two-correlation-key
+// contract: X-Request-Id and traceparent are honored independently —
+// both echo on the response, both land on the span, and both stamp the
+// access log line. Neither header overrides the other.
+func TestRequestIDAndTraceIDIndependent(t *testing.T) {
+	logBuf := &syncBuffer{}
+	logger, err := svclog.New(logBuf, svclog.Options{Format: "json", Level: "debug"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(obs.NewRegistry(), nil)
+	s.SetLogger(logger)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp := doGet(t, ts.URL+"/healthz", map[string]string{
+		"X-Request-Id": "req-independent",
+		"traceparent":  tpHeader,
+	})
+	if got := resp.Header.Get("X-Request-Id"); got != "req-independent" {
+		t.Fatalf("X-Request-Id = %q", got)
+	}
+	if got := resp.Header.Get("X-Trace-Id"); got != tpTraceID {
+		t.Fatalf("X-Trace-Id = %q", got)
+	}
+
+	// Both keys on the root span.
+	_, spans, ok := s.TraceStore().Get(tpTraceID)
+	if !ok || len(spans) != 1 {
+		t.Fatalf("trace stored=%v spans=%d", ok, len(spans))
+	}
+	if got := spans[0].Attr(svclog.KeyReqID); got != "req-independent" {
+		t.Fatalf("span req_id attr = %q", got)
+	}
+
+	// Both keys on the access log line.
+	text := logBuf.waitContains(t, "http request")
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("access log line not JSON: %v\n%s", err, line)
+		}
+		if rec["msg"] != "http request" {
+			continue
+		}
+		if rec[svclog.KeyReqID] != "req-independent" {
+			t.Fatalf("access log req_id = %v", rec[svclog.KeyReqID])
+		}
+		if rec[svclog.KeyTraceID] != tpTraceID {
+			t.Fatalf("access log trace_id = %v", rec[svclog.KeyTraceID])
+		}
+		return
+	}
+	t.Fatalf("no access-log line found:\n%s", text)
+}
+
+// TestStatusWriterUnwrap pins the http.ResponseController path under
+// the tracing wrapper: Unwrap must reach the underlying writer (Flush
+// coverage through a real SSE stream lives in
+// TestSSEFlusherSurvivesMiddleware).
+func TestStatusWriterUnwrap(t *testing.T) {
+	rec := httptest.NewRecorder()
+	sw := &statusWriter{ResponseWriter: rec, status: http.StatusOK}
+	if got := sw.Unwrap(); got != http.ResponseWriter(rec) {
+		t.Fatalf("Unwrap = %T, want the wrapped recorder", got)
+	}
+	// ResponseController resolves Flusher through Unwrap chains.
+	if err := http.NewResponseController(sw).Flush(); err != nil {
+		t.Fatalf("ResponseController.Flush through statusWriter: %v", err)
+	}
+	if !rec.Flushed {
+		t.Fatal("flush did not reach the underlying writer")
+	}
+}
+
+// TestTracesEndpoints exercises the query surface: list with filters,
+// one full tree, input validation, and the 404 contract.
+func TestTracesEndpoints(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	// Two traced requests: one continued (known id), one fresh.
+	doGet(t, ts.URL+"/healthz", map[string]string{"traceparent": tpHeader})
+	doGet(t, ts.URL+"/progress", nil)
+
+	body, resp := get(t, ts.URL+"/traces")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/traces: %d %s", resp.StatusCode, body)
+	}
+	var list struct {
+		Traces []tracespan.TraceSummary `json:"traces"`
+		Stats  tracespan.StoreStats     `json:"stats"`
+	}
+	if err := json.Unmarshal([]byte(body), &list); err != nil {
+		t.Fatalf("/traces not JSON: %v\n%s", err, body)
+	}
+	if len(list.Traces) != 2 {
+		t.Fatalf("listed %d traces, want 2:\n%s", len(list.Traces), body)
+	}
+	// Newest first: the /progress request came second.
+	if list.Traces[0].Root != "http GET /progress" {
+		t.Fatalf("list order = %q first, want newest", list.Traces[0].Root)
+	}
+	if list.Stats.Added != 2 {
+		t.Fatalf("stats.added = %d", list.Stats.Added)
+	}
+
+	// Filters narrow the list.
+	body, _ = get(t, ts.URL+"/traces?status=error")
+	var errOnly struct {
+		Traces []tracespan.TraceSummary `json:"traces"`
+	}
+	json.Unmarshal([]byte(body), &errOnly)
+	if len(errOnly.Traces) != 0 {
+		t.Fatalf("status=error listed %d ok traces", len(errOnly.Traces))
+	}
+	body, _ = get(t, ts.URL+"/traces?limit=1")
+	var one struct {
+		Traces []tracespan.TraceSummary `json:"traces"`
+	}
+	json.Unmarshal([]byte(body), &one)
+	if len(one.Traces) != 1 {
+		t.Fatalf("limit=1 listed %d traces", len(one.Traces))
+	}
+
+	// Bad inputs answer 400, not 500 or silent defaults.
+	for _, q := range []string{"?min_duration_s=-1", "?min_duration_s=soon", "?status=meh", "?limit=-2", "?limit=few"} {
+		if _, resp := get(t, ts.URL+"/traces"+q); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("/traces%s: %d, want 400", q, resp.StatusCode)
+		}
+	}
+
+	// One trace by id: summary plus nested tree.
+	body, resp = get(t, ts.URL+"/traces/"+tpTraceID)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/traces/{id}: %d %s", resp.StatusCode, body)
+	}
+	var tree struct {
+		Summary tracespan.TraceSummary `json:"summary"`
+		Tree    []*tracespan.Node      `json:"tree"`
+	}
+	if err := json.Unmarshal([]byte(body), &tree); err != nil {
+		t.Fatalf("/traces/{id} not JSON: %v\n%s", err, body)
+	}
+	if tree.Summary.TraceID != tpTraceID || len(tree.Tree) != 1 || tree.Tree[0].Name != "http GET /healthz" {
+		t.Fatalf("trace tree payload = %s", body)
+	}
+
+	if _, resp := get(t, ts.URL+"/traces/ffffffffffffffffffffffffffffffff"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown trace id: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestMetricsExemplarLinksToTrace: after a traced request, the route's
+// latency histogram exposes an OpenMetrics exemplar carrying that
+// trace id — the /metrics → /traces join.
+func TestMetricsExemplarLinksToTrace(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	doGet(t, ts.URL+"/healthz", map[string]string{"traceparent": tpHeader})
+	body, _ := get(t, ts.URL+"/metrics")
+	want := regexp.MustCompile(
+		`melody_observatory_http_request_seconds_bucket\{route="/healthz",le="[^"]+"\} \d+ # \{trace_id="` +
+			tpTraceID + `"\} \S+ \d+\.\d{3}`)
+	if !want.MatchString(body) {
+		t.Fatalf("/metrics missing exemplar for trace %s:\n%s", tpTraceID, body)
+	}
+	// Exemplars decorate bucket lines only — never _sum or _count.
+	for _, line := range strings.Split(body, "\n") {
+		if strings.Contains(line, "# {") && !strings.Contains(line, "_bucket{") {
+			t.Fatalf("exemplar on non-bucket line: %q", line)
+		}
+	}
+}
+
+// TestHealthProbesCarryBuildAndUptime pins the probe payloads: both
+// include uptime and build info so a scrape archive can correlate
+// behavior changes with deploys.
+func TestHealthProbesCarryBuildAndUptime(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	for _, route := range []string{"/healthz", "/readyz"} {
+		body, resp := get(t, ts.URL+route)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: %d", route, resp.StatusCode)
+		}
+		var got struct {
+			Status  string            `json:"status"`
+			UptimeS *float64          `json:"uptime_s"`
+			Build   map[string]string `json:"build"`
+		}
+		if err := json.Unmarshal([]byte(body), &got); err != nil {
+			t.Fatalf("%s not JSON: %v\n%s", route, err, body)
+		}
+		if got.UptimeS == nil || *got.UptimeS < 0 {
+			t.Fatalf("%s uptime_s = %v", route, got.UptimeS)
+		}
+		if got.Build == nil || got.Build["go_version"] == "" {
+			t.Fatalf("%s build info = %v", route, got.Build)
+		}
+	}
+}

@@ -17,6 +17,10 @@
 //	req_id     one HTTP exchange — generated (or honored from an
 //	           incoming X-Request-Id header) by the serve middleware,
 //	           echoed on the response, carried by the access log
+//	trace_id   one distributed trace (see obs/tracespan) — honored from
+//	           an incoming W3C traceparent header or minted per
+//	           request, echoed as X-Trace-Id, the key into /traces and
+//	           the /metrics exemplars
 //
 // Handlers are exactly slog's: "text" for humans at a terminal,
 // "json" for anything that ships lines to a collector. Both write to
@@ -40,6 +44,7 @@ const (
 	KeyJobID    = "job_id"
 	KeySpecHash = "spec_hash"
 	KeyReqID    = "req_id"
+	KeyTraceID  = "trace_id"
 )
 
 // Options selects a handler. Zero values mean text format at info
@@ -63,7 +68,7 @@ func ParseLevel(s string) (slog.Level, error) {
 	case "error":
 		return slog.LevelError, nil
 	}
-	return 0, fmt.Errorf("svclog: unknown level %q (want debug, info, warn or error)", s)
+	return 0, fmt.Errorf("svclog: unknown level %q (valid levels: debug, info, warn, warning, error)", s)
 }
 
 // New builds a logger writing to w per opts. Unknown formats and

@@ -29,6 +29,36 @@ func TestParseLevel(t *testing.T) {
 	}
 }
 
+func TestParseLevelErrorListsValidLevels(t *testing.T) {
+	// A typoed -log-level flag should teach the user the vocabulary,
+	// aliases included, right in the error message.
+	_, err := ParseLevel("loud")
+	if err == nil {
+		t.Fatal("ParseLevel accepted an unknown level")
+	}
+	for _, want := range []string{"loud", "debug", "info", "warn", "warning", "error"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("ParseLevel error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestCorrelationKeys(t *testing.T) {
+	// The key constants are the cross-surface contract: logs, span
+	// attrs, /traces JSON and exemplar labels all grep by these names.
+	keys := map[string]string{
+		KeyJobID:    "job_id",
+		KeySpecHash: "spec_hash",
+		KeyReqID:    "req_id",
+		KeyTraceID:  "trace_id",
+	}
+	for got, want := range keys {
+		if got != want {
+			t.Errorf("correlation key = %q, want %q", got, want)
+		}
+	}
+}
+
 func TestNewJSONLinesAreValidJSON(t *testing.T) {
 	var buf bytes.Buffer
 	log, err := New(&buf, Options{Format: "json", Level: "debug"})

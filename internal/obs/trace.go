@@ -115,6 +115,23 @@ func (s Span) EndWith(args map[string]any) {
 		Dur: end - s.start, Pid: s.pid, Tid: s.tid, Args: args})
 }
 
+// CompleteAt records an already-completed span with explicit
+// wall-clock bounds, placed in the trace's timestamp space via the
+// same clock StampUs uses. It is the bridge for span sources that
+// measure elsewhere and report afterwards — the service-plane
+// tracespan mirror renders request/queue/exec/cell spans here so they
+// line up with the engine's worker and sample tracks in one Perfetto
+// view. Spans that began before the trace did get negative timestamps,
+// which Perfetto renders fine.
+func (t *Trace) CompleteAt(pid, tid int, name, cat string, start, end time.Time, args map[string]any) {
+	if t == nil {
+		return
+	}
+	ts := t.StampUs(start)
+	t.add(Event{Name: name, Cat: cat, Ph: "X", Ts: ts,
+		Dur: t.StampUs(end) - ts, Pid: pid, Tid: tid, Args: args})
+}
+
 // CounterAt records a counter-track sample at an explicit trace
 // timestamp (microseconds since trace start). Chrome "C" events render
 // in Perfetto as per-process counter tracks: each distinct name under a

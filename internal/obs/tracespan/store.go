@@ -1,0 +1,264 @@
+package tracespan
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Store bounds. DefaultTraceCap is sized like the jobs queue: deep
+// enough that every trace of a debugging session is still there,
+// small enough that the store is always negligible next to one run's
+// manifest. DefaultSpanCap bounds one trace's spans — a full Sweep48
+// run is ~150 cells, so 4096 leaves generous headroom while a runaway
+// producer cannot grow a trace without bound.
+const (
+	DefaultTraceCap = 256
+	DefaultSpanCap  = 4096
+)
+
+// slowFrac is the fraction of the store reserved for the slowest
+// traces: eviction never removes a trace whose duration ranks in the
+// top ceil(cap·slowFrac) among retained traces. Tail-biased retention
+// is the point of the store — the paper's method lives on tail
+// attribution, and the traces an operator needs tomorrow are the slow
+// and the broken ones, not the median.
+const slowFrac = 8 // 1/8th of capacity protected as "slowest"
+
+// StoreStats counts the store's lifetime activity (all monotonic).
+type StoreStats struct {
+	Added        uint64 `json:"spans_added"`
+	Traces       uint64 `json:"traces_seen"`
+	Evicted      uint64 `json:"traces_evicted"`
+	SpansDropped uint64 `json:"spans_dropped"`
+}
+
+// Store is a bounded in-memory collection of completed spans grouped
+// by trace. Writers are span producers (Tracer.finish); readers are
+// the /traces handlers. Retention is tail-biased: when the trace cap
+// is hit, the evicted trace is the oldest one that is neither errored
+// nor among the slowest — error and slow traces survive until only
+// they are left.
+type Store struct {
+	mu       sync.Mutex
+	traceCap int
+	spanCap  int
+	traces   map[string]*traceEntry
+	order    []string // arrival order, oldest first
+	stats    StoreStats
+}
+
+// traceEntry accumulates one trace's spans and the digest retention
+// and listing decisions read.
+type traceEntry struct {
+	id      string
+	spans   []SpanData
+	start   time.Time // min span start
+	end     time.Time // max span end
+	errored bool
+	dropped uint64 // spans rejected by spanCap
+}
+
+func (e *traceEntry) duration() time.Duration { return e.end.Sub(e.start) }
+
+// NewStore returns a store retaining up to traceCap traces of up to
+// spanCap spans each (0 selects the defaults).
+func NewStore(traceCap, spanCap int) *Store {
+	if traceCap <= 0 {
+		traceCap = DefaultTraceCap
+	}
+	if spanCap <= 0 {
+		spanCap = DefaultSpanCap
+	}
+	return &Store{
+		traceCap: traceCap,
+		spanCap:  spanCap,
+		traces:   map[string]*traceEntry{},
+	}
+}
+
+// Add files one completed span under its trace, creating the trace on
+// first sight and evicting per the retention policy when over cap.
+func (s *Store) Add(sd SpanData) {
+	if s == nil || sd.TraceID == "" {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.traces[sd.TraceID]
+	if !ok {
+		e = &traceEntry{id: sd.TraceID, start: sd.Start, end: sd.End}
+		s.traces[sd.TraceID] = e
+		s.order = append(s.order, sd.TraceID)
+		s.stats.Traces++
+		if len(s.order) > s.traceCap {
+			s.evictLocked()
+		}
+	}
+	if len(e.spans) >= s.spanCap {
+		e.dropped++
+		s.stats.SpansDropped++
+		return
+	}
+	e.spans = append(e.spans, sd)
+	s.stats.Added++
+	if sd.Start.Before(e.start) {
+		e.start = sd.Start
+	}
+	if sd.End.After(e.end) {
+		e.end = sd.End
+	}
+	if sd.Status == StatusError {
+		e.errored = true
+	}
+}
+
+// evictLocked removes one trace: the oldest that is neither errored
+// nor in the protected slowest set. When every retained trace is
+// protected, the oldest goes anyway — bounded memory beats perfect
+// retention.
+func (s *Store) evictLocked() {
+	slowCount := (s.traceCap + slowFrac - 1) / slowFrac
+	durs := make([]time.Duration, 0, len(s.order))
+	for _, id := range s.order {
+		durs = append(durs, s.traces[id].duration())
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] > durs[j] })
+	var slowFloor time.Duration
+	if slowCount > 0 && slowCount <= len(durs) {
+		slowFloor = durs[slowCount-1]
+	}
+	victim := -1
+	for i, id := range s.order {
+		e := s.traces[id]
+		if e.errored || (slowFloor > 0 && e.duration() >= slowFloor) {
+			continue
+		}
+		victim = i
+		break
+	}
+	if victim < 0 {
+		victim = 0
+	}
+	id := s.order[victim]
+	s.order = append(s.order[:victim], s.order[victim+1:]...)
+	delete(s.traces, id)
+	s.stats.Evicted++
+}
+
+// Len returns the number of retained traces.
+func (s *Store) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.order)
+}
+
+// Stats returns the store's lifetime counters.
+func (s *Store) Stats() StoreStats {
+	if s == nil {
+		return StoreStats{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// TraceSummary is one trace's /traces listing row. Status is "error"
+// if any span errored. Root is the earliest root span's name (the
+// request that started it all); SpecHash is the first spec_hash attr
+// any span carries, joining the trace to manifests, jobs and logs.
+type TraceSummary struct {
+	TraceID      string    `json:"trace_id"`
+	Root         string    `json:"root"`
+	Start        time.Time `json:"start"`
+	DurationS    float64   `json:"duration_s"`
+	Status       string    `json:"status"`
+	Spans        int       `json:"spans"`
+	SpansDropped uint64    `json:"spans_dropped,omitempty"`
+	SpecHash     string    `json:"spec_hash,omitempty"`
+}
+
+func (s *Store) summaryLocked(e *traceEntry) TraceSummary {
+	sum := TraceSummary{
+		TraceID:      e.id,
+		Start:        e.start,
+		DurationS:    e.duration().Seconds(),
+		Status:       StatusOK,
+		Spans:        len(e.spans),
+		SpansDropped: e.dropped,
+	}
+	if e.errored {
+		sum.Status = StatusError
+	}
+	ids := make(map[string]bool, len(e.spans))
+	for _, sd := range e.spans {
+		ids[sd.SpanID] = true
+	}
+	var rootStart time.Time
+	for _, sd := range e.spans {
+		if !ids[sd.ParentID] && (sum.Root == "" || sd.Start.Before(rootStart)) {
+			sum.Root, rootStart = sd.Name, sd.Start
+		}
+		if sum.SpecHash == "" {
+			sum.SpecHash = sd.Attr("spec_hash")
+		}
+	}
+	return sum
+}
+
+// Filter selects traces for List. Zero values match everything.
+type Filter struct {
+	// MinDuration drops traces shorter than this.
+	MinDuration time.Duration
+	// Status, when "ok" or "error", keeps only matching traces.
+	Status string
+	// SpecHash keeps only traces whose spans carry this spec_hash attr.
+	SpecHash string
+	// Limit bounds the result count (0 = no bound).
+	Limit int
+}
+
+// List returns retained traces newest-first, filtered by f.
+func (s *Store) List(f Filter) []TraceSummary {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]TraceSummary, 0, len(s.order))
+	for i := len(s.order) - 1; i >= 0; i-- {
+		sum := s.summaryLocked(s.traces[s.order[i]])
+		if f.MinDuration > 0 && sum.DurationS < f.MinDuration.Seconds() {
+			continue
+		}
+		if f.Status != "" && sum.Status != f.Status {
+			continue
+		}
+		if f.SpecHash != "" && sum.SpecHash != f.SpecHash {
+			continue
+		}
+		out = append(out, sum)
+		if f.Limit > 0 && len(out) >= f.Limit {
+			break
+		}
+	}
+	return out
+}
+
+// Get returns one trace's summary and a copy of its spans (in arrival
+// order). ok is false for unknown (or evicted) trace ids.
+func (s *Store) Get(traceID string) (TraceSummary, []SpanData, bool) {
+	if s == nil {
+		return TraceSummary{}, nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.traces[traceID]
+	if !ok {
+		return TraceSummary{}, nil, false
+	}
+	return s.summaryLocked(e), append([]SpanData(nil), e.spans...), true
+}
