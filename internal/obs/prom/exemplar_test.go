@@ -15,17 +15,26 @@ import (
 var exemplarLine = regexp.MustCompile(
 	`^[a-zA-Z_:][a-zA-Z0-9_:]*\{[^}]*le="[^"]+"\} \d+ # \{trace_id="[0-9a-f]+"\} \S+( \d+\.\d+)?$`)
 
-func TestWriteExemplars(t *testing.T) {
+// exemplarRegistry holds one histogram with one annotated bucket.
+func exemplarRegistry() *obs.Registry {
 	reg := obs.NewRegistry()
 	h := reg.Histogram("http/request_seconds|route=/runs")
 	h.Record(0.001)
 	h.RecordExemplar(0.25, "4bf92f3577b34da6a3ce929d0e0e4736")
+	return reg
+}
 
+func renderFormat(t *testing.T, reg *obs.Registry, f Format) string {
+	t.Helper()
 	var buf bytes.Buffer
-	if err := Write(&buf, "melody_observatory", reg.Export()); err != nil {
+	if err := WriteFormat(&buf, "melody_observatory", reg.Export(), f); err != nil {
 		t.Fatal(err)
 	}
-	out := buf.String()
+	return buf.String()
+}
+
+func TestWriteOpenMetricsExemplars(t *testing.T) {
+	out := renderFormat(t, exemplarRegistry(), FormatOpenMetrics)
 
 	var hits int
 	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
@@ -53,6 +62,93 @@ func TestWriteExemplars(t *testing.T) {
 	}
 }
 
+// TestClassicFormatOmitsExemplars pins the reviewer-facing contract:
+// the 0.0.4 grammar ends a sample at its value, so the classic writer
+// must drop exemplars entirely — a recorded exemplar changes nothing
+// about a plain scrape.
+func TestClassicFormatOmitsExemplars(t *testing.T) {
+	reg := exemplarRegistry()
+	out := renderFormat(t, reg, FormatText)
+	if strings.Contains(out, "#") && strings.Contains(out, "trace_id") {
+		t.Fatalf("exemplar syntax in 0.0.4 output:\n%s", out)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, "melody_observatory", reg.Export()); err != nil {
+		t.Fatal(err)
+	}
+	if out != buf.String() {
+		t.Fatal("Write and WriteFormat(FormatText) diverge")
+	}
+	validateExposition(t, out)
+}
+
+// TestOpenMetricsCounterTypeNaming: OpenMetrics names counter families
+// bare in # TYPE while sample lines keep the _total suffix; the
+// classic format keeps _total in both.
+func TestOpenMetricsCounterTypeNaming(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("runner/cache_hit").Add(7)
+	om := renderFormat(t, reg, FormatOpenMetrics)
+	for _, want := range []string{
+		"# TYPE melody_observatory_runner_cache_hit counter\n",
+		"melody_observatory_runner_cache_hit_total 7\n",
+	} {
+		if !strings.Contains(om, want) {
+			t.Errorf("OpenMetrics output missing %q:\n%s", want, om)
+		}
+	}
+	if strings.Contains(om, "# TYPE melody_observatory_runner_cache_hit_total") {
+		t.Errorf("OpenMetrics # TYPE kept the _total suffix:\n%s", om)
+	}
+	classic := renderFormat(t, reg, FormatText)
+	if !strings.Contains(classic, "# TYPE melody_observatory_runner_cache_hit_total counter\n") {
+		t.Errorf("classic # TYPE lost the _total suffix:\n%s", classic)
+	}
+}
+
+func TestNegotiate(t *testing.T) {
+	cases := []struct {
+		accept string
+		want   Format
+	}{
+		{"", FormatText},
+		{"text/plain", FormatText},
+		{"text/plain; version=0.0.4", FormatText},
+		{"*/*", FormatText}, // wildcard never opts into OpenMetrics
+		{"application/openmetrics-text", FormatOpenMetrics},
+		{"application/openmetrics-text; version=1.0.0; charset=utf-8", FormatOpenMetrics},
+		// The Prometheus scraper's real header: OpenMetrics preferred.
+		{"application/openmetrics-text;version=1.0.0;q=0.75,text/plain;version=0.0.4;q=0.5", FormatOpenMetrics},
+		{"Application/OpenMetrics-Text", FormatOpenMetrics},
+		// Explicit refusal stays classic.
+		{"application/openmetrics-text;q=0", FormatText},
+		{"application/openmetrics-text;q=0.0, text/plain", FormatText},
+	}
+	for _, c := range cases {
+		got, ctype := Negotiate(c.accept)
+		if got != c.want {
+			t.Errorf("Negotiate(%q) = %v, want %v", c.accept, got, c.want)
+		}
+		wantType := ContentType
+		if c.want == FormatOpenMetrics {
+			wantType = OpenMetricsContentType
+		}
+		if ctype != wantType {
+			t.Errorf("Negotiate(%q) content type = %q, want %q", c.accept, ctype, wantType)
+		}
+	}
+}
+
+func TestWriteEOF(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteEOF(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "# EOF\n" {
+		t.Fatalf("WriteEOF wrote %q", buf.String())
+	}
+}
+
 func TestExemplarSuffixRendering(t *testing.T) {
 	if got := exemplarSuffix(nil); got != "" {
 		t.Fatalf("nil exemplar rendered %q", got)
@@ -74,10 +170,12 @@ func TestExemplarSuffixRendering(t *testing.T) {
 
 func TestGoldenUnchangedWithoutExemplars(t *testing.T) {
 	// A registry that never calls RecordExemplar renders byte-identically
-	// to the pre-exemplar format — scrapers see no new syntax unless a
-	// trace-annotated sample actually exists.
-	if out := render(t, goldenRegistry()); strings.Contains(out, "#") &&
-		strings.Contains(out, "trace_id") {
-		t.Fatal("exemplar syntax appeared without any RecordExemplar call")
+	// to the pre-exemplar format in either dialect's sample lines — no
+	// exemplar syntax appears unless a trace-annotated sample exists AND
+	// the client negotiated OpenMetrics.
+	for _, f := range []Format{FormatText, FormatOpenMetrics} {
+		if out := renderFormat(t, goldenRegistry(), f); strings.Contains(out, "trace_id") {
+			t.Fatalf("format %v: exemplar syntax appeared without any RecordExemplar call", f)
+		}
 	}
 }

@@ -1,7 +1,12 @@
 // Package prom renders an obs.Registry export in the Prometheus text
-// exposition format (version 0.0.4), using the standard library only.
-// It is the bridge between the simulator's telemetry and any scraping
-// stack: `melody run -serve ADDR` mounts the output at GET /metrics.
+// exposition format (version 0.0.4) or in OpenMetrics 1.0, using the
+// standard library only. It is the bridge between the simulator's
+// telemetry and any scraping stack: `melody run -serve ADDR` mounts
+// the output at GET /metrics, negotiating the dialect from the Accept
+// header (Negotiate). Exemplars are OpenMetrics-only syntax — the
+// classic 0.0.4 grammar permits nothing after the sample value — so
+// they render only under FormatOpenMetrics; a 0.0.4 scrape of the same
+// registry is byte-identical to the pre-exemplar output.
 //
 // Mapping rules, chosen so scraped series stay stable across runs:
 //
@@ -44,8 +49,73 @@ import (
 	"github.com/moatlab/melody/internal/obs"
 )
 
-// ContentType is the HTTP Content-Type for the exposition output.
+// ContentType is the HTTP Content-Type for classic text output.
 const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// OpenMetricsContentType is the HTTP Content-Type for OpenMetrics
+// output.
+const OpenMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// Format selects the exposition dialect Write emits.
+type Format uint8
+
+const (
+	// FormatText is the classic Prometheus text format (0.0.4). Its
+	// grammar ends a sample line at the value (plus optional
+	// timestamp), so exemplars are omitted entirely.
+	FormatText Format = iota
+	// FormatOpenMetrics is OpenMetrics 1.0: counter # TYPE lines name
+	// the family without the _total suffix (samples keep it), histogram
+	// bucket lines carry their exemplar clause, and the stream must end
+	// with the "# EOF" terminator — emitted once by the caller via
+	// WriteEOF, since one exposition may concatenate several
+	// WriteFormat calls.
+	FormatOpenMetrics
+)
+
+// Negotiate picks the exposition format for an HTTP Accept header
+// value: FormatOpenMetrics when the client lists
+// application/openmetrics-text with non-zero quality (the Prometheus
+// scraper sends exactly that when it wants exemplars), FormatText
+// otherwise — including an absent header, so curl and pre-OpenMetrics
+// scrapers keep getting plain 0.0.4. The second return is the
+// Content-Type to respond with.
+func Negotiate(accept string) (Format, string) {
+	for _, part := range strings.Split(accept, ",") {
+		mediaRange, params, _ := strings.Cut(strings.TrimSpace(part), ";")
+		if !strings.EqualFold(strings.TrimSpace(mediaRange), "application/openmetrics-text") {
+			continue
+		}
+		if qualityZero(params) {
+			continue
+		}
+		return FormatOpenMetrics, OpenMetricsContentType
+	}
+	return FormatText, ContentType
+}
+
+// qualityZero reports whether a media-range's parameters carry an
+// explicit q=0 (the client refusing the type it names).
+func qualityZero(params string) bool {
+	for _, p := range strings.Split(params, ";") {
+		k, v, ok := strings.Cut(strings.TrimSpace(p), "=")
+		if !ok || !strings.EqualFold(strings.TrimSpace(k), "q") {
+			continue
+		}
+		q, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+		return err == nil && q == 0
+	}
+	return false
+}
+
+// WriteEOF terminates an OpenMetrics exposition. OpenMetrics requires
+// exactly one "# EOF" after the final family; callers emit it after
+// their last WriteFormat call. Classic 0.0.4 output has no terminator
+// and must not get one.
+func WriteEOF(w io.Writer) error {
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
+}
 
 // kind is a family's exposition type.
 type kind uint8
@@ -81,11 +151,19 @@ type family struct {
 	series []series
 }
 
-// Write renders ex under namespace (e.g. "melody") in exposition
-// format. Families whose sanitized names collide across instrument
-// kinds are rejected — mixed-type families are invalid exposition — so
-// callers find naming clashes in tests, not in their scraper logs.
+// Write renders ex under namespace (e.g. "melody") in the classic
+// 0.0.4 exposition format. Families whose sanitized names collide
+// across instrument kinds are rejected — mixed-type families are
+// invalid exposition — so callers find naming clashes in tests, not in
+// their scraper logs.
 func Write(w io.Writer, namespace string, ex obs.Export) error {
+	return WriteFormat(w, namespace, ex, FormatText)
+}
+
+// WriteFormat is Write with an explicit dialect: FormatText for
+// classic 0.0.4 output, FormatOpenMetrics for OpenMetrics 1.0 with
+// exemplars (the caller appends WriteEOF after its last family).
+func WriteFormat(w io.Writer, namespace string, ex obs.Export, format Format) error {
 	fams := map[string]*family{}
 	add := func(path string, k kind, s series) error {
 		name, labels := mapPath(namespace, path, k)
@@ -124,11 +202,17 @@ func Write(w io.Writer, namespace string, ex obs.Export) error {
 	for _, name := range names {
 		f := fams[name]
 		sort.Slice(f.series, func(i, j int) bool { return f.series[i].labels < f.series[j].labels })
-		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+		typeName := f.name
+		if format == FormatOpenMetrics && f.kind == kindCounter {
+			// OpenMetrics names the counter family bare in # TYPE; only
+			// the sample lines carry the _total suffix.
+			typeName = strings.TrimSuffix(typeName, "_total")
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", typeName, f.kind); err != nil {
 			return err
 		}
 		for _, s := range f.series {
-			if err := writeSeries(w, f, s); err != nil {
+			if err := writeSeries(w, f, s, format); err != nil {
 				return err
 			}
 		}
@@ -137,16 +221,20 @@ func Write(w io.Writer, namespace string, ex obs.Export) error {
 }
 
 // writeSeries emits one labeled instance's sample lines.
-func writeSeries(w io.Writer, f *family, s series) error {
+func writeSeries(w io.Writer, f *family, s series, format Format) error {
 	switch f.kind {
 	case kindCounter, kindGauge:
 		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, formatValue(s.value))
 		return err
 	default:
 		for _, b := range s.hist.Buckets {
+			var exemplar string
+			if format == FormatOpenMetrics {
+				exemplar = exemplarSuffix(b.Exemplar)
+			}
 			if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n",
 				f.name, withLabel(s.labels, "le", formatValue(b.UpperBound)), b.Count,
-				exemplarSuffix(b.Exemplar)); err != nil {
+				exemplar); err != nil {
 				return err
 			}
 		}
@@ -164,14 +252,12 @@ func writeSeries(w io.Writer, f *family, s series) error {
 
 // exemplarSuffix renders one bucket exemplar as an OpenMetrics
 // exemplar clause — ` # {trace_id="..."} value timestamp` — or "" when
-// the bucket carries none. Strictly, exemplars belong to the
-// OpenMetrics exposition; Prometheus's text parser tolerates (and its
-// scraper honours) the clause on the 0.0.4 format too, and tools that
-// don't understand it see it start with "#" mid-line only after a
-// complete sample, which the grammar treats as trailing content on
-// bucket lines specifically emitted with exemplars enabled. The
-// timestamp is Unix seconds with millisecond precision, omitted when
-// the exemplar has no time.
+// the bucket carries none. Exemplars exist only in the OpenMetrics
+// grammar — the classic 0.0.4 format permits nothing after the sample
+// value, and standard parsers fail the whole scrape on trailing
+// tokens — so WriteFormat requests this suffix only under
+// FormatOpenMetrics. The timestamp is Unix seconds with millisecond
+// precision, omitted when the exemplar has no time.
 func exemplarSuffix(e *obs.Exemplar) string {
 	if e == nil || e.TraceID == "" {
 		return ""

@@ -193,18 +193,28 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 	// Runtime gauges refresh lazily, right before the export, so every
 	// scrape sees current goroutine/heap/GC state.
 	s.rt.sample()
-	w.Header().Set("Content-Type", prom.ContentType)
+	// Dialect rides the Accept header: scrapers asking for OpenMetrics
+	// get exemplars and the # EOF terminator; everyone else gets plain
+	// 0.0.4, whose grammar has no exemplar clause.
+	format, contentType := prom.Negotiate(r.Header.Get("Accept"))
+	w.Header().Set("Content-Type", contentType)
 	// New's contract: a nil engine registry renders an empty engine
 	// section (the `melody serve` observatory has no process-wide
 	// engine registry; each job's lands in its manifest).
 	if s.registry != nil {
-		if err := prom.Write(w, EngineNamespace, s.registry.Export()); err != nil {
+		if err := prom.WriteFormat(w, EngineNamespace, s.registry.Export(), format); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
 	}
-	if err := prom.Write(w, SelfNamespace, s.self.Export()); err != nil {
+	if err := prom.WriteFormat(w, SelfNamespace, s.self.Export(), format); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if format == prom.FormatOpenMetrics {
+		if err := prom.WriteEOF(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
 	}
 }
 

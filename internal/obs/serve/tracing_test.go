@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"regexp"
@@ -242,13 +243,40 @@ func TestTracesEndpoints(t *testing.T) {
 	}
 }
 
-// TestMetricsExemplarLinksToTrace: after a traced request, the route's
-// latency histogram exposes an OpenMetrics exemplar carrying that
-// trace id — the /metrics → /traces join.
+// getWith issues a GET with headers and returns the response body and
+// response.
+func getWith(t *testing.T, url string, hdr map[string]string) (string, *http.Response) {
+	t.Helper()
+	req, _ := http.NewRequest(http.MethodGet, url, nil)
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body), resp
+}
+
+// TestMetricsExemplarLinksToTrace: after a traced request, an
+// OpenMetrics scrape of the route's latency histogram exposes an
+// exemplar carrying that trace id — the /metrics → /traces join.
 func TestMetricsExemplarLinksToTrace(t *testing.T) {
 	_, ts, _ := newTestServer(t)
 	doGet(t, ts.URL+"/healthz", map[string]string{"traceparent": tpHeader})
-	body, _ := get(t, ts.URL+"/metrics")
+	body, resp := getWith(t, ts.URL+"/metrics",
+		map[string]string{"Accept": "application/openmetrics-text"})
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/openmetrics-text") {
+		t.Fatalf("OpenMetrics scrape Content-Type = %q", ct)
+	}
+	if !strings.HasSuffix(body, "# EOF\n") {
+		t.Fatalf("OpenMetrics exposition missing # EOF terminator:\n...%s", body[max(0, len(body)-200):])
+	}
 	want := regexp.MustCompile(
 		`melody_observatory_http_request_seconds_bucket\{route="/healthz",le="[^"]+"\} \d+ # \{trace_id="` +
 			tpTraceID + `"\} \S+ \d+\.\d{3}`)
@@ -260,6 +288,32 @@ func TestMetricsExemplarLinksToTrace(t *testing.T) {
 		if strings.Contains(line, "# {") && !strings.Contains(line, "_bucket{") {
 			t.Fatalf("exemplar on non-bucket line: %q", line)
 		}
+	}
+}
+
+// TestMetricsDefaultScrapeHasNoExemplars pins the negotiation contract
+// from the other side: without an OpenMetrics Accept header /metrics
+// stays classic 0.0.4 — whose grammar has no exemplar clause — even
+// when every bucket carries a recorded exemplar, so standard parsers
+// (promtool, expfmt, a 0.0.4-mode scraper) never see trailing tokens.
+func TestMetricsDefaultScrapeHasNoExemplars(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	doGet(t, ts.URL+"/healthz", map[string]string{"traceparent": tpHeader})
+	body, resp := get(t, ts.URL+"/metrics")
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("default scrape Content-Type = %q", ct)
+	}
+	if strings.Contains(body, "# {") {
+		t.Fatalf("exemplar syntax leaked into 0.0.4 exposition:\n%s", body)
+	}
+	if strings.Contains(body, "# EOF") {
+		t.Fatal("OpenMetrics EOF terminator leaked into 0.0.4 exposition")
+	}
+	// An explicit q=0 refusal of OpenMetrics also stays classic.
+	body, _ = getWith(t, ts.URL+"/metrics",
+		map[string]string{"Accept": "application/openmetrics-text;q=0, text/plain"})
+	if strings.Contains(body, "# {") {
+		t.Fatal("q=0 OpenMetrics Accept still produced exemplars")
 	}
 }
 

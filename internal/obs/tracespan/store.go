@@ -91,17 +91,12 @@ func (s *Store) Add(sd SpanData) {
 		s.traces[sd.TraceID] = e
 		s.order = append(s.order, sd.TraceID)
 		s.stats.Traces++
-		if len(s.order) > s.traceCap {
-			s.evictLocked()
-		}
 	}
-	if len(e.spans) >= s.spanCap {
-		e.dropped++
-		s.stats.SpansDropped++
-		return
-	}
-	e.spans = append(e.spans, sd)
-	s.stats.Added++
+	// Apply the span's bounds and status before any retention decision:
+	// an errored span must protect its trace during the eviction its own
+	// arrival triggers, and a span rejected at spanCap below still marks
+	// the trace errored/slow — retention always sees the trace's true
+	// extent even when the span itself is dropped.
 	if sd.Start.Before(e.start) {
 		e.start = sd.Start
 	}
@@ -111,12 +106,24 @@ func (s *Store) Add(sd SpanData) {
 	if sd.Status == StatusError {
 		e.errored = true
 	}
+	if !ok && len(s.order) > s.traceCap {
+		s.evictLocked()
+	}
+	if len(e.spans) >= s.spanCap {
+		e.dropped++
+		s.stats.SpansDropped++
+		return
+	}
+	e.spans = append(e.spans, sd)
+	s.stats.Added++
 }
 
 // evictLocked removes one trace: the oldest that is neither errored
-// nor in the protected slowest set. When every retained trace is
-// protected, the oldest goes anyway — bounded memory beats perfect
-// retention.
+// nor in the protected slowest set. The newest entry — the trace Add
+// is filing right now — is never the victim: evicting it would orphan
+// the trace mid-add, silently losing every new trace while the stats
+// still count them. When every older retained trace is protected, the
+// oldest goes anyway — bounded memory beats perfect retention.
 func (s *Store) evictLocked() {
 	slowCount := (s.traceCap + slowFrac - 1) / slowFrac
 	durs := make([]time.Duration, 0, len(s.order))
@@ -129,7 +136,7 @@ func (s *Store) evictLocked() {
 		slowFloor = durs[slowCount-1]
 	}
 	victim := -1
-	for i, id := range s.order {
+	for i, id := range s.order[:len(s.order)-1] {
 		e := s.traces[id]
 		if e.errored || (slowFloor > 0 && e.duration() >= slowFloor) {
 			continue

@@ -64,6 +64,43 @@ func TestStoreEvictsOldestWhenAllProtected(t *testing.T) {
 	}
 }
 
+// TestStoreNeverEvictsJustAddedTrace: when every older retained trace
+// is protected (sustained errors), the all-protected fallback must
+// evict the oldest protected trace — never the trace being added,
+// which would orphan every new trace while the stats still count it.
+func TestStoreNeverEvictsJustAddedTrace(t *testing.T) {
+	st := NewStore(2, 0)
+	st.Add(mkSpan(0, time.Second, StatusError))
+	st.Add(mkSpan(1, time.Second, StatusError))
+	fresh := mkSpan(2, time.Millisecond, StatusOK) // fast, OK: unprotected
+	st.Add(fresh)
+	if st.Len() != 2 {
+		t.Fatalf("store holds %d traces, want 2", st.Len())
+	}
+	if _, spans, ok := st.Get(fresh.TraceID); !ok || len(spans) != 1 {
+		t.Fatalf("just-added trace lost to its own eviction: ok=%v spans=%d", ok, len(spans))
+	}
+	if _, _, ok := st.Get(mkSpan(0, 0, "").TraceID); ok {
+		t.Fatal("oldest protected trace should have been the fallback victim")
+	}
+}
+
+// TestStoreErroredArrivalProtectsItself: the span's status applies to
+// its trace before the eviction its own arrival triggers, so a later
+// overflow sees the trace as errored (pinned) rather than plain.
+func TestStoreErroredArrivalProtectsItself(t *testing.T) {
+	st := NewStore(2, 0)
+	st.Add(mkSpan(0, time.Millisecond, StatusOK))
+	st.Add(mkSpan(1, time.Millisecond, StatusError)) // errored on arrival
+	st.Add(mkSpan(2, time.Millisecond, StatusOK))    // overflow: evicts trace 0
+	if _, _, ok := st.Get(mkSpan(1, 0, "").TraceID); !ok {
+		t.Fatal("errored trace evicted despite protection")
+	}
+	if _, _, ok := st.Get(mkSpan(0, 0, "").TraceID); ok {
+		t.Fatal("plain oldest trace survived over an errored one")
+	}
+}
+
 func TestStoreSpanCapDropsAndCounts(t *testing.T) {
 	st := NewStore(0, 2)
 	base := mkSpan(0, time.Millisecond, StatusOK)
@@ -84,6 +121,31 @@ func TestStoreSpanCapDropsAndCounts(t *testing.T) {
 	}
 	if got := st.Stats().SpansDropped; got != 3 {
 		t.Fatalf("stats drops = %d, want 3", got)
+	}
+}
+
+// TestStoreSpanCapDropStillMarksError: a span rejected at spanCap must
+// still contribute its status and time bounds to the trace entry —
+// otherwise a trace whose failure arrived after the cap would look OK
+// (and fast) to the retention policy and the /traces listing.
+func TestStoreSpanCapDropStillMarksError(t *testing.T) {
+	st := NewStore(0, 1)
+	st.Add(mkSpan(0, time.Millisecond, StatusOK))
+	late := mkSpan(0, time.Hour, StatusError)
+	late.SpanID = "00000000000000ff"
+	st.Add(late) // dropped by spanCap
+	sum, spans, ok := st.Get(late.TraceID)
+	if !ok || len(spans) != 1 {
+		t.Fatalf("trace ok=%v spans=%d, want 1 retained span", ok, len(spans))
+	}
+	if sum.SpansDropped != 1 {
+		t.Fatalf("summary drops = %d, want 1", sum.SpansDropped)
+	}
+	if sum.Status != StatusError {
+		t.Fatalf("dropped errored span did not mark the trace: status=%q", sum.Status)
+	}
+	if sum.DurationS < time.Hour.Seconds() {
+		t.Fatalf("dropped span's bounds ignored: duration_s=%v", sum.DurationS)
 	}
 }
 

@@ -78,7 +78,10 @@ func (sc SpanContext) Traceparent() string {
 // ParseTraceparent parses a W3C traceparent header value:
 // version "-" trace-id "-" parent-id "-" flags, all lowercase hex.
 // Unknown versions are accepted per spec (the four known fields still
-// lead); all-zero ids, bad lengths and non-hex bytes are errors.
+// lead, and trailing "-..." data is tolerated); version 00 must be
+// exactly 55 characters — the spec permits trailing data only for
+// future versions. All-zero ids, bad lengths and non-hex bytes are
+// errors.
 func ParseTraceparent(h string) (SpanContext, error) {
 	var sc SpanContext
 	if len(h) < 55 {
@@ -93,6 +96,9 @@ func ParseTraceparent(h string) (SpanContext, error) {
 	ver := h[:2]
 	if !isHex(ver) || ver == "ff" {
 		return sc, fmt.Errorf("tracespan: bad traceparent version %q", ver)
+	}
+	if ver == "00" && len(h) != 55 {
+		return sc, fmt.Errorf("tracespan: version-00 traceparent must be exactly 55 chars, got %d", len(h))
 	}
 	if !isHex(h[3:35]) {
 		return sc, fmt.Errorf("tracespan: bad trace-id %q (want 32 lowercase hex chars)", h[3:35])

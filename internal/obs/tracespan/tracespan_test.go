@@ -39,8 +39,9 @@ func TestParseTraceparentRejectsMalformed(t *testing.T) {
 		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",  // zero span id
 		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-0g",  // non-hex flags
 		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",  // forbidden version
-		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01x", // trailing junk
-		"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",  // uppercase hex
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01x",      // trailing junk
+		"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",       // uppercase hex
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra", // v00 must be exactly 55 chars
 	} {
 		if _, err := ParseTraceparent(h); err == nil {
 			t.Errorf("ParseTraceparent(%q) accepted", h)
@@ -49,7 +50,9 @@ func TestParseTraceparentRejectsMalformed(t *testing.T) {
 }
 
 func TestParseTraceparentAcceptsFutureVersionSuffix(t *testing.T) {
-	// Per W3C, higher versions may append fields after the flags.
+	// Per W3C, higher versions may append fields after the flags —
+	// version 00 may not (exactly 55 chars), which the malformed-header
+	// test above pins.
 	sc, err := ParseTraceparent("01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra")
 	if err != nil {
 		t.Fatal(err)
