@@ -6,7 +6,7 @@
 //	melody list
 //	melody run <experiment-id>... [flags]
 //	melody run all [flags]
-//	melody serve [-addr HOST:PORT] [-queue N]
+//	melody serve [-addr HOST:PORT] [-queue N] [-prof-interval D] [-pprof ADDR]
 //
 // `melody run` executes one spec and exits; `melody serve` is the
 // long-lived experiment front door: it serves the observatory plus the
@@ -49,6 +49,14 @@
 //	-pprof ADDR       serve net/http/pprof on ADDR (e.g. localhost:6060).
 //	                  This profiles the simulator's *host* time; use
 //	                  -profile for *simulated* time
+//	-prof-interval D  continuous host profiling (requires -serve): capture
+//	                  CPU/heap/goroutine/mutex/block profiles every D
+//	                  (e.g. 30s) into a bounded in-memory store, queryable
+//	                  at GET /profiles on the observatory and downloadable
+//	                  per id as .pb.gz for `go tool pprof`. CPU samples
+//	                  carry pprof labels (spec_hash, experiment), and the
+//	                  anomaly watchdog fires tagged captures on goroutine
+//	                  spikes, sustained heap growth, and GC-pause outliers
 //	-serve ADDR       serve the live run observatory on ADDR:
 //	                  GET /metrics   Prometheus text exposition of the
 //	                                 telemetry registry (plus the
@@ -73,9 +81,6 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"net"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -85,6 +90,7 @@ import (
 	"github.com/moatlab/melody/internal/melody"
 	"github.com/moatlab/melody/internal/melody/spec"
 	"github.com/moatlab/melody/internal/obs"
+	"github.com/moatlab/melody/internal/obs/serve"
 	"github.com/moatlab/melody/internal/obs/svclog"
 )
 
@@ -149,6 +155,7 @@ func runCmd(args []string) int {
 	profileDir := fs.String("profile", "", "write per-experiment simulated-time pprof profiles to <dir>")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on <addr> (e.g. localhost:6060)")
 	serveAddr := fs.String("serve", "", "serve the live observatory (/metrics /progress /events /healthz) on <addr>")
+	profEvery := fs.Duration("prof-interval", 0, "continuous host profiling cadence (requires -serve; captures queryable at /profiles)")
 	logLevel := fs.String("log-level", "warn", "structured log level on stderr: debug, info, warn, error")
 	logFormat := fs.String("log-format", "text", "structured log format on stderr: text or json")
 
@@ -178,24 +185,27 @@ func runCmd(args []string) int {
 		fmt.Fprintln(os.Stderr, "melody:", err)
 		return 2
 	}
+	if *profEvery != 0 && *serveAddr == "" {
+		fmt.Fprintln(os.Stderr, "melody: -prof-interval requires -serve (captures are served at /profiles on the observatory)")
+		return 2
+	}
+	if *profEvery < 0 {
+		fmt.Fprintln(os.Stderr, "melody: -prof-interval must be positive")
+		return 2
+	}
 
 	// The -pprof debug server profiles the simulator process itself
-	// (host time). Listen synchronously so a bad address fails now, and
-	// close the server after the run so no listener outlives it.
+	// (host time). Listening is synchronous so a bad address fails now,
+	// and the server closes after the run so no listener outlives it.
+	// Both subcommands share this helper — the flag cannot drift again.
 	if *pprofAddr != "" {
-		ln, err := net.Listen("tcp", *pprofAddr)
+		pp, err := serve.StartDebugPprof(*pprofAddr, logger)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "melody: pprof:", err)
 			return 2
 		}
-		srv := &http.Server{Handler: http.DefaultServeMux}
-		fmt.Fprintf(os.Stderr, "melody: pprof on http://%s/debug/pprof/\n", ln.Addr())
-		go func() {
-			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
-				fmt.Fprintln(os.Stderr, "melody: pprof:", err)
-			}
-		}()
-		defer srv.Close()
+		defer pp.Close()
+		fmt.Fprintf(os.Stderr, "melody: pprof on http://%s/debug/pprof/\n", pp.Addr())
 	}
 
 	// -profile needs the cycle-sampled streams: force telemetry on and
@@ -238,7 +248,7 @@ func runCmd(args []string) int {
 	// change results or the manifest.
 	var obsv *observatory
 	if *serveAddr != "" {
-		obsv, err = startObservatory(*serveAddr, tel, ids, logger)
+		obsv, err = startObservatory(*serveAddr, tel, ids, logger, *profEvery)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "melody: serve:", err)
 			return 2

@@ -38,6 +38,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -451,12 +452,22 @@ func (m *Manager) Run(ctx context.Context) {
 				tracespan.String(svclog.KeySpecHash, j.hash),
 			)
 		}
-		res, err := m.exec(execCtx, j.sp, func(ev Event) {
-			ev.JobID = j.id
-			ev.SpecHash = j.hash
-			m.progress(j, ev)
-			m.emit(ev)
-		})
+		// Execute under pprof labels so host CPU profiles captured by the
+		// continuous profiler (internal/obs/hostprof) attribute samples to
+		// this job: every goroutine melody.Execute spawns inherits the
+		// labels, making a capture sliceable per job with
+		// `go tool pprof -tagfocus job_id=<id>`.
+		var res ExecResult
+		var err error
+		pprof.Do(execCtx, pprof.Labels(svclog.KeyJobID, j.id, svclog.KeySpecHash, j.hash),
+			func(execCtx context.Context) {
+				res, err = m.exec(execCtx, j.sp, func(ev Event) {
+					ev.JobID = j.id
+					ev.SpecHash = j.hash
+					m.progress(j, ev)
+					m.emit(ev)
+				})
+			})
 
 		m.mu.Lock()
 		delete(m.live, j.hash)
@@ -582,6 +593,22 @@ func (m *Manager) QueueDepth() int {
 
 // QueueCap returns the admission bound.
 func (m *Manager) QueueCap() int { return m.queueCap }
+
+// RunningJobs returns the ids of jobs currently executing (with one
+// worker, zero or one). The continuous profiler stamps captures with
+// this set so profiles overlapping a job are findable by job id — and
+// protected from routine eviction.
+func (m *Manager) RunningJobs() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []string
+	for _, j := range m.live {
+		if j.state == StateRunning {
+			out = append(out, j.id)
+		}
+	}
+	return out
+}
 
 // StoreSize returns the number of cached spec→manifest entries.
 func (m *Manager) StoreSize() int {

@@ -1,0 +1,46 @@
+package jobs
+
+import (
+	"context"
+	"runtime/pprof"
+	"testing"
+	"time"
+
+	"github.com/moatlab/melody/internal/melody/spec"
+)
+
+// TestExecutorRunsUnderPprofLabels pins the worker's labeling: the
+// executor (and every goroutine it spawns) runs inside a pprof.Do
+// scope carrying job_id and spec_hash, so host CPU captures overlapping
+// the job attribute their samples to it.
+func TestExecutorRunsUnderPprofLabels(t *testing.T) {
+	type labels struct{ jobID, specHash string }
+	got := make(chan labels, 1)
+	exec := func(ctx context.Context, sp spec.RunSpec, notify func(Event)) (ExecResult, error) {
+		jid, _ := pprof.Label(ctx, "job_id")
+		sh, _ := pprof.Label(ctx, "spec_hash")
+		got <- labels{jid, sh}
+		return ExecResult{ManifestJSON: []byte("{}"), Address: "sha256:x"}, nil
+	}
+
+	m := New(exec, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go m.Run(ctx)
+
+	st, err := m.Submit(spec.RunSpec{Version: spec.Version, Experiments: []string{"fig8f"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case l := <-got:
+		if l.jobID != st.ID {
+			t.Fatalf("executor job_id label = %q, want %q", l.jobID, st.ID)
+		}
+		if l.specHash != st.SpecHash {
+			t.Fatalf("executor spec_hash label = %q, want %q", l.specHash, st.SpecHash)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("executor never ran")
+	}
+}

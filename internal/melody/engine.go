@@ -2,6 +2,7 @@ package melody
 
 import (
 	"context"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 
@@ -53,7 +54,16 @@ func (g *Engine) Run(ctx context.Context, e Experiment) *Report {
 	// of Execute's run span and the parent of the Runner's cell spans.
 	ctx, tsp := tracespan.Start(ctx, "experiment",
 		tracespan.String("experiment", e.ID))
-	rep := e.Run(g.context(ctx, e.ID))
+	// The experiment id becomes a pprof label for the scope of this
+	// experiment — worker goroutines spawned by runAll inherit it, so a
+	// host CPU capture overlapping the run splits by figure
+	// (`go tool pprof -tagfocus experiment=fig8f`). One Do per
+	// experiment, nothing on the per-cell path: the simulate loop stays
+	// allocation-free with profiling off (pinned in tracing_test.go).
+	var rep *Report
+	pprof.Do(ctx, pprof.Labels("experiment", e.ID), func(ctx context.Context) {
+		rep = e.Run(g.context(ctx, e.ID))
+	})
 	tsp.End()
 	sp.End()
 	if g.Obs != nil {

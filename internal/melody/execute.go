@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"log/slog"
+	"runtime/pprof"
 	"time"
 
 	"github.com/moatlab/melody/internal/melody/spec"
@@ -143,38 +144,45 @@ func Execute(ctx context.Context, sp spec.RunSpec, h ExecHooks) (ExecOutcome, er
 	eng.Progress = h.Progress
 
 	out := ExecOutcome{Spec: n}
-	for _, e := range exps {
-		if ctx.Err() != nil {
-			out.Interrupted = true
-			runSpan.SetAttr("interrupted", "true")
-			break
+	// Run under a spec_hash pprof label: host CPU profiles captured while
+	// this run executes (internal/obs/hostprof) attribute its samples to
+	// the spec, alongside the job_id label the job worker already set.
+	// Labels are inherited by every goroutine the engine spawns inside
+	// this scope; like the log lines, they are pure observation.
+	pprof.Do(ctx, pprof.Labels(svclog.KeySpecHash, hash), func(ctx context.Context) {
+		for _, e := range exps {
+			if ctx.Err() != nil {
+				out.Interrupted = true
+				runSpan.SetAttr("interrupted", "true")
+				break
+			}
+			if h.ExperimentStart != nil {
+				h.ExperimentStart(e.ID, e.Title)
+			}
+			log.Debug("experiment started", svclog.KeySpecHash, hash, "experiment", e.ID, "title", e.Title)
+			start := time.Now()
+			rep := eng.Run(ctx, e)
+			wallS := time.Since(start).Seconds()
+			if h.ExperimentEnd != nil {
+				h.ExperimentEnd(e.ID, wallS)
+			}
+			log.Info("experiment finished",
+				svclog.KeySpecHash, hash, "experiment", e.ID,
+				"wall_s", wallS, "interrupted", ctx.Err() != nil)
+			if ctx.Err() != nil {
+				// The experiment was cut mid-flight: its report covers an
+				// arbitrary prefix of its cells, so it is not recorded.
+				out.Interrupted = true
+				runSpan.SetAttr("interrupted", "true")
+				break
+			}
+			out.Reports = append(out.Reports, rep)
+			out.Timings = append(out.Timings, ExperimentTiming{ID: e.ID, WallS: wallS})
+			if h.ReportDone != nil {
+				h.ReportDone(e.ID, rep, wallS)
+			}
 		}
-		if h.ExperimentStart != nil {
-			h.ExperimentStart(e.ID, e.Title)
-		}
-		log.Debug("experiment started", svclog.KeySpecHash, hash, "experiment", e.ID, "title", e.Title)
-		start := time.Now()
-		rep := eng.Run(ctx, e)
-		wallS := time.Since(start).Seconds()
-		if h.ExperimentEnd != nil {
-			h.ExperimentEnd(e.ID, wallS)
-		}
-		log.Info("experiment finished",
-			svclog.KeySpecHash, hash, "experiment", e.ID,
-			"wall_s", wallS, "interrupted", ctx.Err() != nil)
-		if ctx.Err() != nil {
-			// The experiment was cut mid-flight: its report covers an
-			// arbitrary prefix of its cells, so it is not recorded.
-			out.Interrupted = true
-			runSpan.SetAttr("interrupted", "true")
-			break
-		}
-		out.Reports = append(out.Reports, rep)
-		out.Timings = append(out.Timings, ExperimentTiming{ID: e.ID, WallS: wallS})
-		if h.ReportDone != nil {
-			h.ReportDone(e.ID, rep, wallS)
-		}
-	}
+	})
 
 	if h.Telemetry != nil {
 		m := BuildManifest(n.Seed, n.Workers, n.Workloads, out.Timings, h.Telemetry)

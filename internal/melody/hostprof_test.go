@@ -1,0 +1,148 @@
+package melody
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/moatlab/melody/internal/obs/hostprof"
+)
+
+// TestExecutePprofLabels pins the label plumbing: while Execute runs,
+// the executing goroutines carry spec_hash and experiment pprof labels
+// (set via pprof.Do in Execute and Engine.Run and inherited by the
+// runner's workers). The goroutine profile records labels without
+// needing CPU samples, so the check is deterministic.
+func TestExecutePprofLabels(t *testing.T) {
+	sp := tracingSpec()
+	hash, err := sp.Normalized().Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	hooks := ExecHooks{
+		// Progress fires from inside the experiment's labeled scope; hold
+		// the run there while the main goroutine snapshots.
+		Progress: func(string, int, int) {
+			once.Do(func() { close(started) })
+			<-release
+		},
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := Execute(context.Background(), sp, hooks)
+		done <- err
+	}()
+	select {
+	case <-started:
+	case <-time.After(30 * time.Second):
+		t.Fatal("run never reached a progress callback")
+	}
+
+	p := hostprof.New(hostprof.Config{Types: []string{hostprof.TypeGoroutine}, Watchdog: hostprof.WatchdogConfig{Disabled: true}})
+	pr := captureGoroutineProfile(t, p)
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	if !hasLabel(pr, "spec_hash", hash) {
+		t.Fatalf("no goroutine carried spec_hash=%s; values: %v", hash, pr.LabelValues("spec_hash"))
+	}
+	if !hasLabel(pr, "experiment", "fig8f") {
+		t.Fatalf("no goroutine carried experiment=fig8f; values: %v", pr.LabelValues("experiment"))
+	}
+}
+
+func captureGoroutineProfile(t *testing.T, p *hostprof.Profiler) *hostprof.Parsed {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go p.Run(ctx)
+	deadline := time.After(10 * time.Second)
+	for p.Store().Len() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("profiler captured nothing")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	caps := p.Store().List(hostprof.Filter{Type: hostprof.TypeGoroutine})
+	full, ok := p.Store().Get(caps[0].ID)
+	if !ok {
+		t.Fatal("capture vanished")
+	}
+	pr, err := hostprof.Parse(full.Bytes)
+	if err != nil {
+		t.Fatalf("parse goroutine capture: %v", err)
+	}
+	return pr
+}
+
+func hasLabel(p *hostprof.Parsed, key, want string) bool {
+	for _, v := range p.LabelValues(key) {
+		if v == want {
+			return true
+		}
+	}
+	return false
+}
+
+// TestManifestParityProfilingOnOff pins the acceptance criterion: the
+// same spec run with the continuous profiler actively capturing yields
+// a manifest byte-identical (under StripHostTime) to a run with no
+// profiler at all. Host profiling is observation of the process, never
+// of the simulation.
+func TestManifestParityProfilingOnOff(t *testing.T) {
+	sp := tracingSpec()
+	run := func() []byte {
+		tel := NewTelemetry()
+		out, err := Execute(context.Background(), sp, ExecHooks{Telemetry: tel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := *out.Manifest
+		m.StripHostTime()
+		raw, err := EncodeManifest(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+
+	plain := run()
+
+	// Profiler on: tight cadence so rounds (CPU windows, heap snapshots,
+	// mutex/block rate flips) actually overlap the execution.
+	p := hostprof.New(hostprof.Config{
+		Interval:    50 * time.Millisecond,
+		CPUDuration: 20 * time.Millisecond,
+		Watchdog:    hostprof.WatchdogConfig{Disabled: true},
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	profDone := make(chan struct{})
+	go func() { p.Run(ctx); close(profDone) }()
+	profiled := run()
+	cancel()
+	<-profDone
+
+	if p.Store().Len() == 0 {
+		t.Fatal("profiler captured nothing — parity check proved nothing")
+	}
+	if !bytes.Equal(plain, profiled) {
+		i := 0
+		for i < len(plain) && i < len(profiled) && plain[i] == profiled[i] {
+			i++
+		}
+		t.Fatalf("manifests differ at byte %d with profiling on vs off", i)
+	}
+	if bytes.Contains(profiled, []byte("hostprof")) {
+		t.Fatal("manifest leaked profiler state")
+	}
+}

@@ -1,0 +1,374 @@
+// Package hostprof is the continuous host profiler: it periodically
+// captures CPU, heap, goroutine, mutex and block profiles of the live
+// melody process (runtime/pprof output, the format `go tool pprof`
+// consumes) and keeps them in a bounded, content-addressed store with
+// tail-biased retention. Where internal/obs/profile renders *simulated*
+// time — where the modeled machine's cycles go — hostprof measures the
+// *host*: where the Go process itself burns CPU and heap while serving
+// jobs. The speed roadmap runs on exactly this data: a serving process
+// profiled under real traffic, not a one-off benchmark snapshot.
+//
+// Attribution: the jobs executor and melody's Execute/Engine wrap their
+// work in pprof.Do with job_id / spec_hash / experiment labels, and
+// worker goroutines inherit them — so a CPU capture here is sliceable
+// per job (`go tool pprof -tagfocus job_id=run-000042`) and the labels
+// join the correlation-key family shared by logs, metrics, traces and
+// the job API.
+//
+// Capture taxonomy:
+//
+//	cpu        windowed pprof.StartCPUProfile session (CPUDuration)
+//	heap       instant allocation snapshot (inuse/alloc space+objects)
+//	goroutine  instant stack census
+//	mutex      contention events sampled only during the round's window
+//	block      blocking events sampled only during the round's window
+//
+// Mutex and block profiling rates are set when a round begins and
+// restored when it ends, so their bookkeeping costs nothing between
+// rounds and nothing at all when the profiler is off.
+//
+// Rounds run on a fixed Interval ("interval" reason), immediately when
+// a job starts ("job_start", wired by the observatory so a short job is
+// never missed between ticks), and immediately when the anomaly
+// watchdog fires ("watchdog:goroutines" / "watchdog:heap" /
+// "watchdog:gc_pause" — see watchdog.go). The profiler is strictly
+// observation-side: it shares no state with the engine, so manifests
+// are byte-identical with profiling on or off (test-pinned in
+// internal/melody).
+package hostprof
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	"github.com/moatlab/melody/internal/obs"
+	"github.com/moatlab/melody/internal/obs/svclog"
+)
+
+// Capture reasons. Watchdog reasons are ReasonWatchdogPrefix + signal.
+const (
+	ReasonInterval       = "interval"
+	ReasonJobStart       = "job_start"
+	ReasonWatchdogPrefix = "watchdog:"
+)
+
+// Profile types, matching runtime/pprof's Lookup names (cpu is the
+// windowed StartCPUProfile session, not a Lookup).
+const (
+	TypeCPU       = "cpu"
+	TypeHeap      = "heap"
+	TypeGoroutine = "goroutine"
+	TypeMutex     = "mutex"
+	TypeBlock     = "block"
+)
+
+// AllTypes is the default capture set.
+var AllTypes = []string{TypeCPU, TypeHeap, TypeGoroutine, TypeMutex, TypeBlock}
+
+// Config parameterizes a Profiler. The zero value is usable: every
+// field has a serviceable default.
+type Config struct {
+	// Interval is the cadence between routine capture rounds
+	// (default 60s).
+	Interval time.Duration
+	// CPUDuration is the CPU profiling window per round (default 5s,
+	// clamped to half the interval so rounds can never overlap).
+	CPUDuration time.Duration
+	// Types selects which profiles each round captures (default
+	// AllTypes).
+	Types []string
+	// MutexFraction is the runtime.SetMutexProfileFraction value while
+	// a round's window is open (default 5). Restored to the previous
+	// value after.
+	MutexFraction int
+	// BlockRate is the runtime.SetBlockProfileRate value while a
+	// round's window is open (default 10000 ns). Reset to 0 after —
+	// block profiling has no read-back, so the profiler assumes
+	// ownership of the knob.
+	BlockRate int
+	// Store receives the captures (default NewStore(0, 0)).
+	Store *Store
+	// Registry, when set, receives the profiler's self-metrics
+	// (hostprof/* families). Point it at an observatory self-registry,
+	// never at an engine registry.
+	Registry *obs.Registry
+	// Log receives one structured line per capture (nil is silent).
+	Log *slog.Logger
+	// ActiveJobs, when set, returns the ids of jobs currently
+	// executing; captures overlapping them are stamped and protected
+	// by retention.
+	ActiveJobs func() []string
+	// Watchdog configures the anomaly watchdog; its zero value enables
+	// the defaults. Set Watchdog.Disabled to run without one.
+	Watchdog WatchdogConfig
+}
+
+func (c Config) withDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = 60 * time.Second
+	}
+	if c.CPUDuration <= 0 {
+		c.CPUDuration = 5 * time.Second
+	}
+	if c.CPUDuration > c.Interval/2 {
+		c.CPUDuration = c.Interval / 2
+	}
+	if len(c.Types) == 0 {
+		c.Types = AllTypes
+	}
+	if c.MutexFraction <= 0 {
+		c.MutexFraction = 5
+	}
+	if c.BlockRate <= 0 {
+		c.BlockRate = 10_000
+	}
+	if c.Store == nil {
+		c.Store = NewStore(0, 0)
+	}
+	if c.Log == nil {
+		c.Log = svclog.Discard()
+	}
+	return c
+}
+
+// Profiler runs the capture loop. Build with New, drive with Run;
+// TriggerCPU requests an immediate out-of-cadence round.
+type Profiler struct {
+	cfg     Config
+	store   *Store
+	log     *slog.Logger
+	types   map[string]bool
+	trigger chan string
+	wd      *watchdog
+}
+
+// New returns a Profiler over cfg (see Config for defaults).
+func New(cfg Config) *Profiler {
+	cfg = cfg.withDefaults()
+	types := make(map[string]bool, len(cfg.Types))
+	for _, t := range cfg.Types {
+		types[t] = true
+	}
+	return &Profiler{
+		cfg:     cfg,
+		store:   cfg.Store,
+		log:     cfg.Log,
+		types:   types,
+		trigger: make(chan string, 4),
+		wd:      newWatchdog(cfg.Watchdog),
+	}
+}
+
+// Store returns the capture store behind /profiles.
+func (p *Profiler) Store() *Store { return p.store }
+
+// Interval returns the effective routine-capture cadence.
+func (p *Profiler) Interval() time.Duration { return p.cfg.Interval }
+
+// TriggerCPU requests an immediate capture round tagged reason. It
+// never blocks: with the trigger queue full the request is dropped
+// (and counted) — the in-flight round is already capturing.
+func (p *Profiler) TriggerCPU(reason string) {
+	if p == nil {
+		return
+	}
+	select {
+	case p.trigger <- reason:
+	default:
+		p.count("hostprof/triggers_dropped")
+	}
+}
+
+// Run is the capture loop: an immediate first round, then one round
+// per Interval, plus watchdog checks and triggered rounds in between.
+// It blocks until ctx is done; profiling rates are always restored on
+// the way out.
+func (p *Profiler) Run(ctx context.Context) {
+	tick := time.NewTicker(p.cfg.Interval)
+	defer tick.Stop()
+	var wdC <-chan time.Time
+	if !p.cfg.Watchdog.Disabled {
+		wdTick := time.NewTicker(p.wd.cfg.Interval)
+		defer wdTick.Stop()
+		wdC = wdTick.C
+		// Seed the watchdog's baseline before any work is profiled.
+		p.wd.observe(TakeReading(0))
+	}
+	// First round immediately: a short-lived process (or a CI smoke)
+	// should not wait a full interval for its first profile.
+	p.round(ctx, ReasonInterval)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			p.round(ctx, ReasonInterval)
+		case reason := <-p.trigger:
+			p.round(ctx, reason)
+		case <-wdC:
+			reading := TakeReading(p.wd.prevNumGC)
+			reasons := p.wd.observe(reading)
+			for _, r := range reasons {
+				p.count("hostprof/watchdog_triggers|reason=" + r)
+				p.log.Warn("hostprof watchdog triggered",
+					"signal", r,
+					"goroutines", reading.Goroutines,
+					"heap_alloc_bytes", reading.HeapAlloc,
+				)
+			}
+			if len(reasons) > 0 {
+				p.round(ctx, ReasonWatchdogPrefix+reasons[0])
+			}
+		}
+	}
+}
+
+// round captures every enabled profile type once, tagged reason.
+func (p *Profiler) round(ctx context.Context, reason string) {
+	start := time.Now()
+	jobs := p.activeJobs()
+	p.count("hostprof/rounds|reason=" + reason)
+
+	// Instant snapshots first: they describe the process at the moment
+	// the round (and whatever triggered it) began.
+	for _, t := range []string{TypeHeap, TypeGoroutine} {
+		if p.types[t] {
+			p.lookupCapture(t, reason, jobs)
+		}
+	}
+
+	// Windowed captures: mutex/block event sampling is enabled only
+	// while the window is open, so the cost between rounds — and with
+	// the profiler off — is exactly zero.
+	windowed := p.types[TypeCPU] || p.types[TypeMutex] || p.types[TypeBlock]
+	if windowed {
+		var prevMutex int
+		if p.types[TypeMutex] {
+			prevMutex = runtime.SetMutexProfileFraction(p.cfg.MutexFraction)
+		}
+		if p.types[TypeBlock] {
+			runtime.SetBlockProfileRate(p.cfg.BlockRate)
+		}
+
+		var cpuBuf bytes.Buffer
+		cpuStart := time.Now()
+		cpuOK := false
+		if p.types[TypeCPU] {
+			if err := pprof.StartCPUProfile(&cpuBuf); err != nil {
+				// Another CPU profile is in flight (e.g. a /debug/pprof
+				// fetch); skip this window rather than fight over it.
+				p.count("hostprof/capture_errors|type=" + TypeCPU)
+				p.log.Warn("hostprof cpu capture skipped", "err", err.Error())
+			} else {
+				cpuOK = true
+			}
+		}
+		sleepCtx(ctx, p.cfg.CPUDuration)
+		if cpuOK {
+			pprof.StopCPUProfile()
+			p.add(Capture{Type: TypeCPU, Reason: reason, Start: cpuStart, End: time.Now(),
+				Jobs: p.mergeJobs(jobs), Bytes: append([]byte(nil), cpuBuf.Bytes()...)})
+		}
+
+		if p.types[TypeMutex] {
+			p.lookupCapture(TypeMutex, reason, jobs)
+			runtime.SetMutexProfileFraction(prevMutex)
+		}
+		if p.types[TypeBlock] {
+			p.lookupCapture(TypeBlock, reason, jobs)
+			runtime.SetBlockProfileRate(0)
+		}
+	}
+
+	if p.cfg.Registry != nil {
+		p.cfg.Registry.Histogram("hostprof/round_seconds").Record(time.Since(start).Seconds())
+		st := p.store.Stats()
+		p.cfg.Registry.Gauge("hostprof/store_captures").Set(float64(st.Stored))
+		p.cfg.Registry.Gauge("hostprof/store_bytes").Set(float64(st.StoredLen))
+		p.cfg.Registry.Gauge("hostprof/store_evictions").Set(float64(st.Evicted))
+	}
+}
+
+// lookupCapture snapshots one runtime/pprof named profile (debug=0 is
+// the gzipped protobuf form every pprof consumer reads).
+func (p *Profiler) lookupCapture(name, reason string, jobs []string) {
+	prof := pprof.Lookup(name)
+	if prof == nil {
+		p.count("hostprof/capture_errors|type=" + name)
+		return
+	}
+	now := time.Now()
+	var buf bytes.Buffer
+	if err := prof.WriteTo(&buf, 0); err != nil {
+		p.count("hostprof/capture_errors|type=" + name)
+		p.log.Warn("hostprof capture failed", "type", name, "err", err.Error())
+		return
+	}
+	p.add(Capture{Type: name, Reason: reason, Start: now, End: now,
+		Jobs: p.mergeJobs(jobs), Bytes: buf.Bytes()})
+}
+
+// add stores one capture and records its self-metrics and log line.
+func (p *Profiler) add(c Capture) {
+	id := p.store.Add(c)
+	p.count("hostprof/captures|type=" + c.Type)
+	if p.cfg.Registry != nil {
+		p.cfg.Registry.Histogram("hostprof/capture_bytes").Record(float64(len(c.Bytes)))
+	}
+	p.log.Debug("hostprof capture",
+		"profile_id", id,
+		"type", c.Type,
+		"reason", c.Reason,
+		"bytes", len(c.Bytes),
+		"jobs", len(c.Jobs),
+	)
+}
+
+// activeJobs snapshots the running-job set (nil-safe).
+func (p *Profiler) activeJobs() []string {
+	if p.cfg.ActiveJobs == nil {
+		return nil
+	}
+	return p.cfg.ActiveJobs()
+}
+
+// mergeJobs unions the round-start job set with the jobs active now,
+// so a capture is stamped with every job it overlapped — whichever end
+// of the window the job ran in.
+func (p *Profiler) mergeJobs(atStart []string) []string {
+	now := p.activeJobs()
+	if len(now) == 0 {
+		return atStart
+	}
+	seen := make(map[string]bool, len(atStart))
+	out := append([]string(nil), atStart...)
+	for _, j := range atStart {
+		seen[j] = true
+	}
+	for _, j := range now {
+		if !seen[j] {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+func (p *Profiler) count(name string) {
+	if p.cfg.Registry != nil {
+		p.cfg.Registry.Counter(name).Inc()
+	}
+}
+
+// sleepCtx sleeps d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}

@@ -1,0 +1,397 @@
+package hostprof
+
+// A minimal pprof profile.proto reader — the decoding counterpart to
+// internal/obs/profile's encoder. The profiler stores raw runtime/pprof
+// output; the heap-delta endpoint and the tests need to look inside it
+// (sample types, stacks, label sets) without shelling out to `go tool
+// pprof`. profile.proto needs only varint and length-delimited wire
+// types, so a dependency-free reader is as small as the writer.
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+)
+
+// ValueType names one sample dimension, e.g. {"inuse_space", "bytes"}.
+type ValueType struct {
+	Type string `json:"type"`
+	Unit string `json:"unit"`
+}
+
+// ParsedSample is one decoded sample: its stack (leaf-first, pprof's
+// native order), one value per profile sample type, and its string
+// labels (pprof tags — job_id, spec_hash, experiment land here).
+type ParsedSample struct {
+	Stack  []string
+	Values []int64
+	Labels map[string][]string
+}
+
+// Parsed is a decoded profile.
+type Parsed struct {
+	SampleTypes       []ValueType
+	DefaultSampleType string
+	DurationNanos     int64
+	Samples           []ParsedSample
+}
+
+// LabelValues returns the distinct values of one label key across all
+// samples, in first-seen order.
+func (p *Parsed) LabelValues(key string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range p.Samples {
+		for _, v := range s.Labels[key] {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// Total sums one sample-type column (by index) across all samples.
+func (p *Parsed) Total(valueIndex int) int64 {
+	var t int64
+	for _, s := range p.Samples {
+		if valueIndex < len(s.Values) {
+			t += s.Values[valueIndex]
+		}
+	}
+	return t
+}
+
+// TypeIndex returns the index of the named sample type (-1 if absent).
+func (p *Parsed) TypeIndex(name string) int {
+	for i, vt := range p.SampleTypes {
+		if vt.Type == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Parse decodes a pprof profile from data, transparently gunzipping
+// (runtime/pprof and the profiler always write gzipped protobuf).
+func Parse(data []byte) (*Parsed, error) {
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("hostprof: gunzip profile: %w", err)
+		}
+		raw, err := io.ReadAll(zr)
+		if err != nil {
+			return nil, fmt.Errorf("hostprof: gunzip profile: %w", err)
+		}
+		data = raw
+	}
+	return parseProto(data)
+}
+
+// --- protobuf wire reading ---
+
+type reader struct {
+	b   []byte
+	pos int
+}
+
+func (r *reader) done() bool { return r.pos >= len(r.b) }
+
+func (r *reader) varint() (uint64, error) {
+	var v uint64
+	var shift uint
+	for {
+		if r.pos >= len(r.b) {
+			return 0, io.ErrUnexpectedEOF
+		}
+		c := r.b[r.pos]
+		r.pos++
+		v |= uint64(c&0x7f) << shift
+		if c < 0x80 {
+			return v, nil
+		}
+		shift += 7
+		if shift >= 64 {
+			return 0, fmt.Errorf("hostprof: varint overflow")
+		}
+	}
+}
+
+// field reads one field key and returns its number, wire type, and —
+// for the two wire types profile.proto uses — its payload: a varint
+// value (wire 0) or delimited bytes (wire 2). Other wire types are
+// skipped so future profile.proto additions cannot break the reader.
+func (r *reader) field() (num int, wire int, v uint64, data []byte, err error) {
+	key, err := r.varint()
+	if err != nil {
+		return 0, 0, 0, nil, err
+	}
+	num, wire = int(key>>3), int(key&7)
+	switch wire {
+	case 0:
+		v, err = r.varint()
+	case 2:
+		var n uint64
+		n, err = r.varint()
+		if err == nil {
+			if r.pos+int(n) > len(r.b) {
+				return 0, 0, 0, nil, io.ErrUnexpectedEOF
+			}
+			data = r.b[r.pos : r.pos+int(n)]
+			r.pos += int(n)
+		}
+	case 5: // fixed32
+		if r.pos+4 > len(r.b) {
+			return 0, 0, 0, nil, io.ErrUnexpectedEOF
+		}
+		r.pos += 4
+	case 1: // fixed64
+		if r.pos+8 > len(r.b) {
+			return 0, 0, 0, nil, io.ErrUnexpectedEOF
+		}
+		r.pos += 8
+	default:
+		return 0, 0, 0, nil, fmt.Errorf("hostprof: unsupported wire type %d", wire)
+	}
+	return num, wire, v, data, err
+}
+
+// uints decodes a repeated varint field that may arrive packed (one
+// length-delimited payload) or unpacked (one varint per occurrence).
+func uints(wire int, v uint64, data []byte, into []uint64) ([]uint64, error) {
+	if wire == 0 {
+		return append(into, v), nil
+	}
+	r := &reader{b: data}
+	for !r.done() {
+		x, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		into = append(into, x)
+	}
+	return into, nil
+}
+
+// --- profile.proto decoding ---
+
+type rawSample struct {
+	locs   []uint64
+	vals   []uint64
+	labels []rawLabel
+}
+
+type rawLabel struct{ key, str int64 }
+
+func parseProto(data []byte) (*Parsed, error) {
+	var (
+		strTab      []string
+		sampleTypes [][2]int64 // (type idx, unit idx)
+		samples     []rawSample
+		locLines    = map[uint64][]uint64{} // location id → function ids, leaf-first
+		locAddr     = map[uint64]uint64{}
+		funcName    = map[uint64]int64{}
+		defaultType int64
+		durationNs  int64
+	)
+
+	r := &reader{b: data}
+	for !r.done() {
+		num, wire, v, payload, err := r.field()
+		if err != nil {
+			return nil, err
+		}
+		switch num {
+		case 1: // sample_type
+			vt, err := parseValueType(payload)
+			if err != nil {
+				return nil, err
+			}
+			sampleTypes = append(sampleTypes, vt)
+		case 2: // sample
+			s, err := parseSample(payload)
+			if err != nil {
+				return nil, err
+			}
+			samples = append(samples, s)
+		case 4: // location
+			id, addr, fns, err := parseLocation(payload)
+			if err != nil {
+				return nil, err
+			}
+			locLines[id] = fns
+			locAddr[id] = addr
+		case 5: // function
+			id, name, err := parseFunction(payload)
+			if err != nil {
+				return nil, err
+			}
+			funcName[id] = name
+		case 6: // string_table
+			strTab = append(strTab, string(payload))
+		case 10: // duration_nanos
+			durationNs = int64(v)
+		case 14: // default_sample_type
+			defaultType = int64(v)
+		}
+		_ = wire
+	}
+
+	str := func(i int64) string {
+		if i < 0 || int(i) >= len(strTab) {
+			return ""
+		}
+		return strTab[i]
+	}
+	if len(sampleTypes) == 0 {
+		return nil, fmt.Errorf("hostprof: profile has no sample types")
+	}
+
+	out := &Parsed{
+		DefaultSampleType: str(defaultType),
+		DurationNanos:     durationNs,
+	}
+	for _, vt := range sampleTypes {
+		out.SampleTypes = append(out.SampleTypes, ValueType{Type: str(vt[0]), Unit: str(vt[1])})
+	}
+	for _, s := range samples {
+		ps := ParsedSample{Values: make([]int64, len(s.vals))}
+		for i, v := range s.vals {
+			ps.Values[i] = int64(v)
+		}
+		for _, loc := range s.locs {
+			if fns := locLines[loc]; len(fns) > 0 {
+				for _, fn := range fns {
+					ps.Stack = append(ps.Stack, str(funcName[fn]))
+				}
+			} else {
+				ps.Stack = append(ps.Stack, fmt.Sprintf("0x%x", locAddr[loc]))
+			}
+		}
+		if len(s.labels) > 0 {
+			ps.Labels = map[string][]string{}
+			for _, l := range s.labels {
+				// Numeric labels (str == 0) are not needed here; string
+				// labels are the correlation tags.
+				if l.str != 0 {
+					k := str(l.key)
+					ps.Labels[k] = append(ps.Labels[k], str(l.str))
+				}
+			}
+		}
+		out.Samples = append(out.Samples, ps)
+	}
+	return out, nil
+}
+
+func parseValueType(data []byte) ([2]int64, error) {
+	var vt [2]int64
+	r := &reader{b: data}
+	for !r.done() {
+		num, _, v, _, err := r.field()
+		if err != nil {
+			return vt, err
+		}
+		switch num {
+		case 1:
+			vt[0] = int64(v)
+		case 2:
+			vt[1] = int64(v)
+		}
+	}
+	return vt, nil
+}
+
+func parseSample(data []byte) (rawSample, error) {
+	var s rawSample
+	r := &reader{b: data}
+	for !r.done() {
+		num, wire, v, payload, err := r.field()
+		if err != nil {
+			return s, err
+		}
+		switch num {
+		case 1:
+			if s.locs, err = uints(wire, v, payload, s.locs); err != nil {
+				return s, err
+			}
+		case 2:
+			if s.vals, err = uints(wire, v, payload, s.vals); err != nil {
+				return s, err
+			}
+		case 3:
+			l, err := parseLabel(payload)
+			if err != nil {
+				return s, err
+			}
+			s.labels = append(s.labels, l)
+		}
+	}
+	return s, nil
+}
+
+func parseLabel(data []byte) (rawLabel, error) {
+	var l rawLabel
+	r := &reader{b: data}
+	for !r.done() {
+		num, _, v, _, err := r.field()
+		if err != nil {
+			return l, err
+		}
+		switch num {
+		case 1:
+			l.key = int64(v)
+		case 2:
+			l.str = int64(v)
+		}
+	}
+	return l, nil
+}
+
+func parseLocation(data []byte) (id, addr uint64, fns []uint64, err error) {
+	r := &reader{b: data}
+	for !r.done() {
+		num, _, v, payload, ferr := r.field()
+		if ferr != nil {
+			return 0, 0, nil, ferr
+		}
+		switch num {
+		case 1:
+			id = v
+		case 3:
+			addr = v
+		case 4: // Line{function_id=1, line=2}; lines are leaf-first
+			lr := &reader{b: payload}
+			for !lr.done() {
+				lnum, _, lv, _, lerr := lr.field()
+				if lerr != nil {
+					return 0, 0, nil, lerr
+				}
+				if lnum == 1 {
+					fns = append(fns, lv)
+				}
+			}
+		}
+	}
+	return id, addr, fns, nil
+}
+
+func parseFunction(data []byte) (id uint64, name int64, err error) {
+	r := &reader{b: data}
+	for !r.done() {
+		num, _, v, _, ferr := r.field()
+		if ferr != nil {
+			return 0, 0, ferr
+		}
+		switch num {
+		case 1:
+			id = v
+		case 2:
+			name = int64(v)
+		}
+	}
+	return id, name, nil
+}

@@ -1,0 +1,72 @@
+package hostprof
+
+// Runtime readings: one cheap snapshot of the Go runtime's vital signs
+// — goroutine count, heap gauges, GC history. The serve runtime
+// collector (internal/obs/serve/runtime.go) maps a Reading onto its
+// melody_observatory_runtime_* gauges at scrape time; the watchdog
+// consumes the same readings on its own cadence to detect anomalies.
+// One implementation, two consumers, so "what the dashboard showed"
+// and "what the watchdog acted on" can never disagree.
+
+import (
+	"runtime"
+	"time"
+)
+
+// Reading is one observation of the host runtime.
+type Reading struct {
+	// At is the host time the reading was taken.
+	At time.Time
+	// Goroutines is runtime.NumGoroutine().
+	Goroutines int
+	// HeapAlloc/HeapSys/HeapObjects mirror runtime.MemStats.
+	HeapAlloc   uint64
+	HeapSys     uint64
+	HeapObjects uint64
+	// NumGC is the monotonic completed-GC-cycle count.
+	NumGC uint32
+	// PauseNs holds the stop-the-world pauses (in nanoseconds) of GC
+	// cycles completed since the previous reading's NumGC, oldest
+	// first — extracted from the MemStats.PauseNs ring, clamped to the
+	// ring's 256-entry history (see PausesSince).
+	PauseNs []float64
+}
+
+// TakeReading snapshots the runtime. prevNumGC is the NumGC of the
+// previous reading (0 on the first call): pauses of cycles completed
+// since then land in PauseNs. ReadMemStats stops the world for
+// microseconds of host time; simulated results cannot observe it.
+func TakeReading(prevNumGC uint32) Reading {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return Reading{
+		At:          time.Now(),
+		Goroutines:  runtime.NumGoroutine(),
+		HeapAlloc:   ms.HeapAlloc,
+		HeapSys:     ms.HeapSys,
+		HeapObjects: ms.HeapObjects,
+		NumGC:       ms.NumGC,
+		PauseNs:     PausesSince(&ms.PauseNs, prevNumGC, ms.NumGC),
+	}
+}
+
+// PausesSince extracts the pauses of GC cycles (prev, cur] from the
+// 256-entry PauseNs ring (cycle c lands at (c+255)%256). A gap longer
+// than 256 cycles loses the overwritten entries — the returned slice
+// covers at most the ring's depth, newest-biased: the contract is
+// "every pause within the ring's history exactly once", not
+// exactly-once capture over arbitrary gaps.
+func PausesSince(ring *[256]uint64, prev, cur uint32) []float64 {
+	if cur <= prev {
+		return nil
+	}
+	from := prev + 1
+	if cur > 256 && from < cur-255 {
+		from = cur - 255
+	}
+	out := make([]float64, 0, cur-from+1)
+	for c := from; c <= cur; c++ {
+		out = append(out, float64(ring[(c+255)%256]))
+	}
+	return out
+}

@@ -1,0 +1,257 @@
+package hostprof
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+// Store bounds. Sized like the tracespan store: deep enough that every
+// capture of a debugging session is still there tomorrow, small enough
+// that the store stays negligible next to one run's manifest. A 5s CPU
+// window gzips to tens of kilobytes, so 64 MiB holds days of routine
+// capture.
+const (
+	DefaultCaptureCap = 256
+	DefaultByteCap    = 64 << 20
+)
+
+// Capture is one stored profile: the raw pprof bytes (gzipped
+// profile.proto, exactly what `go tool pprof` consumes) plus the
+// metadata the retention policy and the /profiles listing read.
+type Capture struct {
+	// ID is the content address: the first 16 hex characters of the
+	// SHA-256 of Bytes. Identical bytes always get the same ID, so a
+	// re-capture of an unchanged profile dedups instead of duplicating.
+	ID string `json:"id"`
+	// Type is the runtime/pprof profile kind: "cpu", "heap",
+	// "goroutine", "mutex" or "block".
+	Type string `json:"type"`
+	// Reason records why the capture happened: "interval" for the
+	// routine cadence, "job_start" for a job-triggered capture,
+	// "watchdog:<signal>" for anomaly-triggered ones.
+	Reason string `json:"reason"`
+	// Start/End bound the capture window (equal for instant snapshots).
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end"`
+	// Size is len(Bytes), echoed in listings so an operator sees cost
+	// before downloading.
+	Size int `json:"size_bytes"`
+	// Jobs holds the ids of jobs executing while the capture ran — the
+	// join key into /runs, the structured logs and the trace store. A
+	// CPU capture listing a job here is sliceable to that job with
+	// `go tool pprof -tagfocus job_id=<id>`.
+	Jobs []string `json:"jobs,omitempty"`
+
+	// Bytes is the profile payload; omitted from listings (the
+	// /profiles/{id} endpoint serves it raw).
+	Bytes []byte `json:"-"`
+}
+
+// StoreStats counts the store's lifetime activity (all monotonic
+// except the occupancy gauges).
+type StoreStats struct {
+	Captures  uint64 `json:"captures_added"`
+	Dedups    uint64 `json:"captures_deduped"`
+	Evicted   uint64 `json:"captures_evicted"`
+	Stored    int    `json:"captures_stored"`
+	StoredLen int64  `json:"bytes_stored"`
+}
+
+// Store is a bounded, content-addressed collection of captures.
+// Retention is tail-biased, the same philosophy as the tracespan
+// store: when a cap is hit, the evicted capture is the oldest routine
+// one — captures that overlapped a job, or that a watchdog or job
+// trigger fired, outlive interval captures until only protected ones
+// are left. The anomalies an operator needs tomorrow are exactly the
+// captures something unusual produced.
+type Store struct {
+	mu         sync.Mutex
+	captureCap int
+	byteCap    int64
+	byID       map[string]*Capture
+	order      []string // arrival order, oldest first
+	bytes      int64
+	stats      StoreStats
+}
+
+// NewStore returns a store retaining up to captureCap captures and
+// byteCap total payload bytes (0 selects the defaults).
+func NewStore(captureCap int, byteCap int64) *Store {
+	if captureCap <= 0 {
+		captureCap = DefaultCaptureCap
+	}
+	if byteCap <= 0 {
+		byteCap = DefaultByteCap
+	}
+	return &Store{
+		captureCap: captureCap,
+		byteCap:    byteCap,
+		byID:       map[string]*Capture{},
+	}
+}
+
+// CaptureID returns the content address of a profile payload.
+func CaptureID(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:8])
+}
+
+// protected reports whether c survives routine eviction: anything a
+// trigger fired (watchdog, job start) or that overlapped running jobs.
+func protected(c *Capture) bool {
+	return c.Reason != ReasonInterval || len(c.Jobs) > 0
+}
+
+// Add files one capture, computing its content address, dedup-ing
+// identical payloads, and evicting per the retention policy. It
+// returns the capture's ID.
+func (s *Store) Add(c Capture) string {
+	c.ID = CaptureID(c.Bytes)
+	c.Size = len(c.Bytes)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.byID[c.ID]; ok {
+		// Same bytes re-captured: keep one payload, but let the newer
+		// metadata win where it strengthens retention — a routine
+		// capture re-taken under a watchdog trigger is now evidence.
+		s.stats.Dedups++
+		old.End = c.End
+		if protected(&c) && !protected(old) {
+			old.Reason = c.Reason
+			old.Jobs = c.Jobs
+		}
+		s.syncStatsLocked()
+		return c.ID
+	}
+	s.byID[c.ID] = &c
+	s.order = append(s.order, c.ID)
+	s.bytes += int64(c.Size)
+	s.stats.Captures++
+	for (len(s.order) > s.captureCap || s.bytes > s.byteCap) && len(s.order) > 1 {
+		s.evictLocked()
+	}
+	s.syncStatsLocked()
+	return c.ID
+}
+
+// evictLocked removes one capture: the oldest unprotected one. The
+// newest entry — the capture Add is filing right now — is never the
+// victim. When every older capture is protected, the oldest goes
+// anyway: bounded memory beats perfect retention.
+func (s *Store) evictLocked() {
+	victim := -1
+	for i, id := range s.order[:len(s.order)-1] {
+		if !protected(s.byID[id]) {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		victim = 0
+	}
+	id := s.order[victim]
+	s.bytes -= int64(s.byID[id].Size)
+	s.order = append(s.order[:victim], s.order[victim+1:]...)
+	delete(s.byID, id)
+	s.stats.Evicted++
+}
+
+func (s *Store) syncStatsLocked() {
+	s.stats.Stored = len(s.order)
+	s.stats.StoredLen = s.bytes
+}
+
+// Len returns the number of retained captures.
+func (s *Store) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.order)
+}
+
+// Stats returns the store's counters.
+func (s *Store) Stats() StoreStats {
+	if s == nil {
+		return StoreStats{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Filter selects captures for List. Zero values match everything.
+type Filter struct {
+	// Type keeps only captures of one profile kind.
+	Type string
+	// Reason keeps only captures with this exact reason.
+	Reason string
+	// JobID keeps only captures that overlapped this job.
+	JobID string
+	// Limit bounds the result count (0 = no bound).
+	Limit int
+}
+
+func matches(c *Capture, f Filter) bool {
+	if f.Type != "" && c.Type != f.Type {
+		return false
+	}
+	if f.Reason != "" && c.Reason != f.Reason {
+		return false
+	}
+	if f.JobID != "" {
+		found := false
+		for _, j := range c.Jobs {
+			if j == f.JobID {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// List returns retained captures newest-first, filtered by f. The
+// returned values carry metadata only (Bytes stays in the store).
+func (s *Store) List(f Filter) []Capture {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Capture, 0, len(s.order))
+	for i := len(s.order) - 1; i >= 0; i-- {
+		c := s.byID[s.order[i]]
+		if !matches(c, f) {
+			continue
+		}
+		meta := *c
+		meta.Bytes = nil
+		out = append(out, meta)
+		if f.Limit > 0 && len(out) >= f.Limit {
+			break
+		}
+	}
+	return out
+}
+
+// Get returns one capture including its payload. ok is false for
+// unknown (or evicted) ids.
+func (s *Store) Get(id string) (Capture, bool) {
+	if s == nil {
+		return Capture{}, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.byID[id]
+	if !ok {
+		return Capture{}, false
+	}
+	return *c, true
+}

@@ -1,0 +1,126 @@
+package hostprof
+
+import (
+	"testing"
+	"time"
+)
+
+// wdReading builds readings with a controllable clock so cooldown
+// logic is tested without sleeping.
+func wdReading(at time.Time, goroutines int, heap uint64, pauses ...float64) Reading {
+	return Reading{At: at, Goroutines: goroutines, HeapAlloc: heap, PauseNs: pauses}
+}
+
+func newTestWatchdog() (*watchdog, time.Time) {
+	w := newWatchdog(WatchdogConfig{
+		GoroutineFactor:  2.0,
+		GoroutineMin:     100,
+		HeapGrowthStreak: 3,
+		HeapGrowthMin:    1 << 20,
+		GCPauseNs:        1e6,
+		Cooldown:         time.Minute,
+	})
+	return w, time.Unix(1700000000, 0)
+}
+
+func TestWatchdogFirstReadingOnlySeeds(t *testing.T) {
+	w, t0 := newTestWatchdog()
+	// A wildly anomalous first reading must not fire: it IS the baseline.
+	if got := w.observe(wdReading(t0, 100000, 1<<30, 1e9)); len(got) != 0 {
+		t.Fatalf("first reading fired %v", got)
+	}
+}
+
+func TestWatchdogGoroutineSpike(t *testing.T) {
+	w, t0 := newTestWatchdog()
+	w.observe(wdReading(t0, 50, 0))
+	// Double the baseline but under GoroutineMin: no fire.
+	if got := w.observe(wdReading(t0.Add(10*time.Second), 99, 0)); len(got) != 0 {
+		t.Fatalf("sub-minimum spike fired %v", got)
+	}
+	// Now well past both the factor and the floor.
+	got := w.observe(wdReading(t0.Add(20*time.Second), 400, 0))
+	if len(got) != 1 || got[0] != SignalGoroutines {
+		t.Fatalf("spike fired %v, want [goroutines]", got)
+	}
+	// Still elevated inside the cooldown: silent.
+	if got := w.observe(wdReading(t0.Add(30*time.Second), 800, 0)); len(got) != 0 {
+		t.Fatalf("cooldown violated: %v", got)
+	}
+	// After the cooldown a persisting spike fires again.
+	if got := w.observe(wdReading(t0.Add(2*time.Minute), 5000, 0)); len(got) != 1 {
+		t.Fatalf("post-cooldown spike fired %v", got)
+	}
+}
+
+func TestWatchdogHeapGrowthStreak(t *testing.T) {
+	w, t0 := newTestWatchdog()
+	const mb = 1 << 20
+	w.observe(wdReading(t0, 10, 10*mb))
+	// Two growing readings, then a dip: streak resets, no fire.
+	w.observe(wdReading(t0.Add(10*time.Second), 10, 12*mb))
+	w.observe(wdReading(t0.Add(20*time.Second), 10, 14*mb))
+	if got := w.observe(wdReading(t0.Add(30*time.Second), 10, 11*mb)); len(got) != 0 {
+		t.Fatalf("reset streak fired %v", got)
+	}
+	// Three consecutive ≥1MiB steps: fires.
+	w.observe(wdReading(t0.Add(40*time.Second), 10, 13*mb))
+	w.observe(wdReading(t0.Add(50*time.Second), 10, 15*mb))
+	got := w.observe(wdReading(t0.Add(60*time.Second), 10, 17*mb))
+	if len(got) != 1 || got[0] != SignalHeap {
+		t.Fatalf("heap streak fired %v, want [heap]", got)
+	}
+	// Sub-threshold growth never builds a streak.
+	w2, u0 := newTestWatchdog()
+	w2.observe(wdReading(u0, 10, 10*mb))
+	for i := 1; i <= 6; i++ {
+		if got := w2.observe(wdReading(u0.Add(time.Duration(i)*10*time.Second), 10, uint64(10*mb+i*1024))); len(got) != 0 {
+			t.Fatalf("sub-threshold growth fired %v", got)
+		}
+	}
+}
+
+func TestWatchdogGCPauseOutlier(t *testing.T) {
+	w, t0 := newTestWatchdog()
+	w.observe(wdReading(t0, 10, 0))
+	if got := w.observe(wdReading(t0.Add(10*time.Second), 10, 0, 5e5, 9e5)); len(got) != 0 {
+		t.Fatalf("sub-threshold pauses fired %v", got)
+	}
+	got := w.observe(wdReading(t0.Add(20*time.Second), 10, 0, 5e5, 2e6))
+	if len(got) != 1 || got[0] != SignalGCPause {
+		t.Fatalf("pause outlier fired %v, want [gc_pause]", got)
+	}
+}
+
+func TestWatchdogIndependentSignalsAndCooldowns(t *testing.T) {
+	w, t0 := newTestWatchdog()
+	const mb = 1 << 20
+	w.observe(wdReading(t0, 50, 10*mb))
+	w.observe(wdReading(t0.Add(10*time.Second), 50, 12*mb))
+	w.observe(wdReading(t0.Add(20*time.Second), 50, 14*mb))
+	// One reading trips all three signals at once.
+	got := w.observe(wdReading(t0.Add(30*time.Second), 400, 16*mb, 2e6))
+	if len(got) != 3 {
+		t.Fatalf("combined anomaly fired %v, want all three signals", got)
+	}
+	if got[0] != SignalGoroutines || got[1] != SignalHeap || got[2] != SignalGCPause {
+		t.Fatalf("signal order = %v", got)
+	}
+	// Goroutines cooling down does not mute a fresh gc_pause cooldown
+	// window... but gc_pause also just fired, so only a signal that has
+	// cooled fires next. Advance past the cooldown for gc_pause only.
+	w.lastFired[SignalGCPause] = t0.Add(-time.Hour)
+	got = w.observe(wdReading(t0.Add(40*time.Second), 800, 16*mb, 2e6))
+	if len(got) != 1 || got[0] != SignalGCPause {
+		t.Fatalf("per-signal cooldown broken: %v", got)
+	}
+}
+
+func TestWatchdogDefaults(t *testing.T) {
+	cfg := WatchdogConfig{}.withDefaults()
+	if cfg.Interval != 10*time.Second || cfg.GoroutineFactor != 2.0 || cfg.GoroutineMin != 200 ||
+		cfg.HeapGrowthStreak != 5 || cfg.HeapGrowthMin != 8<<20 || cfg.GCPauseNs != 50e6 ||
+		cfg.Cooldown != 2*time.Minute {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+}

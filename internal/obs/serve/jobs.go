@@ -11,6 +11,7 @@ import (
 	"github.com/moatlab/melody/internal/jobs"
 	"github.com/moatlab/melody/internal/melody/spec"
 	"github.com/moatlab/melody/internal/obs"
+	"github.com/moatlab/melody/internal/obs/hostprof"
 	"github.com/moatlab/melody/internal/obs/svclog"
 	"github.com/moatlab/melody/internal/obs/tracespan"
 )
@@ -88,6 +89,12 @@ func (a *jobAPI) hub(jobID string) *Hub {
 // Publish is non-blocking by construction (drop-oldest), so a slow SSE
 // client can never stall a running experiment.
 func (a *jobAPI) onEvent(ev jobs.Event) {
+	// A job starting is the moment worth profiling: trigger an immediate
+	// CPU capture so even a job shorter than the routine interval gets a
+	// profile overlapping its execution (nil profiler no-ops).
+	if ev.Type == jobs.EventStarted {
+		a.srv.prof.TriggerCPU(hostprof.ReasonJobStart)
+	}
 	a.hub(ev.JobID).Publish(Event{
 		Type:        ev.Type,
 		Job:         ev.JobID,

@@ -1,0 +1,184 @@
+package serve
+
+// The /profiles endpoints: the query surface over the continuous host
+// profiler's capture store (internal/obs/hostprof). The shape mirrors
+// /traces — list with filters, fetch one by id — plus a heap-delta view
+// that turns two heap snapshots into a ranked per-stack growth report:
+//
+//	GET /profiles                      list captures newest-first
+//	    ?type=cpu|heap|goroutine|mutex|block
+//	    ?reason=interval|job_start|watchdog:<signal>
+//	    ?job_id=run-000042             captures overlapping one job
+//	    ?limit=20
+//	GET /profiles/{id}                 raw .pb.gz — pipe straight into
+//	                                   `go tool pprof`
+//	GET /profiles/heapdelta?from=&to=  per-stack heap growth between two
+//	                                   heap captures (?rows= caps rows)
+//
+// Opt-in live profiling rides the same mux: with Server.DebugPprof set,
+// the standard /debug/pprof/* handlers mount on the observatory — one
+// address, one middleware stack, instead of the second listener the
+// -pprof flag historically required.
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	httppprof "net/http/pprof"
+	"strconv"
+
+	"log/slog"
+
+	"github.com/moatlab/melody/internal/obs/hostprof"
+	"github.com/moatlab/melody/internal/obs/svclog"
+)
+
+// AttachProfiler mounts p's capture store as the /profiles API and
+// routes job-started events into immediate CPU captures (call before
+// Handler/Start; the profiler's Run loop is the caller's to drive).
+func (s *Server) AttachProfiler(p *hostprof.Profiler) { s.prof = p }
+
+// Profiler returns the attached profiler (nil when profiling is off).
+func (s *Server) Profiler() *hostprof.Profiler { return s.prof }
+
+func (s *Server) noProfiles(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "host profiling not enabled on this observatory (start with -prof-interval)", http.StatusServiceUnavailable)
+}
+
+// profileList is GET /profiles.
+func (s *Server) profileList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	f := hostprof.Filter{
+		Type:   q.Get("type"),
+		Reason: q.Get("reason"),
+		JobID:  q.Get("job_id"),
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, "bad limit: want a non-negative integer", http.StatusBadRequest)
+			return
+		}
+		f.Limit = n
+	}
+	store := s.prof.Store()
+	writeJSON(w, map[string]any{
+		"profiles":   store.List(f),
+		"stats":      store.Stats(),
+		"interval_s": s.prof.Interval().Seconds(),
+	})
+}
+
+// profileGet is GET /profiles/{id}: the raw gzipped profile.proto
+// payload, exactly what `go tool pprof` consumes.
+func (s *Server) profileGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	c, ok := s.prof.Store().Get(id)
+	if !ok {
+		http.Error(w, "unknown profile id (never captured, or evicted by retention)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition",
+		fmt.Sprintf("attachment; filename=%s-%s.pb.gz", c.Type, c.ID))
+	w.Header().Set("Content-Length", strconv.Itoa(len(c.Bytes)))
+	w.Write(c.Bytes)
+}
+
+// profileHeapDelta is GET /profiles/heapdelta?from={id}&to={id}: the
+// per-stack allocation change between two retained heap captures — the
+// view that turns a "sustained heap growth" watchdog alert into the
+// allocation site responsible, without leaving the observatory.
+func (s *Server) profileHeapDelta(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	fromID, toID := q.Get("from"), q.Get("to")
+	if fromID == "" || toID == "" {
+		http.Error(w, "want ?from={profile id}&to={profile id}, both heap captures", http.StatusBadRequest)
+		return
+	}
+	rows := 0
+	if v := q.Get("rows"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			http.Error(w, "bad rows: want a positive integer", http.StatusBadRequest)
+			return
+		}
+		rows = n
+	}
+	load := func(id string) (*hostprof.Parsed, *hostprof.Capture, error) {
+		c, ok := s.prof.Store().Get(id)
+		if !ok {
+			return nil, nil, fmt.Errorf("unknown profile id %q", id)
+		}
+		if c.Type != hostprof.TypeHeap {
+			return nil, nil, fmt.Errorf("profile %s is a %s capture, want heap", id, c.Type)
+		}
+		p, err := hostprof.Parse(c.Bytes)
+		if err != nil {
+			return nil, nil, fmt.Errorf("parse %s: %v", id, err)
+		}
+		return p, &c, nil
+	}
+	from, fromCap, err := load(fromID)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	to, toCap, err := load(toID)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	delta, err := hostprof.DiffHeap(from, to, rows)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, map[string]any{
+		"from":   fromCap,
+		"to":     toCap,
+		"span_s": toCap.End.Sub(fromCap.End).Seconds(),
+		"delta":  delta,
+	})
+}
+
+// mountDebugPprof wires the standard net/http/pprof handlers onto mux
+// through the RED middleware (one route label for the whole family, so
+// cardinality stays bounded).
+func (s *Server) mountDebugPprof(mux *http.ServeMux) {
+	mux.Handle("/debug/pprof/", s.wrap("/debug/pprof/", httppprof.Index))
+	mux.Handle("/debug/pprof/cmdline", s.wrap("/debug/pprof/", httppprof.Cmdline))
+	mux.Handle("/debug/pprof/profile", s.wrap("/debug/pprof/", httppprof.Profile))
+	mux.Handle("/debug/pprof/symbol", s.wrap("/debug/pprof/", httppprof.Symbol))
+	mux.Handle("/debug/pprof/trace", s.wrap("/debug/pprof/", httppprof.Trace))
+}
+
+// StartDebugPprof serves the standard /debug/pprof/* handlers on their
+// own addr — the historical -pprof contract, shared by both the run and
+// serve subcommands so the flag cannot drift between them again.
+// Listening is synchronous: a bad address fails here, at startup, not
+// minutes into a run. Prefer Server.DebugPprof (same handlers on the
+// observatory mux) when an observatory is already listening.
+func StartDebugPprof(addr string, log *slog.Logger) (*Running, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("pprof listener: %w", err)
+	}
+	if log == nil {
+		log = svclog.Discard()
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	log.Info("pprof listening", "addr", ln.Addr().String())
+	srv := &http.Server{Handler: mux}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Error("pprof listener failed", "addr", ln.Addr().String(), "err", err)
+		}
+	}()
+	return &Running{ln: ln, srv: srv}, nil
+}

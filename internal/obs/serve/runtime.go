@@ -7,13 +7,18 @@ package serve
 // in the self-registry (melody_observatory_runtime_* families) —
 // runtime state describes the serving process, never the simulation,
 // so it must stay out of every run manifest.
+//
+// The raw observation is hostprof.TakeReading — the same implementation
+// the continuous profiler's anomaly watchdog consumes — so the numbers
+// a dashboard graphs and the numbers the watchdog acts on can never
+// disagree.
 
 import (
-	"runtime"
 	"sync"
 	"time"
 
 	"github.com/moatlab/melody/internal/obs"
+	"github.com/moatlab/melody/internal/obs/hostprof"
 )
 
 // runtimeSampler owns the runtime/* instruments in the self-registry.
@@ -25,6 +30,11 @@ type runtimeSampler struct {
 	gcRuns     *obs.Gauge
 	uptime     *obs.Gauge
 	gcPause    *obs.Histogram
+
+	// read produces the runtime observation; tests inject fakes to pin
+	// the mapping (including PauseNs-ring edge cases) without provoking
+	// the real GC.
+	read func(prevNumGC uint32) hostprof.Reading
 
 	mu        sync.Mutex
 	lastNumGC uint32
@@ -39,6 +49,7 @@ func newRuntimeSampler(reg *obs.Registry, start time.Time) *runtimeSampler {
 		gcRuns:     reg.Gauge("runtime/gc_runs"),
 		uptime:     reg.Gauge("runtime/uptime_seconds"),
 		gcPause:    reg.Histogram("runtime/gc_pause_ns"),
+		read:       hostprof.TakeReading,
 	}
 }
 
@@ -47,27 +58,20 @@ func newRuntimeSampler(reg *obs.Registry, start time.Time) *runtimeSampler {
 // observe it, so sampling at scrape time upholds the isolation
 // contract.
 func (rs *runtimeSampler) sample() {
-	rs.goroutines.Set(float64(runtime.NumGoroutine()))
-	var ms runtime.MemStats
-	runtime.ReadMemStats(&ms)
-	rs.heapAlloc.Set(float64(ms.HeapAlloc))
-	rs.heapSys.Set(float64(ms.HeapSys))
-	rs.gcRuns.Set(float64(ms.NumGC))
-	rs.uptime.Set(time.Since(rs.start).Seconds())
-
-	// Record the pauses of GC cycles completed since the last sample.
-	// PauseNs is a ring of the most recent 256 pauses (cycle c lands at
-	// (c+255)%256), so a scrape gap longer than 256 cycles loses the
-	// overwritten ones — the histogram's count tracking gc_runs within
-	// 256 is the accuracy contract, not exactly-once capture.
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
-	from := rs.lastNumGC + 1
-	if ms.NumGC > 256 && from < ms.NumGC-255 {
-		from = ms.NumGC - 255
+	r := rs.read(rs.lastNumGC)
+	rs.goroutines.Set(float64(r.Goroutines))
+	rs.heapAlloc.Set(float64(r.HeapAlloc))
+	rs.heapSys.Set(float64(r.HeapSys))
+	rs.gcRuns.Set(float64(r.NumGC))
+	rs.uptime.Set(time.Since(rs.start).Seconds())
+	// PauseNs carries the pauses of GC cycles completed since the last
+	// sample, clamped to the runtime's 256-entry ring (see
+	// hostprof.PausesSince) — the histogram's count tracking gc_runs
+	// within 256 is the accuracy contract, not exactly-once capture.
+	for _, p := range r.PauseNs {
+		rs.gcPause.Record(p)
 	}
-	for c := from; c <= ms.NumGC; c++ {
-		rs.gcPause.Record(float64(ms.PauseNs[(c+255)%256]))
-	}
-	rs.lastNumGC = ms.NumGC
+	rs.lastNumGC = r.NumGC
 }

@@ -61,6 +61,7 @@ import (
 	"time"
 
 	"github.com/moatlab/melody/internal/obs"
+	"github.com/moatlab/melody/internal/obs/hostprof"
 	"github.com/moatlab/melody/internal/obs/prom"
 	"github.com/moatlab/melody/internal/obs/svclog"
 	"github.com/moatlab/melody/internal/obs/tracespan"
@@ -86,10 +87,16 @@ type Server struct {
 	log      *slog.Logger
 	rt       *runtimeSampler
 	tracer   *tracespan.Tracer
+	prof     *hostprof.Profiler
 
 	// JobEventQueueCap overrides the per-client queue bound on per-job
 	// SSE streams (0 = DefaultQueueCap). Set before AttachJobs.
 	JobEventQueueCap int
+
+	// DebugPprof mounts the standard /debug/pprof/* handlers on the
+	// observatory mux (off by default: live profiling of a shared
+	// observatory is opt-in). Set before Handler/Start.
+	DebugPprof bool
 
 	scrapes     *obs.Counter
 	progReads   *obs.Counter
@@ -163,6 +170,17 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /readyz", s.wrap("/readyz", s.readyz))
 	mux.Handle("GET /traces", s.wrap("/traces", s.traceList))
 	mux.Handle("GET /traces/{id}", s.wrap("/traces/{id}", s.traceGet))
+	if s.prof != nil {
+		mux.Handle("GET /profiles", s.wrap("/profiles", s.profileList))
+		mux.Handle("GET /profiles/heapdelta", s.wrap("/profiles/heapdelta", s.profileHeapDelta))
+		mux.Handle("GET /profiles/{id}", s.wrap("/profiles/{id}", s.profileGet))
+	} else {
+		mux.Handle("/profiles", s.wrap("/profiles", s.noProfiles))
+		mux.Handle("/profiles/", s.wrap("/profiles", s.noProfiles))
+	}
+	if s.DebugPprof {
+		s.mountDebugPprof(mux)
+	}
 	if s.jobs != nil {
 		mux.Handle("POST /runs", s.wrap("/runs", s.jobs.submit))
 		mux.Handle("GET /runs", s.wrap("/runs", s.jobs.list))
@@ -185,7 +203,7 @@ func (s *Server) index(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
-	fmt.Fprint(w, "melody observatory\n\n/metrics   Prometheus exposition\n/progress  JSON run progress\n/events    SSE run events\n/healthz   liveness\n/readyz    readiness (queue state)\n/traces    request trace store (list; /traces/{id} for one span tree)\n/runs      experiment job API (POST spec, GET status/manifest/events)\n")
+	fmt.Fprint(w, "melody observatory\n\n/metrics   Prometheus exposition\n/progress  JSON run progress\n/events    SSE run events\n/healthz   liveness\n/readyz    readiness (queue state)\n/traces    request trace store (list; /traces/{id} for one span tree)\n/profiles  host profile store (list; /profiles/{id} raw pb.gz; /profiles/heapdelta)\n/runs      experiment job API (POST spec, GET status/manifest/events)\n")
 }
 
 func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
