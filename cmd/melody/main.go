@@ -6,7 +6,7 @@
 //	melody list
 //	melody run <experiment-id>... [flags]
 //	melody run all [flags]
-//	melody serve [-addr HOST:PORT] [-queue N] [-prof-interval D] [-pprof ADDR]
+//	melody serve [-addr HOST:PORT] [-queue N] [-data-dir DIR] [-prof-interval D] [-pprof ADDR]
 //
 // `melody run` executes one spec and exits; `melody serve` is the
 // long-lived experiment front door: it serves the observatory plus the
@@ -17,6 +17,16 @@
 // byte-identical manifests. SIGINT/SIGTERM drain: /readyz flips to 503,
 // queued jobs are canceled, the in-flight job flushes its partial
 // manifest with "interrupted": true, then the process exits.
+//
+// With -data-dir the service is durable: finished manifests land in a
+// content-addressed ledger under <dir>/ledger, run history and cache
+// hits survive restarts byte-identically, GET /compare?base=&head=
+// diffs any two recorded runs (run ids or spec hashes), and baselines
+// pinned via POST /baselines turn every completed run into an
+// automatic regression check (melody_regressions_total on /metrics, a
+// "regression" SSE event, and a structured warning in the log). The
+// same flag on `melody run` records the CLI run into the same ledger,
+// so CLI and API runs share one comparable history.
 //
 // Flags may appear before, between, or after experiment ids:
 //
@@ -90,6 +100,7 @@ import (
 	"github.com/moatlab/melody/internal/melody"
 	"github.com/moatlab/melody/internal/melody/spec"
 	"github.com/moatlab/melody/internal/obs"
+	"github.com/moatlab/melody/internal/obs/ledger"
 	"github.com/moatlab/melody/internal/obs/serve"
 	"github.com/moatlab/melody/internal/obs/svclog"
 )
@@ -149,6 +160,7 @@ func runCmd(args []string) int {
 	jobs := fs.Int("j", 0, "parallel (workload, config) cells (0 = NumCPU)")
 	quiet := fs.Bool("quiet", false, "suppress live progress lines")
 	outDir := fs.String("out", "", "also write each report to <dir>/<id>.txt")
+	dataDir := fs.String("data-dir", "", "record the finished run in the durable ledger under <dir>/ledger")
 	metricsPath := fs.String("metrics", "", "write the run-manifest/metrics JSON to <file>")
 	tracePath := fs.String("trace", "", "write Chrome trace-event JSON (Perfetto) to <file>")
 	sampleEvery := fs.Uint64("sample-every", 0, "sample counters + CPMU state every N simulated cycles (0 = off)")
@@ -184,6 +196,22 @@ func runCmd(args []string) int {
 	if err := validateOutputs(*metricsPath, *tracePath, *profileDir, *outDir); err != nil {
 		fmt.Fprintln(os.Stderr, "melody:", err)
 		return 2
+	}
+
+	// -data-dir opens the same durable ledger `melody serve -data-dir`
+	// uses, before the simulation runs — a CLI run asked to be recorded
+	// must fail now, not after a half-hour of simulation. The run itself
+	// always executes (the ledger records results; it never answers the
+	// CLI from cache — rerunning deliberately is the CLI's job).
+	var led *ledger.Ledger
+	if *dataDir != "" {
+		var err error
+		led, err = ledger.Open(filepath.Join(*dataDir, "ledger"), ledger.Options{Log: logger})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "melody:", err)
+			return 2
+		}
+		defer led.Close()
 	}
 	if *profEvery != 0 && *serveAddr == "" {
 		fmt.Fprintln(os.Stderr, "melody: -prof-interval requires -serve (captures are served at /profiles on the observatory)")
@@ -235,8 +263,11 @@ func runCmd(args []string) int {
 		return 1
 	}
 
+	// -data-dir records the run's manifest, so it needs telemetry on
+	// exactly like -metrics does (the ledger stores the same bytes the
+	// job service would).
 	var tel *melody.Telemetry
-	if *metricsPath != "" || *tracePath != "" || *profileDir != "" || *serveAddr != "" {
+	if *metricsPath != "" || *tracePath != "" || *profileDir != "" || *serveAddr != "" || *dataDir != "" {
 		tel = melody.NewTelemetry()
 		if *tracePath != "" {
 			tel.Trace = obs.NewTrace()
@@ -330,8 +361,44 @@ func runCmd(args []string) int {
 			return 1
 		}
 	}
+	// Record the completed run in the ledger — manifest bytes under
+	// their content address, keyed by the canonical spec hash, exactly
+	// as the job service stores API runs, so a later `melody serve
+	// -data-dir` over the same directory answers this spec from cache
+	// and can diff against it. Partial (interrupted) runs are never
+	// recorded: a cache must not answer with half a result.
+	if led != nil && !out.Interrupted {
+		if err := recordRun(led, sp, out.Manifest); err != nil {
+			fmt.Fprintln(os.Stderr, "melody: ledger:", err)
+			return 1
+		}
+	}
 	if out.Interrupted {
 		return 130
 	}
 	return 0
+}
+
+// recordRun writes one finished manifest into the durable ledger under
+// the same identities the job service uses (spec hash → manifest
+// address), with "cli" in the job-id column so /runs provenance shows
+// where the entry came from.
+func recordRun(led *ledger.Ledger, sp spec.RunSpec, m *melody.Manifest) error {
+	raw, err := melody.EncodeManifest(*m)
+	if err != nil {
+		return err
+	}
+	addr, err := m.Address()
+	if err != nil {
+		return err
+	}
+	hash, err := sp.Hash()
+	if err != nil {
+		return err
+	}
+	specJSON, err := spec.Encode(sp)
+	if err != nil {
+		return err
+	}
+	return led.Put(hash, addr, raw, specJSON, "cli")
 }

@@ -16,6 +16,7 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sync/atomic"
 	"syscall"
 
@@ -23,6 +24,7 @@ import (
 	"github.com/moatlab/melody/internal/melody"
 	"github.com/moatlab/melody/internal/melody/spec"
 	"github.com/moatlab/melody/internal/obs/hostprof"
+	"github.com/moatlab/melody/internal/obs/ledger"
 	"github.com/moatlab/melody/internal/obs/serve"
 	"github.com/moatlab/melody/internal/obs/svclog"
 )
@@ -91,6 +93,7 @@ func serveCmd(args []string) int {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", "localhost:8080", "listen address for the observatory + job API")
 	queueCap := fs.Int("queue", jobs.DefaultQueueCap, "pending-run queue bound (full queue answers 429)")
+	dataDir := fs.String("data-dir", "", "durable run ledger root (empty = in-memory history only; restarts forget runs)")
 	logLevel := fs.String("log-level", "info", "structured log level on stderr: debug, info, warn, error")
 	logFormat := fs.String("log-format", "text", "structured log format on stderr: text or json")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on <addr> (e.g. localhost:6060)")
@@ -135,6 +138,40 @@ func serveCmd(args []string) int {
 	srv.SetLogger(logger)
 	srv.AttachJobs(mgr)
 	srv.DebugPprof = *debugPprof
+
+	// -data-dir makes run history durable: completed manifests land in a
+	// content-addressed ledger under <dir>/ledger, prior entries are
+	// restored into the manager as finished jobs (so /runs, manifest
+	// fetches and cache hits survive restarts byte-identically), and the
+	// /compare + /baselines endpoints get their backing store. Opening
+	// fails fast — a service asked to be durable must not silently run
+	// volatile.
+	if *dataDir != "" {
+		led, err := ledger.Open(filepath.Join(*dataDir, "ledger"), ledger.Options{
+			Registry: srv.SelfRegistry(),
+			Log:      logger,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "melody serve:", err)
+			return 2
+		}
+		defer led.Close()
+		mgr.SetStore(led)
+		restored := 0
+		for _, e := range led.Entries() {
+			if err := mgr.RestoreJob(e.SpecHash, e.Address, e.SpecJSON, e.StoredAt); err != nil {
+				logger.Warn("ledger entry not restorable", svclog.KeySpecHash, e.SpecHash, "err", err)
+				continue
+			}
+			restored++
+		}
+		srv.AttachLedger(led)
+		logger.Info("run ledger open",
+			"dir", filepath.Join(*dataDir, "ledger"),
+			"restored", restored,
+			"baselines", len(led.Baselines()),
+		)
+	}
 
 	// The same -pprof the run subcommand takes: a standalone net/http/pprof
 	// listener, failing fast on a bad address before any job is accepted.

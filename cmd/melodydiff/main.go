@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	melodydiff [-threshold 0.05] [-json FILE] [-quiet] OLD.json NEW.json
+//	melodydiff [-threshold 0.05] [-json FILE] [-quiet] OLD NEW
+//
+// OLD and NEW are manifest files, or http(s) URLs of a live
+// observatory's /runs/{id}/manifest endpoint — so the same gate runs
+// against artifacts on disk and against a running service.
 //
 // Alignment is by identity, not order: registry series by metric path,
 // sampled streams by (workload, config, platform, experiment). Latency
@@ -23,7 +27,6 @@ import (
 	"io"
 	"os"
 
-	"github.com/moatlab/melody/internal/melody"
 	"github.com/moatlab/melody/internal/melody/diff"
 )
 
@@ -37,7 +40,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jsonPath := fs.String("json", "", "also write the machine-readable report to `FILE`")
 	quiet := fs.Bool("quiet", false, "suppress the table; exit code only")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: melodydiff [flags] OLD.json NEW.json\n")
+		fmt.Fprintf(stderr, "usage: melodydiff [flags] OLD NEW\n")
+		fmt.Fprintf(stderr, "OLD/NEW: manifest file, or http(s) URL of /runs/{id}/manifest\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -53,12 +57,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	oldPath, newPath := fs.Arg(0), fs.Arg(1)
-	oldM, err := melody.LoadManifest(oldPath)
+	oldM, err := diff.Load(oldPath)
 	if err != nil {
 		fmt.Fprintf(stderr, "melodydiff: %v\n", err)
 		return 2
 	}
-	newM, err := melody.LoadManifest(newPath)
+	newM, err := diff.Load(newPath)
 	if err != nil {
 		fmt.Fprintf(stderr, "melodydiff: %v\n", err)
 		return 2

@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -129,5 +131,44 @@ func TestRunUsageAndLoadErrors(t *testing.T) {
 	}
 	if code := run([]string{a, foreign}, &out, &errb); code != 2 {
 		t.Fatalf("foreign manifest exit = %d", code)
+	}
+}
+
+// TestRunURLOperands points the gate at a live HTTP server — the
+// /runs/{id}/manifest shape — mixing a URL operand with a file operand.
+func TestRunURLOperands(t *testing.T) {
+	dir := t.TempDir()
+	a := writeManifest(t, dir, "a.json", 400)
+	b := writeManifest(t, dir, "b.json", 480)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/runs/run-000001/manifest":
+			http.ServeFile(w, r, a)
+		case "/runs/run-000002/manifest":
+			http.ServeFile(w, r, b)
+		default:
+			http.Error(w, "unknown job", http.StatusNotFound)
+		}
+	}))
+	defer srv.Close()
+
+	var out, errb bytes.Buffer
+	if code := run([]string{srv.URL + "/runs/run-000001/manifest", srv.URL + "/runs/run-000002/manifest"}, &out, &errb); code != 1 {
+		t.Fatalf("URL regression exit = %d, stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "REGR") {
+		t.Fatalf("stdout:\n%s", out.String())
+	}
+	// Mixed operands: file OLD, URL NEW.
+	if code := run([]string{b, srv.URL + "/runs/run-000001/manifest"}, &out, &errb); code != 0 {
+		t.Fatalf("mixed-operand improvement exit = %d, stderr:\n%s", code, errb.String())
+	}
+	// A 404 from the service is a load error (exit 2), not a pass.
+	errb.Reset()
+	if code := run([]string{a, srv.URL + "/runs/run-000099/manifest"}, &out, &errb); code != 2 {
+		t.Fatalf("404 operand exit = %d", code)
+	}
+	if !strings.Contains(errb.String(), "404") {
+		t.Fatalf("stderr:\n%s", errb.String())
 	}
 }

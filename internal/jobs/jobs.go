@@ -92,8 +92,13 @@ const (
 // consumers (the per-job SSE stream) carry the same join keys as the
 // structured logs and /runs/{id}.
 type Event struct {
-	JobID       string
-	SpecHash    string
+	JobID    string
+	SpecHash string
+	// TraceID is the submitting request's trace id (empty for untraced
+	// submissions): stamped on job-level events so downstream consumers
+	// — the regression log line, SSE payloads — carry the same join key
+	// as /traces and the access logs.
+	TraceID     string
 	Type        string
 	State       State
 	Experiment  string
@@ -146,7 +151,10 @@ type Status struct {
 	Total       int    `json:"total,omitempty"`
 	CacheHit    bool   `json:"cache_hit,omitempty"`
 	Interrupted bool   `json:"interrupted,omitempty"`
-	Error       string `json:"error,omitempty"`
+	// Restored marks a job reconstructed from the durable run ledger at
+	// startup: it represents a run completed by an earlier process.
+	Restored bool   `json:"restored,omitempty"`
+	Error    string `json:"error,omitempty"`
 	// Address is the manifest's content address once the job is done.
 	Address string `json:"manifest_address,omitempty"`
 }
@@ -160,8 +168,13 @@ type job struct {
 	done, total int
 	cacheHit    bool
 	interrupted bool
+	restored    bool
 	err         error
-	res         ExecResult
+	// res holds the result inline for jobs executed by this process.
+	// Cache-hit and restored jobs carry only the Address — their bytes
+	// stay in the store and Manifest loads them on demand, so a durable
+	// store's history does not get re-buffered in memory.
+	res ExecResult
 
 	submittedAt time.Time
 	startedAt   time.Time
@@ -171,6 +184,16 @@ type job struct {
 	// SubmitCtx time — the hand-off that keeps a trace connected across
 	// the queue boundary after the HTTP span has long since answered 202.
 	parent tracespan.SpanContext
+}
+
+// traceID returns the submitting request's trace id, or "" for an
+// untraced submission (the zero TraceID must not leak as a string of
+// zeros into events and logs).
+func (j *job) traceID() string {
+	if !j.parent.Valid() {
+		return ""
+	}
+	return j.parent.Trace.String()
 }
 
 // Manager owns the queue, the job table, and the run store. One
@@ -210,10 +233,14 @@ type Manager struct {
 	byID     map[string]*job
 	order    []string
 	queue    []*job
-	live     map[string]*job       // spec hash → queued/running job (coalescing)
-	store    map[string]ExecResult // spec hash → completed result
+	live     map[string]*job // spec hash → queued/running job (coalescing)
+	store    RunStore        // spec hash → completed result (memory or ledger)
 	nextID   int
 	draining bool
+	// execCount/execSum accumulate finished execution durations for the
+	// Retry-After estimate (independent of SetMetrics, which is optional).
+	execCount int
+	execSum   float64
 
 	wake chan struct{}
 }
@@ -236,9 +263,43 @@ func New(exec Executor, queueCap int) *Manager {
 		now:      time.Now,
 		byID:     map[string]*job{},
 		live:     map[string]*job{},
-		store:    map[string]ExecResult{},
+		store:    newMemStore(),
 		wake:     make(chan struct{}, 1),
 	}
+}
+
+// SetStore replaces the in-memory run store (the default) with st —
+// typically an internal/obs/ledger.Ledger, which makes completed runs
+// durable across restarts. Call before Run and before any Submit.
+func (m *Manager) SetStore(st RunStore) {
+	if st == nil {
+		return
+	}
+	m.mu.Lock()
+	m.store = st
+	m.mu.Unlock()
+}
+
+// RestoreJob rebuilds one completed run from a durable store's history
+// as a done job in the table, so GET /runs lists work finished by
+// earlier processes. specJSON is the canonical spec recorded at store
+// time; the manifest bytes stay in the store and are loaded on demand.
+// Call at startup, before Run.
+func (m *Manager) RestoreJob(specHash, address string, specJSON []byte, at time.Time) error {
+	sp, err := spec.Decode(specJSON)
+	if err != nil {
+		return fmt.Errorf("jobs: restore %s: %w", specHash, err)
+	}
+	m.mu.Lock()
+	j := m.newJobLocked(sp.Normalized(), specHash)
+	j.state = StateDone
+	j.restored = true
+	j.res = ExecResult{Address: address}
+	j.submittedAt, j.startedAt, j.finishedAt = at, at, at
+	m.mu.Unlock()
+	m.logger().Debug("job restored from ledger",
+		svclog.KeyJobID, j.id, svclog.KeySpecHash, specHash)
+	return nil
 }
 
 // metrics is the manager's optional instrument set.
@@ -338,17 +399,21 @@ func (m *Manager) SubmitCtx(ctx context.Context, sp spec.RunSpec) (Status, error
 			svclog.KeyJobID, j.id, svclog.KeySpecHash, hash)
 		return st, nil
 	}
-	// Identical spec already solved: answer from the store.
-	if res, ok := m.store[hash]; ok {
+	// Identical spec already solved: answer from the store. Stat, not
+	// Get — the job carries only the content address; Manifest streams
+	// the bytes from the store when a client actually fetches them.
+	if addr, ok := m.store.Stat(hash); ok {
 		j := m.newJobLocked(n, hash)
 		j.state = StateDone
 		j.cacheHit = true
-		j.res = res
+		j.parent = parent
+		j.res = ExecResult{Address: addr}
 		st := m.statusLocked(j)
 		m.mu.Unlock()
 		m.logger().Info("job served from store",
 			svclog.KeyJobID, j.id, svclog.KeySpecHash, hash)
-		m.emit(Event{JobID: j.id, SpecHash: hash, Type: EventFinished, State: StateDone, CacheHit: true})
+		m.emit(Event{JobID: j.id, SpecHash: hash, TraceID: j.traceID(),
+			Type: EventFinished, State: StateDone, CacheHit: true})
 		return st, nil
 	}
 	if m.draining {
@@ -375,7 +440,7 @@ func (m *Manager) SubmitCtx(ctx context.Context, sp spec.RunSpec) (Status, error
 	m.logger().Info("job queued",
 		svclog.KeyJobID, j.id, svclog.KeySpecHash, hash,
 		"queue_depth", depth, "queue_cap", m.queueCap)
-	m.emit(Event{JobID: j.id, SpecHash: hash, Type: EventQueued, State: StateQueued})
+	m.emit(Event{JobID: j.id, SpecHash: hash, TraceID: j.traceID(), Type: EventQueued, State: StateQueued})
 	select {
 	case m.wake <- struct{}{}:
 	default:
@@ -431,7 +496,7 @@ func (m *Manager) Run(ctx context.Context) {
 		m.logger().Info("job started",
 			svclog.KeyJobID, j.id, svclog.KeySpecHash, j.hash,
 			"queue_wait_s", queueWait, "queue_depth", depth)
-		m.emit(Event{JobID: j.id, SpecHash: j.hash, Type: EventStarted, State: StateRunning})
+		m.emit(Event{JobID: j.id, SpecHash: j.hash, TraceID: j.traceID(), Type: EventStarted, State: StateRunning})
 		// The executor's ctx carries the job id so the execution layer
 		// (melody.Execute hooks, its logger) can stamp the same
 		// correlation id without widening the Executor signature.
@@ -473,22 +538,40 @@ func (m *Manager) Run(ctx context.Context) {
 		delete(m.live, j.hash)
 		j.finishedAt = m.now()
 		execS := j.finishedAt.Sub(j.startedAt).Seconds()
+		m.execCount++
+		m.execSum += execS
 		var fin Event
+		var storeErr error
 		switch {
 		case err != nil:
 			j.state = StateFailed
 			j.err = err
-			fin = Event{JobID: j.id, SpecHash: j.hash, Type: EventFinished, State: StateFailed, Error: err.Error()}
+			fin = Event{JobID: j.id, SpecHash: j.hash, TraceID: j.traceID(),
+				Type: EventFinished, State: StateFailed, Error: err.Error()}
 		default:
 			j.state = StateDone
 			j.res = res
 			j.interrupted = res.Interrupted
 			if !res.Interrupted {
-				m.store[j.hash] = res
+				// File the completed run under its spec hash. The canonical
+				// spec rides along so a durable store can rebuild /runs
+				// history at the next startup. A store failure is logged,
+				// not fatal: the job itself succeeded and its manifest is
+				// still served inline from j.res.
+				if specJSON, encErr := spec.Encode(j.sp); encErr != nil {
+					storeErr = encErr
+				} else {
+					storeErr = m.store.Put(j.hash, res.Address, res.ManifestJSON, specJSON, j.id)
+				}
 			}
-			fin = Event{JobID: j.id, SpecHash: j.hash, Type: EventFinished, State: StateDone, Interrupted: res.Interrupted}
+			fin = Event{JobID: j.id, SpecHash: j.hash, TraceID: j.traceID(),
+				Type: EventFinished, State: StateDone, Interrupted: res.Interrupted}
 		}
 		m.mu.Unlock()
+		if storeErr != nil {
+			m.logger().Error("run store put failed",
+				svclog.KeyJobID, j.id, svclog.KeySpecHash, j.hash, "err", storeErr.Error())
+		}
 		if err != nil {
 			execSpan.SetError(err.Error())
 		}
@@ -614,7 +697,7 @@ func (m *Manager) RunningJobs() []string {
 func (m *Manager) StoreSize() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return len(m.store)
+	return m.store.Len()
 }
 
 // Status returns one job's snapshot.
@@ -642,24 +725,49 @@ func (m *Manager) List() []Status {
 // Manifest returns a finished job's manifest bytes and content
 // address. Queued/running jobs return ErrNotFinished; failed or
 // canceled jobs return ErrNoManifest. Interrupted (partial) manifests
-// are served — their Interrupted flag is in the JSON.
+// are served — their Interrupted flag is in the JSON. Cache-hit and
+// restored jobs hold only the address; their bytes are loaded from the
+// store on demand (a store that has since evicted the entry yields
+// ErrNoManifest).
 func (m *Manager) Manifest(id string) ([]byte, string, error) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	j, ok := m.byID[id]
 	if !ok {
+		m.mu.Unlock()
 		return nil, "", ErrUnknownJob
 	}
 	switch j.state {
 	case StateDone:
-		return j.res.ManifestJSON, j.res.Address, nil
+		res, hash := j.res, j.hash
+		st := m.store
+		m.mu.Unlock()
+		if res.ManifestJSON != nil {
+			return res.ManifestJSON, res.Address, nil
+		}
+		if b, addr, ok := st.Get(hash); ok {
+			return b, addr, nil
+		}
+		return nil, "", fmt.Errorf("%w: evicted from run store", ErrNoManifest)
 	case StateFailed:
+		defer m.mu.Unlock()
 		return nil, "", fmt.Errorf("%w: %v", ErrNoManifest, j.err)
 	case StateCanceled:
+		defer m.mu.Unlock()
 		return nil, "", fmt.Errorf("%w: canceled before execution", ErrNoManifest)
 	default:
+		m.mu.Unlock()
 		return nil, "", ErrNotFinished
 	}
+}
+
+// ManifestBySpec returns the stored manifest for a spec hash, straight
+// from the run store (it needs no job in the table — restored history
+// and direct spec-hash lookups both land here).
+func (m *Manager) ManifestBySpec(specHash string) ([]byte, string, bool) {
+	m.mu.Lock()
+	st := m.store
+	m.mu.Unlock()
+	return st.Get(specHash)
 }
 
 func (m *Manager) statusLocked(j *job) Status {
@@ -673,6 +781,7 @@ func (m *Manager) statusLocked(j *job) Status {
 		Total:       j.total,
 		CacheHit:    j.cacheHit,
 		Interrupted: j.interrupted,
+		Restored:    j.restored,
 		Address:     j.res.Address,
 	}
 	if !j.startedAt.IsZero() {

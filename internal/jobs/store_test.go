@@ -1,0 +1,212 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/moatlab/melody/internal/obs/ledger"
+)
+
+// The ledger must satisfy RunStore without adapters — that contract is
+// what lets cmd/melody plug durability straight into the manager.
+var _ RunStore = (*ledger.Ledger)(nil)
+
+func TestRetryAfter(t *testing.T) {
+	cases := []struct {
+		ahead int
+		mean  time.Duration
+		want  time.Duration
+	}{
+		// No history: fall back to the 1s default estimate.
+		{ahead: 1, mean: 0, want: 1 * time.Second},
+		{ahead: 5, mean: 0, want: 5 * time.Second},
+		// Observed mean scales with the work ahead, rounded up to whole
+		// seconds (Retry-After's grammar is integer seconds).
+		{ahead: 3, mean: 2 * time.Second, want: 6 * time.Second},
+		{ahead: 2, mean: 1500 * time.Millisecond, want: 3 * time.Second},
+		{ahead: 1, mean: 250 * time.Millisecond, want: 1 * time.Second},
+		{ahead: 4, mean: 1100 * time.Millisecond, want: 5 * time.Second}, // ceil(4.4)
+		// Floors and caps: never under 1s, never past 10 minutes.
+		{ahead: 0, mean: 5 * time.Second, want: 5 * time.Second},
+		{ahead: 10000, mean: time.Minute, want: 10 * time.Minute},
+	}
+	for _, c := range cases {
+		if got := RetryAfter(c.ahead, c.mean); got != c.want {
+			t.Errorf("RetryAfter(%d, %v) = %v, want %v", c.ahead, c.mean, got, c.want)
+		}
+	}
+}
+
+func TestRetryAfterHintTracksQueue(t *testing.T) {
+	g := newGatedExecutor()
+	m := New(g.exec, 8)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go m.Run(ctx)
+
+	// Empty manager, no history: minimum hint.
+	if got := m.RetryAfterHint(); got != 1*time.Second {
+		t.Fatalf("idle hint = %v, want 1s", got)
+	}
+
+	// One running + two queued, still no finished history: 3 × 1s default.
+	if _, err := m.Submit(testSpec(1)); err != nil {
+		t.Fatal(err)
+	}
+	<-g.started
+	for i := uint64(2); i <= 3; i++ {
+		if _, err := m.Submit(testSpec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.RetryAfterHint(); got != 3*time.Second {
+		t.Fatalf("hint with 3 jobs ahead = %v, want 3s", got)
+	}
+	close(g.release)
+}
+
+func TestRetryAfterHintUsesObservedMean(t *testing.T) {
+	m := New(nil, 8)
+	// Pretend two executions finished at 4s and 6s: mean 5s.
+	m.mu.Lock()
+	m.execCount = 2
+	m.execSum = 10
+	m.queue = append(m.queue, &job{}, &job{}) // two queued
+	m.mu.Unlock()
+	if got := m.RetryAfterHint(); got != 10*time.Second {
+		t.Fatalf("hint = %v, want 10s (2 ahead × 5s mean)", got)
+	}
+}
+
+// TestLedgerRestartByteIdentity is the PR's acceptance pin: a manifest
+// served after a simulated restart (new manager, reopened ledger on the
+// same dir) is byte-identical to the in-memory original with an equal
+// content address, and resubmission of the same spec is answered as a
+// cache hit without re-execution.
+func TestLedgerRestartByteIdentity(t *testing.T) {
+	dir := t.TempDir()
+	led, err := ledger.Open(dir, ledger.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g := newGatedExecutor()
+	close(g.release)
+	m := New(g.exec, 4)
+	m.SetStore(led)
+	ctx, cancel := context.WithCancel(context.Background())
+	go m.Run(ctx)
+
+	st, err := m.Submit(testSpec(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitState(t, m, st.ID, StateDone)
+	wantRaw, wantAddr, err := m.Manifest(done.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if err := led.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": reopen the ledger, build a fresh manager, restore
+	// history, and wire the store back in — exactly what serve startup
+	// does.
+	led2, err := ledger.Open(dir, ledger.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer led2.Close()
+	g2 := newGatedExecutor()
+	close(g2.release)
+	m2 := New(g2.exec, 4)
+	m2.SetStore(led2)
+	for _, e := range led2.Entries() {
+		if err := m2.RestoreJob(e.SpecHash, e.Address, e.SpecJSON, e.StoredAt); err != nil {
+			t.Fatalf("RestoreJob: %v", err)
+		}
+	}
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	go m2.Run(ctx2)
+
+	// The restored job is listed with full spec detail and serves the
+	// original bytes.
+	list := m2.List()
+	if len(list) != 1 || !list[0].Restored || list[0].State != StateDone {
+		t.Fatalf("restored list = %+v", list)
+	}
+	if list[0].SpecHash != done.SpecHash || list[0].Spec.Seed != 7 {
+		t.Fatalf("restored spec detail = %+v, want hash %s seed 7", list[0], done.SpecHash)
+	}
+	gotRaw, gotAddr, err := m2.Manifest(list[0].ID)
+	if err != nil {
+		t.Fatalf("restored manifest: %v", err)
+	}
+	if !bytes.Equal(gotRaw, wantRaw) {
+		t.Fatalf("restored manifest bytes differ:\n got %s\nwant %s", gotRaw, wantRaw)
+	}
+	if gotAddr != wantAddr {
+		t.Fatalf("restored address = %s, want %s", gotAddr, wantAddr)
+	}
+
+	// Resubmitting the identical spec is a cache hit across the restart
+	// boundary: no re-execution, byte-identical manifest.
+	again, err := m2.Submit(testSpec(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.State != StateDone || !again.CacheHit {
+		t.Fatalf("post-restart resubmit = %+v, want immediate cache hit", again)
+	}
+	hitRaw, hitAddr, err := m2.Manifest(again.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(hitRaw, wantRaw) || hitAddr != wantAddr {
+		t.Fatalf("cache-hit manifest differs after restart: %s/%s", hitRaw, hitAddr)
+	}
+	if got := g2.calls.Load(); got != 0 {
+		t.Fatalf("executor ran %d times after restart, want 0 (cache hit)", got)
+	}
+	if _, _, ok := m2.ManifestBySpec(done.SpecHash); !ok {
+		t.Fatal("ManifestBySpec miss for stored hash")
+	}
+}
+
+// TestManifestEvictedFromStore: a cache-hit job carries only the
+// address; if the store has since dropped the entry, fetching the
+// manifest degrades to ErrNoManifest instead of serving nothing.
+func TestManifestEvictedFromStore(t *testing.T) {
+	g := newGatedExecutor()
+	close(g.release)
+	m := New(g.exec, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go m.Run(ctx)
+
+	st, err := m.Submit(testSpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, st.ID, StateDone)
+	hit, err := m.Submit(testSpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate eviction by swapping in an empty store.
+	m.SetStore(newMemStore())
+	if _, _, err := m.Manifest(hit.ID); !errors.Is(err, ErrNoManifest) {
+		t.Fatalf("evicted cache-hit manifest err = %v, want ErrNoManifest", err)
+	}
+	// The executed job still serves inline bytes regardless of the store.
+	if _, _, err := m.Manifest(st.ID); err != nil {
+		t.Fatalf("executed job manifest after store swap: %v", err)
+	}
+}

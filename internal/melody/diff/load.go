@@ -1,0 +1,62 @@
+package diff
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/moatlab/melody/internal/melody"
+)
+
+// fetchTimeout bounds one manifest fetch from a live observatory: a
+// manifest is a single buffered response, so a slow answer means a
+// wedged service, not a big payload.
+const fetchTimeout = 30 * time.Second
+
+// Load resolves one comparison operand into a manifest. Operands are
+// either file paths or http(s) URLs — typically a live observatory's
+// `/runs/{id}/manifest` — so the CLI gate works against a running
+// service as easily as against artifacts on disk.
+func Load(operand string) (melody.Manifest, error) {
+	if strings.HasPrefix(operand, "http://") || strings.HasPrefix(operand, "https://") {
+		return loadURL(operand)
+	}
+	return melody.LoadManifest(operand)
+}
+
+func loadURL(url string) (melody.Manifest, error) {
+	client := &http.Client{Timeout: fetchTimeout}
+	resp, err := client.Get(url)
+	if err != nil {
+		return melody.Manifest{}, fmt.Errorf("fetch %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	// Bound the read: a manifest is megabytes at the outside, and a
+	// misdirected URL should not buffer an arbitrary stream.
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return melody.Manifest{}, fmt.Errorf("fetch %s: %w", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return melody.Manifest{}, fmt.Errorf("fetch %s: %s: %s",
+			url, resp.Status, strings.TrimSpace(firstLine(body)))
+	}
+	m, err := melody.DecodeManifest(body)
+	if err != nil {
+		return melody.Manifest{}, fmt.Errorf("manifest from %s: %w", url, err)
+	}
+	return m, nil
+}
+
+func firstLine(b []byte) string {
+	s := string(b)
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	if len(s) > 200 {
+		s = s[:200]
+	}
+	return s
+}

@@ -169,12 +169,22 @@ func LoadManifest(path string) (Manifest, error) {
 	if err != nil {
 		return Manifest{}, err
 	}
-	var m Manifest
-	if err := json.Unmarshal(data, &m); err != nil {
+	m, err := DecodeManifest(data)
+	if err != nil {
 		return Manifest{}, fmt.Errorf("manifest %s: %w", path, err)
 	}
+	return m, nil
+}
+
+// DecodeManifest parses manifest bytes wherever they came from — a
+// file, the run ledger, or a /runs/{id}/manifest response.
+func DecodeManifest(data []byte) (Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Manifest{}, err
+	}
 	if m.Tool != "" && m.Tool != "melody" {
-		return Manifest{}, fmt.Errorf("manifest %s: written by %q, not melody", path, m.Tool)
+		return Manifest{}, fmt.Errorf("written by %q, not melody", m.Tool)
 	}
 	return m, nil
 }

@@ -37,6 +37,16 @@ type Event struct {
 	State    string `json:"state,omitempty"`
 	CacheHit bool   `json:"cache_hit,omitempty"`
 	Error    string `json:"error,omitempty"`
+	// TraceID joins a job event to /traces and the access logs (empty
+	// for untraced submissions).
+	TraceID string `json:"trace_id,omitempty"`
+	// Regression fields ("regression" events only): which pinned
+	// baseline the finished run regressed against, how many metrics
+	// tripped the gate, and the worst offender.
+	Baseline    string  `json:"baseline,omitempty"`
+	Regressions int     `json:"regressions,omitempty"`
+	Metric      string  `json:"metric,omitempty"`
+	Delta       float64 `json:"delta,omitempty"`
 }
 
 // Event types published by the engine wiring.
@@ -55,6 +65,11 @@ const (
 	EventJobStarted  = "job_started"
 	EventJobFinished = "job_finished"
 	EventJobStatus   = "status"
+	// EventRegression announces a finished run that regressed against a
+	// pinned baseline. It is published on the job's stream *before*
+	// job_finished (so per-job subscribers see it before their stream
+	// closes) and mirrored on the run-level /events stream.
+	EventRegression = "regression"
 )
 
 // DefaultQueueCap bounds each subscriber's pending-event queue. 256

@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"sync"
+	"time"
 
 	"github.com/moatlab/melody/internal/jobs"
 	"github.com/moatlab/melody/internal/melody/spec"
@@ -95,6 +97,14 @@ func (a *jobAPI) onEvent(ev jobs.Event) {
 	if ev.Type == jobs.EventStarted {
 		a.srv.prof.TriggerCPU(hostprof.ReasonJobStart)
 	}
+	// A freshly completed (not cache-answered, not partial) run is the
+	// moment for baseline regression checks — before the job_finished
+	// event below, so per-job SSE subscribers, whose stream closes at
+	// job_finished, still receive any regression event.
+	if ev.Type == jobs.EventFinished && ev.State == jobs.StateDone &&
+		!ev.Interrupted && !ev.CacheHit {
+		a.diffOnCompletion(ev)
+	}
 	a.hub(ev.JobID).Publish(Event{
 		Type:        ev.Type,
 		Job:         ev.JobID,
@@ -108,6 +118,7 @@ func (a *jobAPI) onEvent(ev jobs.Event) {
 		CacheHit:    ev.CacheHit,
 		Interrupted: ev.Interrupted,
 		Error:       ev.Error,
+		TraceID:     ev.TraceID,
 	})
 }
 
@@ -135,7 +146,12 @@ func (a *jobAPI) submit(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
 		a.rejectFull.Inc()
-		w.Header().Set("Retry-After", "1")
+		// The hint is derived, not hardcoded: queue depth (plus the
+		// running job) times the mean observed execution duration, so a
+		// client backing off by it re-arrives when the queue has roughly
+		// drained.
+		w.Header().Set("Retry-After",
+			strconv.Itoa(int(a.mgr.RetryAfterHint()/time.Second)))
 		http.Error(w, err.Error(), http.StatusTooManyRequests)
 		return
 	case errors.Is(err, jobs.ErrDraining):
@@ -171,10 +187,47 @@ func (a *jobAPI) submit(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(st)
 }
 
-// list is GET /runs.
+// list is GET /runs. Filters follow the /traces and /profiles
+// conventions (bad input answers 400, never a silently-empty list):
+//
+//	?state=done     only jobs in one lifecycle state
+//	?limit=20       at most this many jobs, newest submissions last
+//	                (the tail of the submission-ordered list)
 func (a *jobAPI) list(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	limit := -1
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, "bad limit: want a non-negative integer", http.StatusBadRequest)
+			return
+		}
+		limit = n
+	}
+	var state jobs.State
+	switch v := jobs.State(q.Get("state")); v {
+	case "", jobs.StateQueued, jobs.StateRunning, jobs.StateDone, jobs.StateFailed, jobs.StateCanceled:
+		state = v
+	default:
+		http.Error(w, `bad state: want "queued", "running", "done", "failed" or "canceled"`, http.StatusBadRequest)
+		return
+	}
+	list := a.mgr.List()
+	if state != "" {
+		kept := list[:0]
+		for _, st := range list {
+			if st.State == state {
+				kept = append(kept, st)
+			}
+		}
+		list = kept
+	}
+	if limit >= 0 && len(list) > limit {
+		// Keep the newest: the tail of the submission-ordered list.
+		list = list[len(list)-limit:]
+	}
 	writeJSON(w, map[string]any{
-		"jobs":        a.mgr.List(),
+		"jobs":        list,
 		"queue_depth": a.mgr.QueueDepth(),
 		"queue_cap":   a.mgr.QueueCap(),
 		"accepting":   a.mgr.Accepting(),

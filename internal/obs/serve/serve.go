@@ -62,6 +62,7 @@ import (
 
 	"github.com/moatlab/melody/internal/obs"
 	"github.com/moatlab/melody/internal/obs/hostprof"
+	"github.com/moatlab/melody/internal/obs/ledger"
 	"github.com/moatlab/melody/internal/obs/prom"
 	"github.com/moatlab/melody/internal/obs/svclog"
 	"github.com/moatlab/melody/internal/obs/tracespan"
@@ -88,6 +89,15 @@ type Server struct {
 	rt       *runtimeSampler
 	tracer   *tracespan.Tracer
 	prof     *hostprof.Profiler
+	ledger   *ledger.Ledger
+
+	// crossreg holds the cross-run regression families. Unlike the
+	// self-registry it renders under the *engine* namespace — the
+	// counter path "regressions|baseline=…" becomes
+	// melody_regressions_total{baseline="…"} — because a regression is
+	// a statement about the experiment results, not about the
+	// observatory process.
+	crossreg *obs.Registry
 
 	// JobEventQueueCap overrides the per-client queue bound on per-job
 	// SSE streams (0 = DefaultQueueCap). Set before AttachJobs.
@@ -98,11 +108,14 @@ type Server struct {
 	// observatory is opt-in). Set before Handler/Start.
 	DebugPprof bool
 
-	scrapes     *obs.Counter
-	progReads   *obs.Counter
-	encodeFails *obs.Counter
-	inflight    *obs.Gauge
-	inflightN   atomic.Int64
+	scrapes        *obs.Counter
+	progReads      *obs.Counter
+	encodeFails    *obs.Counter
+	compares       *obs.Counter
+	compareRegr    *obs.Counter
+	baselineChecks *obs.Counter
+	inflight       *obs.Gauge
+	inflightN      atomic.Int64
 }
 
 // New builds a Server. registry is the engine's telemetry registry
@@ -119,11 +132,15 @@ func New(registry *obs.Registry, progress func() any) *Server {
 		start:       start,
 		log:         svclog.Discard(),
 		rt:          newRuntimeSampler(self, start),
-		scrapes:     self.Counter("serve/metrics_scrapes"),
-		progReads:   self.Counter("serve/progress_reads"),
-		encodeFails: self.Counter("serve/event_encode_failures"),
-		inflight:    self.Gauge("http/in_flight"),
-		tracer:      tracespan.NewTracer(tracespan.NewStore(0, 0)),
+		crossreg:       obs.NewRegistry(),
+		scrapes:        self.Counter("serve/metrics_scrapes"),
+		progReads:      self.Counter("serve/progress_reads"),
+		encodeFails:    self.Counter("serve/event_encode_failures"),
+		compares:       self.Counter("compare/requests"),
+		compareRegr:    self.Counter("compare/regressions_reported"),
+		baselineChecks: self.Counter("compare/baseline_checks"),
+		inflight:       self.Gauge("http/in_flight"),
+		tracer:         tracespan.NewTracer(tracespan.NewStore(0, 0)),
 	}
 	s.hub = NewHub(0, self.Counter("serve/events_published"), self.Counter("serve/events_dropped"))
 	return s
@@ -191,6 +208,22 @@ func (s *Server) Handler() http.Handler {
 		mux.Handle("/runs", s.wrap("/runs", s.noJobs))
 		mux.Handle("/runs/", s.wrap("/runs", s.noJobs))
 	}
+	if s.jobs != nil {
+		// /compare resolves operands through the job manager's run store,
+		// so it works with the in-memory store too; /baselines needs the
+		// durable ledger.
+		mux.Handle("GET /compare", s.wrap("/compare", s.compare))
+	} else {
+		mux.Handle("/compare", s.wrap("/compare", s.noJobs))
+	}
+	if s.ledger != nil && s.jobs != nil {
+		mux.Handle("GET /baselines", s.wrap("/baselines", s.baselineList))
+		mux.Handle("POST /baselines", s.wrap("/baselines", s.baselinePin))
+		mux.Handle("DELETE /baselines/{name}", s.wrap("/baselines/{name}", s.baselineUnpin))
+	} else {
+		mux.Handle("/baselines", s.wrap("/baselines", s.noLedger))
+		mux.Handle("/baselines/", s.wrap("/baselines", s.noLedger))
+	}
 	return mux
 }
 
@@ -203,7 +236,7 @@ func (s *Server) index(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
-	fmt.Fprint(w, "melody observatory\n\n/metrics   Prometheus exposition\n/progress  JSON run progress\n/events    SSE run events\n/healthz   liveness\n/readyz    readiness (queue state)\n/traces    request trace store (list; /traces/{id} for one span tree)\n/profiles  host profile store (list; /profiles/{id} raw pb.gz; /profiles/heapdelta)\n/runs      experiment job API (POST spec, GET status/manifest/events)\n")
+	fmt.Fprint(w, "melody observatory\n\n/metrics   Prometheus exposition\n/progress  JSON run progress\n/events    SSE run events\n/healthz   liveness\n/readyz    readiness (queue state)\n/traces    request trace store (list; /traces/{id} for one span tree)\n/profiles  host profile store (list; /profiles/{id} raw pb.gz; /profiles/heapdelta)\n/runs      experiment job API (POST spec, GET status/manifest/events)\n/compare   diff two stored runs (?base=&head=, run id or spec hash)\n/baselines pinned regression baselines (GET list, POST pin, DELETE unpin)\n")
 }
 
 func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
@@ -224,6 +257,14 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
+	}
+	// Cross-run regression families render under the engine namespace:
+	// melody_regressions_total{baseline=…} is a statement about the
+	// experiment results, not the serving process. The registry is empty
+	// (renders nothing) until a baseline diff has run.
+	if err := prom.WriteFormat(w, EngineNamespace, s.crossreg.Export(), format); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
 	}
 	if err := prom.WriteFormat(w, SelfNamespace, s.self.Export(), format); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
